@@ -1,0 +1,95 @@
+"""Ablations of PB-SpGEMM's design choices (DESIGN.md §6).
+
+Each ablation flips one decision and reports the simulated cost delta
+on the same workload, quantifying why the paper's choices are what
+they are:
+
+1. local bins off            -> expand writes waste 3/4 of each line;
+2. 8-byte keys (no packing)  -> radix passes double;
+3. modulo bin mapping        -> loses packing (and bins lose row
+                                contiguity for the CSR rebuild);
+4. nbins policy              -> L2-fit vs too-few/too-many bins;
+5. mergesort backend         -> comparison sort vs 4 linear passes.
+"""
+
+import repro
+from repro.analysis.records import ResultTable
+from repro.analysis.tables import render_table
+from repro.core import PBConfig
+from repro.costmodel import pb_phase_costs, workload_stats
+from repro.machine import skylake_sp
+from repro.simulate import simulate_phases
+
+from conftest import run_once
+
+
+def _simulate(stats, machine, cfg, nbins=None):
+    phases = pb_phase_costs(stats, machine, cfg, nbins=nbins)
+    reps = simulate_phases(phases, machine, machine.cores_per_socket)
+    return sum(p.seconds for p in reps)
+
+
+def _build():
+    machine = skylake_sp()
+    a = repro.erdos_renyi(1 << 13, 8, seed=31)
+    stats = workload_stats(a.to_csc(), a.to_csr())
+    base_cfg = PBConfig()
+    base = _simulate(stats, machine, base_cfg)
+
+    t = ResultTable(
+        "PB-SpGEMM design ablations (simulated, ER scale 13 ef 8)",
+        ["variant", "ms", "slowdown"],
+    )
+
+    def add(name, cfg, nbins=None):
+        s = _simulate(stats, machine, cfg, nbins)
+        t.add(variant=name, ms=round(s * 1e3, 3), slowdown=round(s / base, 3))
+
+    t.add(variant="paper defaults", ms=round(base * 1e3, 3), slowdown=1.0)
+    add("no local bins", base_cfg.with_(use_local_bins=False))
+    add("64 B local bins", base_cfg.with_(local_bin_bytes=64))
+    add("4 KiB local bins", base_cfg.with_(local_bin_bytes=4096))
+    add("no key packing (8 B keys)", base_cfg.with_(pack_keys=False))
+    add("modulo bin mapping", base_cfg.with_(bin_mapping="modulo", pack_keys=False))
+    add("nbins = 8", base_cfg.with_(nbins=8), nbins=8)
+    add("nbins = 8192", base_cfg.with_(nbins=8192), nbins=8192)
+    add("mergesort backend", base_cfg.with_(sort_backend="mergesort"))
+
+    # Variable-range bins (Sec. V-C): executable balance comparison on a
+    # skewed input rather than a simulated time (the simulator already
+    # charges stragglers; the win shows up as bin-load max reduction).
+    from repro.core import pb_spgemm_detailed
+    from repro.generators import rmat
+
+    skew = rmat(11, 8, seed=7, shuffle=False)
+    fixed = pb_spgemm_detailed(skew.to_csc(), skew.to_csr(), config=PBConfig(nbins=32))
+    balanced = pb_spgemm_detailed(
+        skew.to_csc(), skew.to_csr(), config=PBConfig(bin_mapping="balanced", nbins=32)
+    )
+    t.add(
+        variant="balanced bins: max bin load (fixed -> variable)",
+        ms=None,
+        slowdown=round(
+            balanced.tuples_per_bin.max() / max(fixed.tuples_per_bin.max(), 1), 3
+        ),
+    )
+    return t
+
+
+def test_ablations(benchmark, report):
+    table = run_once(benchmark, _build)
+    report(render_table(table), "ablations")
+
+    rows = {r["variant"]: r for r in table}
+    assert rows["balanced bins: max bin load (fixed -> variable)"]["slowdown"] <= 1.0
+    assert rows["no local bins"]["slowdown"] > 1.3
+    assert rows["no key packing (8 B keys)"]["slowdown"] > 1.0
+    assert rows["64 B local bins"]["slowdown"] > rows["paper defaults"]["slowdown"]
+    # The paper's defaults beat every ablated variant on this workload
+    # (the balanced-bins row is a load ratio, not a time; exclude it).
+    others = [
+        r["slowdown"]
+        for v, r in rows.items()
+        if v != "paper defaults" and not v.startswith("balanced bins")
+    ]
+    assert min(others) >= 0.99

@@ -1,0 +1,28 @@
+"""Fig. 3 — Roofline bounds for SpGEMM (Eqs. 1-4).
+
+Regenerates the AI bounds and attainable-MFLOPS envelope the paper
+draws for ER matrices on a 50 GB/s Skylake socket.
+"""
+
+from repro.analysis import fig3_roofline, render_table
+from repro.costmodel import roofline_curve
+from repro.machine import skylake_sp
+
+from conftest import run_once
+
+
+def test_fig03_roofline(benchmark, report):
+    table = run_once(benchmark, fig3_roofline, skylake_sp())
+    report(render_table(table), "fig03_roofline")
+    # Paper anchor: cf=1 ESC bound ~625-675 MFLOPS at ~50-54 GB/s.
+    row = table.rows[0]
+    assert 500 <= row["MF_esc"] <= 800
+    assert row["AI_esc"] == 1 / 80
+
+
+def test_fig03_envelope(benchmark, report):
+    pts = run_once(
+        benchmark, roofline_curve, 54.0, 3.13e3, (1e-3, 1.0), 32
+    )
+    lines = [f"AI={p.ai:8.5f}  {p.mflops:9.1f} MFLOPS  [{p.regime}]" for p in pts[::4]]
+    report("== Fig. 3 — roofline envelope ==\n" + "\n".join(lines), "fig03_envelope")

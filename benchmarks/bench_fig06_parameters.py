@@ -1,0 +1,33 @@
+"""Fig. 6 — PB-SpGEMM parameter selection.
+
+(a) expand-phase bandwidth vs local-bin width — rises to a plateau at
+the paper's 512 B default, then decays when the per-thread local-bin
+footprint outgrows L2;
+(b) expand and sort bandwidth vs number of global bins — sorting
+reaches in-cache rates (~200 GB/s shuffle metric) once bins fit L2,
+expand degrades past ~2K bins.
+"""
+
+import numpy as np
+
+from repro.analysis import fig6_parameter_sweep, render_table
+
+from conftest import run_once
+
+
+def test_fig06_parameter_sweep(benchmark, report):
+    widths, bins = run_once(benchmark, fig6_parameter_sweep)
+    report(render_table(widths) + "\n\n" + render_table(bins), "fig06_parameters")
+
+    bw = widths.column("expand_gbs")
+    # (a): monotone rise up to the 512 B plateau.
+    assert bw[0] < bw[3] < bw[5]
+    peak = max(bw)
+    assert bw[5] > 0.8 * peak  # 512 B sits on the plateau
+
+    # (b): in-cache sort shuffle metric approaches the paper's ~200 GB/s.
+    shuffle = bins.column("sort_shuffle_gbs")
+    assert max(shuffle) > 150
+    # sort bandwidth is non-decreasing with more bins
+    sort_bw = bins.column("sort_gbs")
+    assert sort_bw[-1] >= sort_bw[0]

@@ -1,0 +1,34 @@
+"""Fig. 7 — ER matrices on a Skylake socket.
+
+(a) MFLOPS of PB/Heap/Hash/HashVec across scales and edge factors:
+PB is stable and fastest; (b) PB sustained bandwidth 40-55 GB/s.
+"""
+
+from repro.analysis import fig7_to_10_random_matrices, render_series, render_table
+from repro.machine import skylake_sp
+
+from conftest import run_once
+
+
+def test_fig07_er_skylake(benchmark, report):
+    table = run_once(benchmark, fig7_to_10_random_matrices, skylake_sp(), "er")
+    report(render_table(table), "fig07_er_skylake")
+
+    # Shape assertions (paper Fig. 7a): PB beats every column algorithm
+    # at every (scale, edge factor) point.
+    for scale in set(table.column("scale")):
+        for ef in set(table.column("edge_factor")):
+            sub = table.filtered(scale=scale, edge_factor=ef)
+            if not len(sub):
+                continue
+            pb = sub.filtered(algorithm="pb").rows[0]["mflops"]
+            for alg in ("heap", "hash", "hashvec"):
+                assert pb > sub.filtered(algorithm=alg).rows[0]["mflops"]
+
+    # (b): PB sustained bandwidth in the paper's 40-55 GB/s band.
+    for row in table.filtered(algorithm="pb"):
+        assert 38.0 <= row["pb_gbs"] <= 57.1
+
+    # Stability: PB varies < 2x across the sweep (the paper's headline).
+    pb_vals = table.filtered(algorithm="pb").column("mflops")
+    assert max(pb_vals) / min(pb_vals) < 2.0

@@ -1,0 +1,44 @@
+"""Fig. 8 — ER matrices on a POWER9 socket.
+
+Same sweep as Fig. 7 on the higher-bandwidth POWER9 model: PB stays
+fastest and its absolute MFLOPS rise with the machine's bandwidth.
+"""
+
+from repro.analysis import fig7_to_10_random_matrices, render_table
+from repro.machine import power9, skylake_sp
+
+from conftest import run_once
+
+
+def test_fig08_er_power9(benchmark, report):
+    table = run_once(benchmark, fig7_to_10_random_matrices, power9(), "er")
+    report(render_table(table), "fig08_er_power9")
+
+    for scale in set(table.column("scale")):
+        for ef in set(table.column("edge_factor")):
+            sub = table.filtered(scale=scale, edge_factor=ef)
+            if not len(sub):
+                continue
+            pb = sub.filtered(algorithm="pb").rows[0]["mflops"]
+            for alg in ("heap", "hash", "hashvec"):
+                assert pb > sub.filtered(algorithm=alg).rows[0]["mflops"]
+
+
+def test_fig08_power9_faster_than_skylake(benchmark, report):
+    sky = fig7_to_10_random_matrices(skylake_sp(), "er", scales=(12,), edge_factors=(8,))
+    p9 = run_once(
+        benchmark,
+        fig7_to_10_random_matrices,
+        power9(),
+        "er",
+        (12,),
+        (8,),
+    )
+    sky_pb = sky.filtered(algorithm="pb").rows[0]["mflops"]
+    p9_pb = p9.filtered(algorithm="pb").rows[0]["mflops"]
+    report(
+        f"== Fig. 8 cross-machine check ==\n"
+        f"PB ER scale 12 ef 8: skylake {sky_pb:.1f} MF, power9 {p9_pb:.1f} MF",
+        "fig08_cross_machine",
+    )
+    assert p9_pb > sky_pb

@@ -1,0 +1,27 @@
+"""Fig. 10 — R-MAT matrices on a POWER9 socket (Fig. 9's sweep there)."""
+
+from repro.analysis import fig7_to_10_random_matrices, render_table
+from repro.machine import power9
+
+from conftest import run_once
+
+
+def test_fig10_rmat_power9(benchmark, report):
+    table = run_once(benchmark, fig7_to_10_random_matrices, power9(), "rmat")
+    report(render_table(table), "fig10_rmat_power9")
+
+    wins, points = 0, 0
+    for scale in set(table.column("scale")):
+        for ef in set(table.column("edge_factor")):
+            sub = table.filtered(scale=scale, edge_factor=ef)
+            if not len(sub):
+                continue
+            points += 1
+            pb = sub.filtered(algorithm="pb").rows[0]["mflops"]
+            assert pb > sub.filtered(algorithm="heap").rows[0]["mflops"]
+            best = max(
+                sub.filtered(algorithm=a).rows[0]["mflops"]
+                for a in ("heap", "hash", "hashvec")
+            )
+            wins += pb >= best
+    assert wins * 2 >= points, f"PB won only {wins}/{points} R-MAT points"

@@ -1,0 +1,35 @@
+"""Fig. 11 — squaring the 12 SuiteSparse surrogates, sorted by cf.
+
+The paper's crossover claim: PB-SpGEMM is fastest below cf≈4; Hash
+takes over above (conclusions 5 and 6).
+"""
+
+from repro.analysis import fig11_real_matrices, render_table
+
+from conftest import run_once
+
+
+def test_fig11_real_matrices(benchmark, report):
+    table = run_once(benchmark, fig11_real_matrices)
+    report(render_table(table), "fig11_real_matrices")
+
+    wins_low, total_low = 0, 0
+    wins_high, total_high = 0, 0
+    for matrix in dict.fromkeys(table.column("matrix")):
+        sub = table.filtered(matrix=matrix)
+        pb = sub.filtered(algorithm="pb").rows[0]["mflops"]
+        best_col = max(
+            sub.filtered(algorithm=a).rows[0]["mflops"]
+            for a in ("heap", "hash", "hashvec")
+        )
+        cf = sub.rows[0]["cf"]
+        if cf < 4.0:
+            total_low += 1
+            wins_low += pb > best_col
+        else:
+            total_high += 1
+            wins_high += best_col > pb
+    # PB wins (almost) everywhere below cf 4; hash-family wins above.
+    assert wins_low >= total_low - 1, f"PB won only {wins_low}/{total_low} low-cf"
+    if total_high:
+        assert wins_high >= total_high - 1, f"hash won only {wins_high}/{total_high} high-cf"

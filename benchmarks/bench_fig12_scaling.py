@@ -1,0 +1,27 @@
+"""Fig. 12 — strong scaling from 1 to 24 threads (ER and R-MAT).
+
+The paper's split: PB scales ~16x on ER but ~10x on R-MAT (hub outer
+products bound the expand makespan).
+"""
+
+from repro.analysis import fig12_strong_scaling, render_series
+
+from conftest import run_once
+
+
+def test_fig12_strong_scaling(benchmark, report):
+    table = run_once(benchmark, fig12_strong_scaling)
+    out = []
+    for kind in ("er", "rmat"):
+        sub = table.filtered(kind=kind)
+        sub.title = f"Fig. 12 — strong scaling ({kind.upper()})"
+        out.append(render_series(sub, "threads", "speedup", "algorithm", width=36))
+    report("\n\n".join(out), "fig12_scaling")
+
+    er_pb = table.filtered(kind="er", algorithm="pb").column("speedup")
+    rmat_pb = table.filtered(kind="rmat", algorithm="pb").column("speedup")
+    # Monotone speedups.
+    assert er_pb == sorted(er_pb) and rmat_pb == sorted(rmat_pb)
+    # ER scales well (paper ~16x), R-MAT materially worse (paper ~10x).
+    assert er_pb[-1] > 12.0
+    assert rmat_pb[-1] < er_pb[-1] - 2.0

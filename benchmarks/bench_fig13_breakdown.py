@@ -1,0 +1,29 @@
+"""Fig. 13 — PB-SpGEMM per-phase scaling breakdown.
+
+On R-MAT the expand phase carries a load-imbalance factor (hub outer
+products); on ER every phase scales with bandwidth.
+"""
+
+from repro.analysis import fig13_phase_breakdown, render_table
+
+from conftest import run_once
+
+
+def test_fig13_phase_breakdown(benchmark, report):
+    table = run_once(benchmark, fig13_phase_breakdown)
+    report(render_table(table), "fig13_breakdown")
+
+    full = max(table.column("threads"))
+    er = table.filtered(kind="er", threads=full)
+    rmat = table.filtered(kind="rmat", threads=full)
+    er_exp = er.filtered(phase="expand").rows[0]
+    rmat_exp = rmat.filtered(phase="expand").rows[0]
+    # The R-MAT expand phase is the imbalance victim (paper Sec. V-C).
+    assert rmat_exp["imbalance"] > 1.5
+    assert er_exp["imbalance"] < 1.2
+
+    # Each kind's phases sum to the simulated total (consistency).
+    for kind in ("er", "rmat"):
+        for th in set(table.column("threads")):
+            sub = table.filtered(kind=kind, threads=th)
+            assert len(sub) == 4  # symbolic/expand/sort/compress

@@ -1,0 +1,44 @@
+"""Table I — classification of SpGEMM algorithms by access pattern.
+
+The registry's metadata reproduces the two axes (input access × output
+formation); this bench renders the populated cells and asserts the
+paper's placement of every implemented algorithm.
+"""
+
+from repro.analysis.records import ResultTable
+from repro.analysis.tables import render_table
+from repro.kernels.dispatch import ALGORITHMS
+
+from conftest import run_once
+
+
+def _build():
+    t = ResultTable(
+        "Table I — SpGEMM classification (implemented algorithms)",
+        ["output_formation", "column_wise", "outer_product"],
+    )
+    cells = {("column", "accumulator"): [], ("column", "esc"): [],
+             ("outer", "accumulator"): [], ("outer", "esc"): []}
+    for info in ALGORITHMS.values():
+        cells[(info.input_access, info.output_formation)].append(info.name)
+    t.add(
+        output_formation="Heap/Hash/SPA",
+        column_wise=", ".join(sorted(cells[("column", "accumulator")])),
+        outer_product=", ".join(sorted(cells[("outer", "accumulator")])) or "(none; too costly, Sec. II-B)",
+    )
+    t.add(
+        output_formation="ESC",
+        column_wise=", ".join(sorted(cells[("column", "esc")])),
+        outer_product=", ".join(sorted(cells[("outer", "esc")])),
+    )
+    t.note("paper Table I: this work sits in the outer-product / ESC cell")
+    return t
+
+
+def test_table01_classification(benchmark, report):
+    table = run_once(benchmark, _build)
+    report(render_table(table), "table01_classification")
+    rows = {r["output_formation"]: r for r in table}
+    assert "pb" in rows["ESC"]["outer_product"]
+    assert "heap" in rows["Heap/Hash/SPA"]["column_wise"]
+    assert "esc_column" in rows["ESC"]["column_wise"]

@@ -1,0 +1,30 @@
+"""Table II — data access patterns per algorithm class.
+
+Measured on a concrete ER multiplication: column algorithms read A
+d times without streaming (partial cache lines when d < 8); the outer
+product streams every operand once and pays the 2x Ĉ round trip.
+"""
+
+from repro.analysis import table2_access_patterns, render_table
+
+from conftest import run_once
+
+
+def test_table02_access_patterns(benchmark, report):
+    table = run_once(benchmark, table2_access_patterns)
+    report(render_table(table), "table02_access_patterns")
+
+    rows = {r["algorithm"]: r for r in table}
+    # Outer product: single streamed read of A, full line utilization.
+    assert rows["pb"]["reads_A"] == 1.0
+    assert rows["pb"]["A_streamed"] == "yes"
+    assert rows["pb"]["line_util_A"] == 1.0
+    # Column algorithms: ~d reads of A, wasted lines at d=4 (< 8).
+    for alg in ("heap", "hash", "spa", "esc_column"):
+        assert rows[alg]["reads_A"] > 2.0
+        assert rows[alg]["A_streamed"] == "no"
+        assert rows[alg]["line_util_A"] < 1.0
+    # Ĉ accesses: 2 for ESC algorithms, 0 for accumulator ones.
+    assert rows["pb"]["chat_accesses"] == 2
+    assert rows["esc_column"]["chat_accesses"] == 2
+    assert rows["hash"]["chat_accesses"] == 0

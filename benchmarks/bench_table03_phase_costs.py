@@ -1,0 +1,18 @@
+"""Table III — PB per-phase complexity and byte accounting.
+
+Checks the modelled DRAM traffic of each phase against the closed-form
+entries of the paper's Table III.
+"""
+
+from repro.analysis import table3_phase_costs, render_table
+
+from conftest import run_once
+
+
+def test_table03_phase_costs(benchmark, report):
+    table = run_once(benchmark, table3_phase_costs)
+    report(render_table(table), "table03_phase_costs")
+    for row in table:
+        if row["ratio"] is not None:
+            # within the modelled inefficiency envelope (flush overhead)
+            assert 0.9 <= row["ratio"] <= 1.6, row["phase"]

@@ -1,0 +1,50 @@
+"""Tables IV & V — machine configurations and STREAM bandwidth.
+
+Renders both evaluation platforms and reproduces the Skylake STREAM
+table verbatim from the model.
+"""
+
+from repro.analysis import table5_stream, render_table
+from repro.analysis.records import ResultTable
+from repro.machine import power9, skylake_sp
+
+from conftest import run_once
+
+
+def test_table04_machines(benchmark, report):
+    def build():
+        t = ResultTable(
+            "Table IV — evaluation platforms",
+            ["field", "skylake", "power9"],
+        )
+        sky, p9 = skylake_sp(), power9()
+        for field, f in (
+            ("sockets", lambda m: m.sockets),
+            ("cores/socket", lambda m: m.cores_per_socket),
+            ("clock GHz", lambda m: m.clock_ghz),
+            ("L2 KiB/core", lambda m: m.l2_per_core_bytes() // 1024),
+            ("LLC MiB/socket", lambda m: round(m.llc_bytes(1) / 2**20, 1)),
+            ("memory GiB", lambda m: m.memory_gib),
+        ):
+            t.add(field=field, skylake=f(sky), power9=f(p9))
+        return t
+
+    table = run_once(benchmark, build)
+    report(render_table(table), "table04_machines")
+    rows = {r["field"]: r for r in table}
+    assert rows["cores/socket"]["skylake"] == 24
+    assert rows["cores/socket"]["power9"] == 20
+
+
+def test_table05_stream(benchmark, report):
+    table = run_once(benchmark, table5_stream)
+    report(render_table(table), "table05_stream")
+    single = table.filtered(sockets=1).rows[0]
+    dual = table.filtered(sockets=2).rows[0]
+    # Paper Table V, verbatim.
+    assert (single["copy"], single["scale"], single["add"], single["triad"]) == (
+        47.40, 46.85, 54.00, 57.04,
+    )
+    assert (dual["copy"], dual["scale"], dual["add"], dual["triad"]) == (
+        97.73, 87.43, 107.00, 108.42,
+    )

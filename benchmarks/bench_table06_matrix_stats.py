@@ -1,0 +1,27 @@
+"""Table VI — the 12 evaluation matrices (surrogate statistics).
+
+Regenerates every surrogate and prints achieved n/nnz/d/flops/nnz(C)/cf
+next to the paper's numbers; d and cf must be preserved under scaling.
+"""
+
+from repro.analysis import table6_matrix_stats, render_table
+from repro.generators import SURROGATE_SPECS
+
+from conftest import run_once
+
+
+def test_table06_matrix_stats(benchmark, report):
+    table = run_once(benchmark, table6_matrix_stats)
+    report(render_table(table), "table06_matrix_stats")
+
+    close_d = 0
+    cf_side_ok = 0
+    for row in table:
+        spec = SURROGATE_SPECS[row["matrix"]]
+        if abs(row["d"] - spec.d) / spec.d < 0.25:
+            close_d += 1
+        # What the crossover figure needs: the right side of cf = 4.
+        if (row["cf"] < 4.0) == (spec.cf < 4.0):
+            cf_side_ok += 1
+    assert close_d >= 10, f"only {close_d}/12 surrogates match d"
+    assert cf_side_ok >= 11, f"only {cf_side_ok}/12 surrogates on the right cf side"

@@ -1,0 +1,18 @@
+"""Table VII — NUMA local/remote bandwidth and latency (Skylake)."""
+
+from repro.analysis import table7_numa, render_table
+from repro.machine import numa_mix_bandwidth, skylake_sp
+
+from conftest import run_once
+
+
+def test_table07_numa(benchmark, report):
+    table = run_once(benchmark, table7_numa)
+    report(render_table(table), "table07_numa")
+    local = table.filtered(from_socket=0, to_socket=0).rows[0]
+    remote = table.filtered(from_socket=0, to_socket=1).rows[0]
+    assert (local["gbs"], local["latency_ns"]) == (50.26, 88.1)
+    assert (remote["gbs"], remote["latency_ns"]) == (33.36, 147.4)
+    # The 50/50 mix the dual-socket model uses sits strictly between.
+    mix = numa_mix_bandwidth(skylake_sp(), 0.5)
+    assert remote["gbs"] < mix < local["gbs"]

@@ -1,0 +1,53 @@
+"""Tall-and-skinny multiplication — the scenario the paper names but
+leaves unexplored (Sec. IV-C: betweenness-centrality-style products).
+
+A square sparse matrix times an n × s one-hot-ish frontier matrix, the
+multi-source-BFS kernel.  The simulated comparison shows the regime
+shift: with tiny compression factors and outputs, the column
+algorithms' per-column costs amortize differently than on squarings.
+"""
+
+import numpy as np
+
+from repro.analysis.records import ResultTable
+from repro.analysis.tables import render_table
+from repro.costmodel import workload_stats
+from repro.generators import erdos_renyi, tall_skinny
+from repro.machine import skylake_sp
+from repro.simulate import simulate_spgemm
+
+from conftest import run_once
+
+
+def _build():
+    machine = skylake_sp()
+    a = erdos_renyi(1 << 13, 8, seed=11)
+    t = ResultTable(
+        "Tall-and-skinny products (ER scale 13 ef 8 × n×s frontier)",
+        ["s", "flop", "cf", "algorithm", "mflops"],
+    )
+    for s in (4, 64, 1024):
+        b = tall_skinny(1 << 13, s, 16, seed=s)
+        # A · B needs B's rows to match A's cols: frontier is k × s.
+        stats = workload_stats(a.to_csc(), b)
+        for alg in ("pb", "heap", "hash", "hashvec"):
+            rep = simulate_spgemm(stats=stats, algorithm=alg, machine=machine)
+            t.add(s=s, flop=stats.flop, cf=round(stats.cf, 2),
+                  algorithm=alg, mflops=round(rep.mflops, 1))
+    return t
+
+
+def test_tall_skinny(benchmark, report):
+    table = run_once(benchmark, _build)
+    report(render_table(table), "tall_skinny")
+    # Functional check too: PB handles rectangular outputs correctly.
+    from repro.core import pb_spgemm
+    from repro.kernels import scipy_spgemm_oracle
+    from repro.matrix.ops import allclose
+
+    a = erdos_renyi(512, 6, seed=1)
+    b = tall_skinny(512, 16, 8, seed=2)
+    assert allclose(
+        pb_spgemm(a.to_csc(), b.to_csr()), scipy_spgemm_oracle(a.to_csc(), b.to_csr())
+    )
+    assert len(table) == 12

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Algebraic multigrid setup powered by PB-SpGEMM (paper Sec. I, ref. [6]).
+
+AMG's setup cost is the Galerkin triple product ``A_c = Pᵀ A P`` — two
+SpGEMMs.  This example:
+
+1. builds 5-point Poisson matrices of growing size,
+2. forms the Galerkin product with PB-SpGEMM, reporting its
+   compression factor (squarely in the cf < 4 regime where the paper's
+   algorithm wins),
+3. solves A x = b with the two-grid cycle and shows mesh-independent
+   convergence,
+4. asks the machine simulator which SpGEMM algorithm should run the
+   setup on the paper's Skylake.
+
+Run:  python examples/algebraic_multigrid.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps import galerkin_product, greedy_aggregation, prolongator, two_grid_solve
+from repro.costmodel import workload_stats
+from repro.machine import skylake_sp
+from repro.simulate import simulate_spgemm
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    machine = skylake_sp()
+
+    print("mesh      unknowns  coarse  galerkin-cf  two-grid iters")
+    for nx in (12, 24, 48):
+        a = repro.generators.poisson2d(nx, nx)
+        agg = greedy_aggregation(a)
+        p = prolongator(agg)
+        a_c = galerkin_product(a, p)
+
+        # cf of the expensive half (A · P)
+        stats = workload_stats(a.to_csc(), p.to_csr())
+        b = rng.normal(size=a.shape[0])
+        res = two_grid_solve(a, b, tol=1e-9)
+        assert res.converged
+        print(
+            f"{nx:3d}x{nx:<3d}   {a.shape[0]:6d}   {a_c.shape[0]:5d}   "
+            f"{stats.cf:8.2f}     {res.iterations:4d}"
+        )
+
+    # Which kernel should run the setup SpGEMM on real hardware?
+    a = repro.generators.poisson2d(64, 64)
+    p = prolongator(greedy_aggregation(a))
+    stats = workload_stats(a.to_csc(), p.to_csr())
+    print(f"\nGalerkin A·P on 64x64 Poisson: flop={stats.flop:,}, cf={stats.cf:.2f}")
+    print("simulated on a Skylake socket:")
+    for alg in ("pb", "heap", "hash", "hashvec"):
+        rep = simulate_spgemm(stats=stats, algorithm=alg, machine=machine)
+        print(f"  {alg:8s} {rep.mflops:7.1f} MFLOPS")
+
+
+if __name__ == "__main__":
+    main()

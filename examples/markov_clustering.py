@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Markov clustering (MCL) driven by PB-SpGEMM.
+
+HipMCL (paper ref. [9]) is the flagship SpGEMM consumer: the MCL loop
+alternates *expansion* (squaring the stochastic matrix — an SpGEMM with
+small compression factor, exactly PB-SpGEMM's sweet spot), *inflation*
+(elementwise powering) and *pruning* (dropping small entries).
+Converged columns become cluster indicators.
+
+This example clusters a planted-partition graph and checks that MCL
+recovers the planted blocks.
+
+Run:  python examples/markov_clustering.py
+"""
+
+import numpy as np
+
+import repro
+from repro.matrix import COOMatrix, CSRMatrix
+from repro.matrix.ops import prune
+
+
+def planted_partition(nblocks: int, size: int, p_in: float, p_out: float, seed: int) -> CSRMatrix:
+    """Random graph with dense diagonal blocks and sparse off-blocks."""
+    rng = np.random.default_rng(seed)
+    n = nblocks * size
+    dense = rng.random((n, n))
+    adj = np.zeros((n, n))
+    for b in range(nblocks):
+        lo, hi = b * size, (b + 1) * size
+        adj[lo:hi, lo:hi] = dense[lo:hi, lo:hi] < p_in
+    adj[dense < p_out] = 1.0
+    adj = np.maximum(adj, adj.T)
+    np.fill_diagonal(adj, 1.0)  # MCL uses self loops
+    return CSRMatrix.from_dense(adj)
+
+
+def column_normalize(m: CSRMatrix) -> CSRMatrix:
+    """Make every column sum to 1 (column-stochastic)."""
+    coo = m.to_coo()
+    col_sums = np.zeros(m.shape[1])
+    np.add.at(col_sums, coo.cols, coo.vals)
+    vals = coo.vals / col_sums[coo.cols]
+    return COOMatrix(m.shape, coo.rows, coo.cols, vals, validate=False).to_csr()
+
+
+def inflate(m: CSRMatrix, r: float) -> CSRMatrix:
+    """Elementwise power followed by column normalization."""
+    out = m.copy()
+    out.data = out.data**r
+    return column_normalize(out)
+
+
+def mcl(
+    adj: CSRMatrix,
+    inflation: float = 2.0,
+    prune_threshold: float = 1e-4,
+    max_iter: int = 30,
+    algorithm: str = "pb",
+) -> np.ndarray:
+    """Run MCL; returns a cluster id per node."""
+    m = column_normalize(adj)
+    for it in range(max_iter):
+        expanded = repro.spgemm(m.to_csc(), m.to_csr(), algorithm=algorithm)
+        nxt = inflate(prune(expanded, prune_threshold), inflation)
+        delta = _matrix_delta(m, nxt)
+        m = nxt
+        if delta < 1e-8:
+            print(f"  converged after {it + 1} iterations")
+            break
+    # Cluster assignment: attractor (max entry) of each column.
+    dense = m.to_dense()
+    attractors = dense.argmax(axis=0)
+    # Relabel to consecutive ids.
+    _, labels = np.unique(attractors, return_inverse=True)
+    return labels
+
+
+def _matrix_delta(a: CSRMatrix, b: CSRMatrix) -> float:
+    da, db = a.to_dense(), b.to_dense()
+    return float(np.abs(da - db).max())
+
+
+def main() -> None:
+    nblocks, size = 4, 30
+    adj = planted_partition(nblocks, size, p_in=0.35, p_out=0.004, seed=11)
+    print(f"planted-partition graph: {nblocks} blocks × {size} nodes, nnz={adj.nnz}")
+
+    labels = mcl(adj, inflation=2.0)
+    print(f"MCL found {labels.max() + 1} clusters")
+
+    # Score recovery: every planted block should map to one dominant label.
+    truth = np.repeat(np.arange(nblocks), size)
+    agreements = 0
+    for b in range(nblocks):
+        block_labels = labels[truth == b]
+        dominant = np.bincount(block_labels).argmax()
+        agreements += int((block_labels == dominant).sum())
+    purity = agreements / len(labels)
+    print(f"cluster purity vs planted blocks: {purity:.3f}")
+    assert purity > 0.9, "MCL failed to recover the planted structure"
+    print("planted structure recovered ✓")
+
+
+if __name__ == "__main__":
+    main()

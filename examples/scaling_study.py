@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Strong-scaling study on the simulated machines (paper Figs. 12-13).
+
+Sweeps thread counts for every algorithm on ER and R-MAT inputs and
+prints speedup curves plus PB's per-phase breakdown, reproducing the
+shape of the paper's scalability section: near-linear ER scaling that
+saturates at the socket's bandwidth (~16×) vs. R-MAT capped by hub
+outer products (~10×).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis import fig12_strong_scaling, fig13_phase_breakdown, render_series, render_table
+from repro.machine import skylake_sp
+
+
+def main() -> None:
+    machine = skylake_sp()
+    scaling = fig12_strong_scaling(machine, scale=13, edge_factor=16)
+    for kind in ("er", "rmat"):
+        sub = scaling.filtered(kind=kind)
+        sub.title = f"strong scaling — {kind.upper()} (scale 13, ef 16)"
+        print(render_series(sub, "threads", "speedup", "algorithm", width=40))
+        print()
+        pb = sub.filtered(algorithm="pb")
+        final = pb.rows[-1]
+        print(
+            f"PB on {kind.upper()}: {final['speedup']:.1f}x speedup on "
+            f"{final['threads']} threads ({final['mflops']:.0f} MFLOPS)\n"
+        )
+
+    breakdown = fig13_phase_breakdown(machine, scale=13, edge_factor=16)
+    for kind in ("er", "rmat"):
+        sub = breakdown.filtered(kind=kind, threads=machine.cores_per_socket)
+        sub.title = f"PB phase breakdown at {machine.cores_per_socket} threads — {kind.upper()}"
+        print(render_table(sub))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Propagation blocking for SpMV — where the paper's idea came from.
+
+Beamer et al. (paper ref. [16]) introduced propagation blocking to fix
+PageRank's scattered writes; PB-SpGEMM lifts the same trick to matrix-
+matrix products.  This example runs a power-iteration PageRank where the
+SpMV uses explicit binning, verifies it against the plain kernel, and
+uses the cache simulator to show *why* blocking helps: scattered writes
+touch far more DRAM lines than bin-then-accumulate.
+
+Run:  python examples/spmv_blocking.py
+"""
+
+import numpy as np
+
+import repro
+from repro.kernels import pb_spmv, spmv_reference
+from repro.machine import MemoryHierarchy, laptop_generic
+
+
+def pagerank(adj: "repro.CSRMatrix", damping=0.85, iters=30, nbins=16) -> np.ndarray:
+    """Power iteration with the propagation-blocked SpMV."""
+    n = adj.shape[0]
+    # Column-normalize: P(i, j) = A(i, j) / outdeg(j); dangling -> uniform.
+    coo = adj.to_coo()
+    out_deg = np.zeros(n)
+    np.add.at(out_deg, coo.cols, coo.vals)  # weighted out-degree
+    vals = coo.vals / np.where(out_deg[coo.cols] > 0, out_deg[coo.cols], 1.0)
+    p_csc = repro.COOMatrix(adj.shape, coo.rows, coo.cols, vals).to_csc()
+
+    rank = np.full(n, 1.0 / n)
+    for _ in range(iters):
+        spread = pb_spmv(p_csc, rank, nbins=nbins)
+        dangling = rank[out_deg == 0].sum() / n
+        rank = (1 - damping) / n + damping * (spread + dangling)
+    return rank
+
+
+def main() -> None:
+    g = repro.rmat(11, edge_factor=8, seed=2, values="ones")
+    print(f"graph: {g!r}")
+
+    pr = pagerank(g)
+    print(f"pagerank: sum={pr.sum():.6f} (should be ~1), max={pr.max():.5f}")
+
+    # Blocked and plain SpMV agree.
+    x = np.random.default_rng(0).random(g.shape[1])
+    np.testing.assert_allclose(
+        pb_spmv(g.to_csc(), x, nbins=32), spmv_reference(g, x), atol=1e-9
+    )
+    print("blocked SpMV matches the reference kernel ✓")
+
+    # Why blocking helps — count DRAM lines for the scatter phase.
+    from repro.core.binning import plan_bins
+    from repro.simulate import trace_bin_writes, trace_bin_writes_local
+
+    n = g.shape[0]
+    rows = g.to_csc().indices  # scatter destinations in CSC stream order
+    machine = laptop_generic()
+    # More bins than the L1 has lines, so un-blocked appends thrash.
+    nbins = 1024
+    layout = plan_bins(n, n, nbins, -(-n // nbins))
+
+    h_scatter = MemoryHierarchy(machine, levels=("L1",))
+    h_scatter.access(trace_bin_writes(layout, rows), size_bytes=16)
+    h_blocked = MemoryHierarchy(machine, levels=("L1",))
+    h_blocked.access(trace_bin_writes_local(layout, rows, 32), size_bytes=16)
+    print(
+        f"cache simulator: scattered writes touch {h_scatter.stats.dram_lines:,} "
+        f"DRAM lines; blocked writes {h_blocked.stats.dram_lines:,} "
+        f"({h_scatter.stats.dram_lines / h_blocked.stats.dram_lines:.1f}x reduction)"
+    )
+
+
+if __name__ == "__main__":
+    main()

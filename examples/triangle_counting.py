@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Triangle counting with SpGEMM over the plus-pair semiring.
+
+One of the paper's motivating applications (Sec. I, ref. [2]): the
+number of triangles in an undirected graph is ``trace(A³)/6``, computed
+sparsely as the masked product L·U where L/U are the lower/upper
+triangular parts of the adjacency matrix — every L·U product that lands
+on a nonzero of L closes a wedge into a triangle.
+
+The SpGEMM runs over the ``plus_pair`` semiring (each structural match
+contributes exactly 1), so edge weights never matter.  Verified against
+networkx on a small graph.
+
+Run:  python examples/triangle_counting.py
+"""
+
+import numpy as np
+
+import repro
+from repro.matrix.ops import tril, triu
+
+
+def count_triangles(adj: "repro.CSRMatrix", algorithm: str = "pb") -> int:
+    """Triangles in an undirected graph given a symmetric adjacency CSR."""
+    lower = tril(adj, k=-1)
+    upper = triu(adj, k=1)
+    # B(i,j) = |{k : L(i,k) ∧ U(k,j)}| counts wedges i-k-j with k<i, k<j.
+    wedges = repro.spgemm(
+        lower.to_csc(), upper.to_csr(), algorithm=algorithm, semiring="plus_pair"
+    )
+    # A wedge closes into a triangle iff (i, j) is itself an edge of L.
+    mask = tril(adj, k=-1)
+    wd, md = wedges.to_dense(), mask.to_dense()
+    return int(wd[md != 0].sum())
+
+
+def random_graph(n: int, p: float, seed: int) -> "repro.CSRMatrix":
+    """Symmetric random adjacency matrix (no self loops)."""
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    sym = (upper | upper.T).astype(float)
+    return repro.CSRMatrix.from_dense(sym)
+
+
+def main() -> None:
+    n, p = 300, 0.05
+    adj = random_graph(n, p, seed=4)
+    print(f"graph: {n} nodes, {adj.nnz // 2} edges")
+
+    counts = {}
+    for alg in ("pb", "hash", "heap"):
+        counts[alg] = count_triangles(adj, algorithm=alg)
+        print(f"  triangles via {alg:5s}: {counts[alg]}")
+    assert len(set(counts.values())) == 1, "algorithms disagree!"
+
+    try:
+        import networkx as nx
+
+        g = nx.from_numpy_array(adj.to_dense())
+        expected = sum(nx.triangles(g).values()) // 3
+        print(f"  networkx reference : {expected}")
+        assert counts["pb"] == expected
+        print("verified against networkx ✓")
+    except ImportError:  # pragma: no cover
+        print("(networkx not installed; skipping external check)")
+
+    # Scale up a bit on an R-MAT graph — skewed graphs are where
+    # triangle counting gets interesting.
+    rm = repro.rmat(10, edge_factor=8, seed=7, values="ones")
+    sym = repro.matrix.ops.add(rm, repro.matrix.ops.transpose(rm))
+    sym = repro.matrix.ops.prune(sym)  # drop numerically cancelled entries
+    # remove the diagonal
+    no_diag = repro.matrix.ops.add(
+        sym, repro.generators.diagonal(-repro.matrix.ops.extract_diagonal(sym))
+    )
+    no_diag = repro.matrix.ops.prune(no_diag)
+    tri = count_triangles(no_diag)
+    print(f"\nR-MAT scale 10: {tri} triangles in {no_diag.nnz // 2} edges")
+
+
+if __name__ == "__main__":
+    main()

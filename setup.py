@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works on offline hosts without the
+`wheel` package (legacy setup.py-develop editable path).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

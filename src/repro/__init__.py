@@ -1,0 +1,111 @@
+"""repro — reproduction of PB-SpGEMM (SPAA 2020).
+
+Bandwidth-optimized parallel sparse matrix-matrix multiplication using
+propagation blocking, plus every baseline, generator, machine model and
+experiment harness the paper's evaluation needs.
+
+Quickstart::
+
+    import repro
+    a = repro.erdos_renyi(2**12, edge_factor=4, seed=1)
+    c = repro.spgemm(a.to_csc(), a.to_csr(), algorithm="pb")
+    print(c.nnz)
+"""
+
+from .errors import (
+    ConfigError,
+    FormatError,
+    MachineError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+)
+from .semiring import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    Semiring,
+    available_semirings,
+    get_semiring,
+)
+from .matrix import (
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    matrix_stats,
+    multiply_stats,
+    read_matrix_market,
+    write_matrix_market,
+)
+from .generators import erdos_renyi, rmat, surrogate, SURROGATE_SPECS
+from .kernels import (
+    available_algorithms,
+    masked_spgemm,
+    esc_column_spgemm,
+    hash_spgemm,
+    hashvec_spgemm,
+    heap_spgemm,
+    pb_spmv,
+    spa_spgemm,
+    spgemm,
+)
+from .core import PBConfig, pb_spgemm, pb_spgemm_detailed, partitioned_pb_spgemm
+from . import apps
+from .machine import MachineSpec, skylake_sp, power9, stream_bandwidth
+from .costmodel import roofline_mflops, spgemm_arithmetic_intensity
+from .simulate import simulate_spgemm, SimReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "ConfigError",
+    "MachineError",
+    "SimulationError",
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "OR_AND",
+    "PLUS_PAIR",
+    "get_semiring",
+    "available_semirings",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "matrix_stats",
+    "multiply_stats",
+    "read_matrix_market",
+    "write_matrix_market",
+    "erdos_renyi",
+    "rmat",
+    "surrogate",
+    "SURROGATE_SPECS",
+    "spgemm",
+    "available_algorithms",
+    "masked_spgemm",
+    "apps",
+    "heap_spgemm",
+    "hash_spgemm",
+    "hashvec_spgemm",
+    "spa_spgemm",
+    "esc_column_spgemm",
+    "pb_spmv",
+    "PBConfig",
+    "pb_spgemm",
+    "pb_spgemm_detailed",
+    "partitioned_pb_spgemm",
+    "MachineSpec",
+    "skylake_sp",
+    "power9",
+    "stream_bandwidth",
+    "roofline_mflops",
+    "spgemm_arithmetic_intensity",
+    "simulate_spgemm",
+    "SimReport",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Small internal utilities shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sorted_unique(arr: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of ``arr``.
+
+    Equivalent to ``np.unique`` but always via sort+mask: numpy 2.4's
+    hash-based unique path is an order of magnitude slower than its own
+    sort on large mostly-distinct integer arrays, and SpGEMM symbolic
+    analysis hits exactly that case.
+    """
+    arr = np.asarray(arr)
+    if arr.size <= 1:
+        return arr.copy().reshape(-1)
+    s = np.sort(arr, kind="stable")
+    keep = np.empty(len(s), dtype=bool)
+    keep[0] = True
+    np.not_equal(s[1:], s[:-1], out=keep[1:])
+    return s[keep]
+
+
+def distinct_count(arr: np.ndarray) -> int:
+    """Number of distinct values in ``arr`` (sort-based, see above)."""
+    arr = np.asarray(arr)
+    if arr.size == 0:
+        return 0
+    s = np.sort(arr, kind="stable")
+    return 1 + int(np.count_nonzero(s[1:] != s[:-1]))

@@ -1,0 +1,48 @@
+"""Experiment drivers and result rendering for the paper's evaluation.
+
+* :mod:`records` — result rows and CSV/dict export.
+* :mod:`tables` — fixed-width ASCII table rendering (the "figures" of a
+  terminal reproduction).
+* :mod:`experiments` — one driver per paper figure/table; each returns
+  structured rows and is wrapped by a benchmark under ``benchmarks/``.
+"""
+
+from .records import ResultRow, ResultTable
+from .tables import render_table, render_series
+from .experiments import (
+    BENCH_SCALE_ENV,
+    bench_scale,
+    fig3_roofline,
+    fig6_parameter_sweep,
+    fig7_to_10_random_matrices,
+    fig11_real_matrices,
+    fig12_strong_scaling,
+    fig13_phase_breakdown,
+    fig14_dual_socket,
+    table2_access_patterns,
+    table3_phase_costs,
+    table5_stream,
+    table6_matrix_stats,
+    table7_numa,
+)
+
+__all__ = [
+    "ResultRow",
+    "ResultTable",
+    "render_table",
+    "render_series",
+    "BENCH_SCALE_ENV",
+    "bench_scale",
+    "fig3_roofline",
+    "fig6_parameter_sweep",
+    "fig7_to_10_random_matrices",
+    "fig11_real_matrices",
+    "fig12_strong_scaling",
+    "fig13_phase_breakdown",
+    "fig14_dual_socket",
+    "table2_access_patterns",
+    "table3_phase_costs",
+    "table5_stream",
+    "table6_matrix_stats",
+    "table7_numa",
+]

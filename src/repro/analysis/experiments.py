@@ -1,0 +1,527 @@
+"""One driver per paper figure/table (the per-experiment index of DESIGN.md §5).
+
+Every driver returns a :class:`~repro.analysis.records.ResultTable`
+whose rows correspond to the points of the paper's figure (or the cells
+of its table).  Benchmarks under ``benchmarks/`` call these drivers,
+print the rendered table, and time representative kernels.
+
+Workload sizing: pure-Python kernels cannot run the paper's scale-18-21
+matrices in reasonable wall time, so drivers default to reduced scales
+and read two environment variables:
+
+* ``REPRO_BENCH_SCALE`` — log2 matrix dimension for the random-matrix
+  sweeps (default 13; the paper uses 18-21).
+* ``REPRO_SURROGATE_SCALE`` — linear scale factor for the Table VI
+  surrogates (default 1/16; 1.0 is full size).
+
+The *simulated machine* results (which is what the paper's figures
+show) are scale-stable by design — the paper's own selling point — so
+the reduced-scale shapes transfer; EXPERIMENTS.md quantifies this.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+from ..core.config import PBConfig, TUPLE_BYTES
+from ..costmodel.bytes_model import pb_phase_costs
+from ..costmodel.phases import WorkloadStats, workload_stats
+from ..costmodel.roofline import (
+    ai_column_lower_bound,
+    ai_esc_lower_bound,
+    ai_upper_bound,
+    attainable_mflops,
+)
+from ..generators import erdos_renyi, rmat, surrogate, SURROGATE_SPECS
+from ..kernels.dispatch import ALGORITHMS, EVALUATED
+from ..machine.presets import skylake_sp
+from ..machine.spec import MachineSpec
+from ..machine.stream import simulate_stream, stream_bandwidth
+from ..matrix.stats import multiply_stats
+from ..simulate.engine import simulate_phases, simulate_spgemm
+from .records import ResultTable
+
+BENCH_SCALE_ENV = "REPRO_BENCH_SCALE"
+SURROGATE_SCALE_ENV = "REPRO_SURROGATE_SCALE"
+
+
+def bench_scale(default: int = 13) -> int:
+    """log2 dimension for random-matrix experiments (env-overridable)."""
+    return int(os.environ.get(BENCH_SCALE_ENV, default))
+
+
+def surrogate_scale(default: float = 1.0 / 16.0) -> float:
+    """Linear scale factor for Table VI surrogates (env-overridable)."""
+    return float(os.environ.get(SURROGATE_SCALE_ENV, default))
+
+
+def _random_matrix(kind: str, scale: int, edge_factor: int, seed: int):
+    if kind == "er":
+        return erdos_renyi(1 << scale, edge_factor=edge_factor, seed=seed)
+    if kind == "rmat":
+        return rmat(scale, edge_factor=edge_factor, seed=seed)
+    raise ValueError(f"kind must be 'er' or 'rmat', got {kind!r}")
+
+
+def _squaring_stats(mat) -> WorkloadStats:
+    return workload_stats(mat.to_csc(), mat)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — Roofline bounds
+# ---------------------------------------------------------------------------
+
+def fig3_roofline(
+    machine: MachineSpec | None = None,
+    cfs: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+) -> ResultTable:
+    """AI bounds (Eqs. 1, 3, 4) and attainable MFLOPS at STREAM bandwidth."""
+    m = machine or skylake_sp()
+    beta = stream_bandwidth(m, "add", sockets=1)  # the paper's 50 GB/s ballpark
+    t = ResultTable(
+        "Fig. 3 — Roofline bounds (single socket %s, β=%.1f GB/s)" % (m.name, beta),
+        ["cf", "AI_upper", "AI_column", "AI_esc", "MF_upper", "MF_column", "MF_esc"],
+    )
+    for cf in cfs:
+        up, col, esc = (
+            ai_upper_bound(cf),
+            ai_column_lower_bound(cf),
+            ai_esc_lower_bound(cf),
+        )
+        t.add(
+            cf=cf,
+            AI_upper=up,
+            AI_column=col,
+            AI_esc=esc,
+            MF_upper=attainable_mflops(up, beta),
+            MF_column=attainable_mflops(col, beta),
+            MF_esc=attainable_mflops(esc, beta),
+        )
+    t.note("paper: ER cf=1 → AI upper 1/16, ESC lower 1/80 → 3.13 GF / 625 MF at 50 GB/s")
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — PB parameter sweeps
+# ---------------------------------------------------------------------------
+
+def fig6_parameter_sweep(
+    machine: MachineSpec | None = None,
+    scale: int | None = None,
+    edge_factor: int = 4,
+    seed: int = 20,
+) -> tuple[ResultTable, ResultTable]:
+    """(a) expand bandwidth vs local-bin width; (b) expand/sort vs nbins."""
+    m = machine or skylake_sp()
+    s = scale if scale is not None else bench_scale()
+    a = _random_matrix("er", s, edge_factor, seed)
+    stats = _squaring_stats(a)
+    nthreads = m.cores_per_socket
+
+    widths = ResultTable(
+        f"Fig. 6a — expand bandwidth vs local bin width (ER scale {s}, ef {edge_factor})",
+        ["lbin_bytes", "expand_gbs"],
+    )
+    for w in (16, 32, 64, 128, 256, 512, 1024, 2048, 4096):
+        cfg = PBConfig(local_bin_bytes=w)
+        phases = pb_phase_costs(stats, m, cfg)
+        reps = simulate_phases(phases, m, nthreads)
+        expand = next(r for r in reps if r.name == "expand")
+        # Report *useful-byte* bandwidth, as the paper measures it.
+        useful = TUPLE_BYTES * stats.flop + 12 * (stats.nnz_a + stats.nnz_b)
+        widths.add(lbin_bytes=w, expand_gbs=useful / expand.seconds / 1e9)
+    widths.note("paper plateaus at 512 B — the default")
+
+    bins = ResultTable(
+        f"Fig. 6b — phase bandwidth vs number of bins (ER scale {s}, ef {edge_factor})",
+        ["nbins", "expand_gbs", "sort_gbs", "sort_shuffle_gbs"],
+    )
+    for nb in (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384):
+        if nb > stats.n_rows:
+            continue
+        cfg = PBConfig(nbins=nb)
+        phases = pb_phase_costs(stats, m, cfg, nbins=nb)
+        reps = simulate_phases(phases, m, nthreads)
+        expand = next(r for r in reps if r.name == "expand")
+        sort = next(r for r in reps if r.name == "sort")
+        useful = TUPLE_BYTES * stats.flop + 12 * (stats.nnz_a + stats.nnz_b)
+        shuffle_bytes = 4 * TUPLE_BYTES * stats.flop  # the paper's in-cache metric
+        bins.add(
+            nbins=nb,
+            expand_gbs=useful / expand.seconds / 1e9,
+            sort_gbs=TUPLE_BYTES * stats.flop / sort.seconds / 1e9,
+            sort_shuffle_gbs=shuffle_bytes / sort.seconds / 1e9,
+        )
+    bins.note("paper: in-cache sorting up to ~200 GB/s once bins fit L2")
+    return widths, bins
+
+
+# ---------------------------------------------------------------------------
+# Figs. 7-10 — random matrix sweeps on Skylake and POWER9
+# ---------------------------------------------------------------------------
+
+def fig7_to_10_random_matrices(
+    machine: MachineSpec,
+    kind: str,
+    scales: tuple[int, ...] | None = None,
+    edge_factors: tuple[int, ...] = (4, 8, 16),
+    algorithms: tuple[str, ...] = EVALUATED,
+    seed: int = 42,
+) -> ResultTable:
+    """MFLOPS of every algorithm, plus PB sustained bandwidth, for a
+    scale × edge-factor grid of ER or R-MAT matrices (A·A with A=B
+    pattern of the paper: two same-shape random matrices).
+
+    R-MAT defaults to larger scales than ER: the skew effects the paper
+    measures (hub accumulators outgrowing L2) only engage once hub
+    columns produce >L2 of output, which needs scale ≥ ~15 — the
+    paper's own runs are scale 16-21.
+    """
+    base = bench_scale()
+    if scales is None:
+        scales = (base - 1, base, base + 1) if kind == "er" else (base + 2, base + 3)
+    t = ResultTable(
+        f"Figs. 7-10 — {kind.upper()} matrices on {machine.name} (1 socket)",
+        ["scale", "edge_factor", "flop", "cf", "algorithm", "mflops", "pb_gbs"],
+    )
+    for s in scales:
+        for ef in edge_factors:
+            a = _random_matrix(kind, s, ef, seed + s * 100 + ef)
+            if kind == "er":
+                b = _random_matrix(kind, s, ef, seed + s * 100 + ef + 1)
+            else:
+                # R-MAT is squared: correlated hub rows/columns are what
+                # drive the paper's variable-size-bin effects, and at the
+                # paper's scales (18-21) even independent R-MAT pairs
+                # reach that regime; squaring reproduces it at reduced
+                # scale (see EXPERIMENTS.md).
+                b = a
+            stats = workload_stats(a.to_csc(), b.to_csr())
+            for alg in algorithms:
+                rep = simulate_spgemm(stats=stats, algorithm=alg, machine=machine)
+                t.add(
+                    scale=s,
+                    edge_factor=ef,
+                    flop=stats.flop,
+                    cf=round(stats.cf, 2),
+                    algorithm=alg,
+                    mflops=round(rep.mflops, 1),
+                    pb_gbs=round(rep.sustained_gbs, 1) if alg == "pb" else None,
+                )
+    t.note("paper shape: PB stable and fastest at cf<4; sustained 40-50 GB/s (ER), 30-40 (R-MAT)")
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — real (surrogate) matrices
+# ---------------------------------------------------------------------------
+
+def fig11_real_matrices(
+    machine: MachineSpec | None = None,
+    names: tuple[str, ...] | None = None,
+    scale_factor: float | None = None,
+    algorithms: tuple[str, ...] = EVALUATED,
+    seed: int = 0,
+) -> ResultTable:
+    """Squaring the Table VI surrogates, sorted by ascending cf."""
+    m = machine or skylake_sp()
+    sf = scale_factor if scale_factor is not None else surrogate_scale()
+    names = names or tuple(SURROGATE_SPECS)
+    rows = []
+    for name in names:
+        a = surrogate(name, scale_factor=sf, seed=seed)
+        stats = _squaring_stats(a)
+        rows.append((stats.cf, name, a, stats))
+    rows.sort()
+    t = ResultTable(
+        f"Fig. 11 — Table VI surrogates squared on {m.name} (scale factor {sf:g})",
+        ["matrix", "cf", "paper_cf", "algorithm", "mflops", "pb_gbs"],
+    )
+    for cf, name, _a, stats in rows:
+        for alg in algorithms:
+            rep = simulate_spgemm(stats=stats, algorithm=alg, machine=m)
+            t.add(
+                matrix=name,
+                cf=round(cf, 2),
+                paper_cf=SURROGATE_SPECS[name].cf,
+                algorithm=alg,
+                mflops=round(rep.mflops, 1),
+                pb_gbs=round(rep.sustained_gbs, 1) if alg == "pb" else None,
+            )
+    t.note("paper shape: PB fastest below cf≈4, Hash fastest above; PB bandwidth 47-55 GB/s")
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Figs. 12-13 — strong scaling and phase breakdown
+# ---------------------------------------------------------------------------
+
+def fig12_strong_scaling(
+    machine: MachineSpec | None = None,
+    scale: int | None = None,
+    edge_factor: int = 16,
+    algorithms: tuple[str, ...] = EVALUATED,
+    seed: int = 5,
+) -> ResultTable:
+    """Speedups from 1 thread to a full socket, ER and R-MAT."""
+    m = machine or skylake_sp()
+    s = scale if scale is not None else bench_scale() + 3  # paper runs scale 16
+    threads = [1, 2, 4, 8, 16, m.cores_per_socket]
+    threads = sorted(set(th for th in threads if th <= m.cores_per_socket))
+    t = ResultTable(
+        f"Fig. 12 — strong scaling, scale {s} ef {edge_factor} on {m.name}",
+        ["kind", "algorithm", "threads", "mflops", "speedup"],
+    )
+    for kind in ("er", "rmat"):
+        a = _random_matrix(kind, s, edge_factor, seed)
+        stats = _squaring_stats(a)
+        for alg in algorithms:
+            base = None
+            for th in threads:
+                rep = simulate_spgemm(
+                    stats=stats, algorithm=alg, machine=m, nthreads=th
+                )
+                if base is None:
+                    base = rep.total_seconds
+                t.add(
+                    kind=kind,
+                    algorithm=alg,
+                    threads=th,
+                    mflops=round(rep.mflops, 1),
+                    speedup=round(base / rep.total_seconds, 2),
+                )
+    t.note("paper: ~16x (ER) vs ~10x (R-MAT) for PB on 24 cores")
+    return t
+
+
+def fig13_phase_breakdown(
+    machine: MachineSpec | None = None,
+    scale: int | None = None,
+    edge_factor: int = 16,
+    seed: int = 5,
+) -> ResultTable:
+    """PB per-phase times across thread counts (the Fig. 13 stacks)."""
+    m = machine or skylake_sp()
+    s = scale if scale is not None else bench_scale() + 3  # paper runs scale 16
+    threads = sorted(set(th for th in (1, 2, 4, 8, 16, m.cores_per_socket) if th <= m.cores_per_socket))
+    t = ResultTable(
+        f"Fig. 13 — PB phase breakdown, scale {s} ef {edge_factor} on {m.name}",
+        ["kind", "threads", "phase", "ms", "phase_gbs", "imbalance"],
+    )
+    for kind in ("er", "rmat"):
+        a = _random_matrix(kind, s, edge_factor, seed)
+        stats = _squaring_stats(a)
+        phases = pb_phase_costs(stats, m)
+        for th in threads:
+            for rep in simulate_phases(phases, m, th):
+                t.add(
+                    kind=kind,
+                    threads=th,
+                    phase=rep.name,
+                    ms=round(rep.seconds * 1e3, 3),
+                    phase_gbs=round(rep.sustained_gbs, 1),
+                    imbalance=round(rep.imbalance, 2),
+                )
+    t.note("paper shape: expand scales worst on R-MAT (hub outer products)")
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — dual socket
+# ---------------------------------------------------------------------------
+
+def fig14_dual_socket(
+    machine: MachineSpec | None = None,
+    scale: int | None = None,
+    edge_factor: int = 16,
+    algorithms: tuple[str, ...] = EVALUATED,
+    seed: int = 5,
+) -> ResultTable:
+    """1-socket vs 2-socket MFLOPS for ER and R-MAT."""
+    m = machine or skylake_sp()
+    s = scale if scale is not None else bench_scale() + 3  # paper runs scale 16
+    t = ResultTable(
+        f"Fig. 14 — dual-socket performance, scale {s} ef {edge_factor} on {m.name}",
+        ["kind", "algorithm", "sockets", "threads", "mflops"],
+    )
+    for kind in ("er", "rmat"):
+        a = _random_matrix(kind, s, edge_factor, seed)
+        stats = _squaring_stats(a)
+        for alg in algorithms:
+            for sockets in (1, 2):
+                if sockets > m.sockets:
+                    continue
+                th = sockets * m.cores_per_socket
+                rep = simulate_spgemm(
+                    stats=stats, algorithm=alg, machine=m, nthreads=th, sockets=sockets
+                )
+                t.add(kind=kind, algorithm=alg, sockets=sockets, threads=th, mflops=round(rep.mflops, 1))
+        if m.sockets > 1:
+            # The Sec. V-D remedy: one A row-block per socket, all local.
+            from ..simulate.engine import simulate_partitioned_pb
+
+            rep = simulate_partitioned_pb(stats, m)
+            t.add(
+                kind=kind,
+                algorithm="pb_partitioned",
+                sockets=m.sockets,
+                threads=m.sockets * m.cores_per_socket,
+                mflops=round(rep.mflops, 1),
+            )
+    t.note("paper shape: PB wins ER on 2 sockets but trails Heap on R-MAT (cross-socket bins)")
+    t.note("pb_partitioned = the Sec. V-D thesis variant (NUMA-local bins, B read per socket)")
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Tables II, III, V, VI, VII
+# ---------------------------------------------------------------------------
+
+def table2_access_patterns(
+    machine: MachineSpec | None = None,
+    scale: int = 10,
+    edge_factor: int = 4,
+    seed: int = 9,
+) -> ResultTable:
+    """Measured input/output access counts per algorithm class (Table II).
+
+    ``reads_of_A`` is measured as (bytes of A fetched) / (bytes of A):
+    ≈ d for column algorithms (every B nonzero pulls one A column),
+    ≈ 1 for the outer product.
+    """
+    m = machine or skylake_sp()
+    a = _random_matrix("er", scale, edge_factor, seed)
+    stats = _squaring_stats(a)
+    d = stats.nnz_b / max(stats.k, 1)
+    t = ResultTable(
+        f"Table II — access patterns (measured on ER scale {scale}, ef {edge_factor}, d={d:.1f})",
+        ["algorithm", "class", "reads_A", "reads_B", "chat_accesses", "writes_C", "A_streamed", "line_util_A"],
+    )
+    for name in ("heap", "hash", "spa", "esc_column", "pb"):
+        info = ALGORITHMS[name]
+        if info.input_access == "column":
+            reads_a = stats.flop / max(stats.nnz_a, 1)  # ≈ d
+            streamed = "no"
+            util = min(1.0, d * 12 / m.line_bytes)
+        else:
+            reads_a = 1.0
+            streamed = "yes"
+            util = 1.0
+        t.add(
+            algorithm=name,
+            **{
+                "class": f"{info.input_access}/{info.output_formation}",
+                "reads_A": round(reads_a, 2),
+                "reads_B": 1,
+                "chat_accesses": info.reads_chat,
+                "writes_C": 1,
+                "A_streamed": streamed,
+                "line_util_A": round(util, 2),
+            },
+        )
+    t.note("paper Table II: column algorithms read A d times without streaming; ESC adds 2 Ĉ accesses")
+    return t
+
+
+def table3_phase_costs(
+    machine: MachineSpec | None = None,
+    scale: int | None = None,
+    edge_factor: int = 8,
+    seed: int = 11,
+) -> ResultTable:
+    """PB per-phase byte accounting vs the Table III formulas."""
+    m = machine or skylake_sp()
+    s = scale if scale is not None else bench_scale()
+    a = _random_matrix("er", s, edge_factor, seed)
+    stats = _squaring_stats(a)
+    b = TUPLE_BYTES
+    phases = pb_phase_costs(stats, m)
+    formulas = {
+        "symbolic": 8.0 * (stats.k + 1) * 2,
+        "expand": 12.0 * (stats.nnz_a + stats.nnz_b) + b * stats.flop,
+        "sort": b * stats.flop,
+        "compress": b * stats.nnz_c,
+    }
+    t = ResultTable(
+        f"Table III — PB phase costs (ER scale {s}, ef {edge_factor})",
+        ["phase", "model_bytes", "formula_bytes", "ratio"],
+    )
+    for p in phases:
+        model = p.dram_read_bytes + p.dram_write_bytes
+        formula = formulas[p.name]
+        t.add(
+            phase=p.name,
+            model_bytes=int(model),
+            formula_bytes=int(formula),
+            ratio=round(model / formula, 3) if formula else None,
+        )
+    t.note("ratios > 1 are the modelled inefficiencies (local-bin flush overhead, spills)")
+    return t
+
+
+def table5_stream(machine: MachineSpec | None = None) -> ResultTable:
+    """STREAM Copy/Scale/Add/Triad on 1 and 2 sockets (Table V)."""
+    m = machine or skylake_sp()
+    t = ResultTable(
+        f"Table V — STREAM bandwidth on {m.name} (GB/s)",
+        ["sockets", "copy", "scale", "add", "triad"],
+    )
+    for sockets in range(1, m.sockets + 1):
+        vals = {
+            k: round(simulate_stream(m, 1 << 28, k, sockets)["gbs"], 2)
+            for k in ("copy", "scale", "add", "triad")
+        }
+        t.add(sockets=sockets, **vals)
+    t.note("paper Table V single socket: 47.40 / 46.85 / 54.00 / 57.04")
+    return t
+
+
+def table6_matrix_stats(
+    names: tuple[str, ...] | None = None,
+    scale_factor: float | None = None,
+    seed: int = 0,
+) -> ResultTable:
+    """Achieved surrogate statistics next to the paper's Table VI."""
+    sf = scale_factor if scale_factor is not None else surrogate_scale()
+    names = names or tuple(SURROGATE_SPECS)
+    t = ResultTable(
+        f"Table VI — surrogate matrices (scale factor {sf:g})",
+        ["matrix", "n", "nnz", "d", "flops", "nnz_C", "cf", "paper_d", "paper_cf"],
+    )
+    for name in names:
+        spec = SURROGATE_SPECS[name]
+        a = surrogate(name, scale_factor=sf, seed=seed)
+        ms = multiply_stats(a.to_csc(), a)
+        t.add(
+            matrix=name,
+            n=a.shape[0],
+            nnz=a.nnz,
+            d=round(a.mean_degree(), 2),
+            flops=ms.flop,
+            nnz_C=ms.nnz_c,
+            cf=round(ms.cf, 2),
+            paper_d=spec.d,
+            paper_cf=spec.cf,
+        )
+    t.note("n, nnz, flops, nnz(C) scale linearly with the scale factor; d and cf are preserved")
+    return t
+
+
+def table7_numa(machine: MachineSpec | None = None) -> ResultTable:
+    """NUMA local/remote bandwidth and latency matrix (Table VII)."""
+    m = machine or skylake_sp()
+    t = ResultTable(
+        f"Table VII — NUMA bandwidth/latency on {m.name}",
+        ["from_socket", "to_socket", "gbs", "latency_ns"],
+    )
+    for i in range(m.numa.nsockets):
+        for j in range(m.numa.nsockets):
+            t.add(
+                from_socket=i,
+                to_socket=j,
+                gbs=m.numa.bandwidth[i][j],
+                latency_ns=m.numa.latency_ns[i][j],
+            )
+    t.note("paper Table VII: ~50 GB/s / 88 ns local, ~33 GB/s / 147 ns remote")
+    return t

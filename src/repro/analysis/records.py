@@ -1,0 +1,71 @@
+"""Result records: ordered rows with named columns, exportable to CSV."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+
+@dataclass
+class ResultRow:
+    """One experiment data point: arbitrary named values."""
+
+    values: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of rows sharing a column set."""
+
+    title: str
+    columns: list[str]
+    rows: list[ResultRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **values: Any) -> ResultRow:
+        """Append a row; unknown columns are appended to the schema."""
+        for k in values:
+            if k not in self.columns:
+                self.columns.append(k)
+        row = ResultRow(values)
+        self.rows.append(row)
+        return row
+
+    def note(self, text: str) -> None:
+        """Attach a caption/footnote rendered under the table."""
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [r.get(name) for r in self.rows]
+
+    def filtered(self, **criteria: Any) -> "ResultTable":
+        """Rows matching all equality criteria, as a new table."""
+        out = ResultTable(self.title, list(self.columns), notes=list(self.notes))
+        out.rows = [
+            r for r in self.rows if all(r.get(k) == v for k, v in criteria.items())
+        ]
+        return out
+
+    def to_csv(self, path) -> None:
+        """Write the table to a CSV file."""
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({k: row.get(k, "") for k in self.columns})
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterable[ResultRow]:
+        return iter(self.rows)

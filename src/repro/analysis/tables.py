@@ -1,0 +1,76 @@
+"""Fixed-width ASCII rendering of result tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers format them readably in a terminal and in the
+captured ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .records import ResultTable
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(table: ResultTable) -> str:
+    """Render a :class:`ResultTable` as an aligned ASCII table."""
+    cols = table.columns
+    cells = [[_fmt(r.get(c)) for c in cols] for r in table.rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {table.title} =="]
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines)
+
+
+def render_series(
+    table: ResultTable,
+    x: str,
+    y: str,
+    series: str,
+    width: int = 48,
+) -> str:
+    """Render grouped (x, y) series as an ASCII bar chart.
+
+    One block per distinct ``series`` value; bars scale to the global
+    maximum so algorithms are visually comparable — a terminal stand-in
+    for the paper's grouped bar figures.
+    """
+    ys = [v for v in table.column(y) if isinstance(v, (int, float))]
+    if not ys:
+        return f"== {table.title} == (no data)"
+    peak = max(ys) or 1.0
+    lines = [f"== {table.title} ==  ({y} vs {x}, bar max = {_fmt(peak)})"]
+    for s in dict.fromkeys(table.column(series)):  # stable unique order
+        lines.append(f"-- {series} = {s}")
+        for row in table.rows:
+            if row.get(series) != s:
+                continue
+            val = row.get(y)
+            bar = "#" * max(1, int(width * val / peak)) if val else ""
+            lines.append(f"  {str(row.get(x)):>12} | {bar} {_fmt(val)}")
+    for note in table.notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines)

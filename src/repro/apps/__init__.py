@@ -1,0 +1,42 @@
+"""Applications built on the SpGEMM kernels (paper Sec. I's motivation).
+
+The introduction motivates PB-SpGEMM with graph analytics and machine
+learning workloads; this package implements the ones whose inner loop
+is exactly the SpGEMM this library provides:
+
+* :mod:`triangles` — triangle counting and clustering coefficients
+  (masked SpGEMM over the plus-pair semiring),
+* :mod:`bfs` — multi-source breadth-first search (boolean SpGEMM on a
+  tall-and-skinny frontier matrix),
+* :mod:`pagerank` — PageRank with the propagation-blocked SpMV,
+* :mod:`mcl` — Markov clustering (SpGEMM expansion + inflation),
+* :mod:`walks` — walk counting and bounded-hop distances (plus-times /
+  min-plus matrix powers),
+* :mod:`amg` — algebraic-multigrid Galerkin products and a two-grid
+  solver (the scientific-computing motivation, refs. [6], [14]).
+"""
+
+from .triangles import count_triangles, clustering_coefficients, triangles_per_vertex
+from .bfs import multi_source_bfs, bfs_levels
+from .pagerank import pagerank
+from .mcl import markov_clustering, MCLResult
+from .walks import count_walks, bounded_hop_distances
+from .amg import galerkin_product, greedy_aggregation, prolongator, two_grid_solve, TwoGridResult
+
+__all__ = [
+    "count_triangles",
+    "clustering_coefficients",
+    "triangles_per_vertex",
+    "multi_source_bfs",
+    "bfs_levels",
+    "pagerank",
+    "markov_clustering",
+    "MCLResult",
+    "count_walks",
+    "bounded_hop_distances",
+    "galerkin_product",
+    "greedy_aggregation",
+    "prolongator",
+    "two_grid_solve",
+    "TwoGridResult",
+]

@@ -1,0 +1,88 @@
+"""Multi-source BFS as SpGEMM on a tall-and-skinny frontier matrix.
+
+The paper cites multi-source BFS (Gilbert/Reinhardt/Shah, ref. [3]) as
+a core SpGEMM consumer: one step advances *all* searches at once by
+multiplying the transposed adjacency matrix with an n × s frontier
+matrix over the boolean semiring.  This is also the "square matrix by
+tall-and-skinny matrix" shape the paper's evaluation leaves unexplored
+(Sec. IV-C) — exercised here and in the tall-skinny benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..kernels.dispatch import spgemm
+from ..matrix.base import INDEX_DTYPE
+from ..matrix.coo import COOMatrix
+from ..matrix.csr import CSRMatrix
+
+
+def _frontier_matrix(n: int, sources: np.ndarray) -> CSRMatrix:
+    """n × s one-hot matrix: column j holds source j's frontier."""
+    s = len(sources)
+    cols = np.arange(s, dtype=INDEX_DTYPE)
+    return COOMatrix((n, s), sources.astype(INDEX_DTYPE), cols, np.ones(s)).to_csr()
+
+
+def multi_source_bfs(
+    adj: CSRMatrix,
+    sources,
+    max_depth: int | None = None,
+    algorithm: str = "pb",
+) -> np.ndarray:
+    """BFS levels from several sources simultaneously.
+
+    Parameters
+    ----------
+    adj:
+        Adjacency matrix (edge i→j as entry (i, j); values ignored).
+    sources:
+        Vertex ids; one search per source.
+    max_depth:
+        Stop after this many levels (default: until all frontiers die).
+    algorithm:
+        SpGEMM kernel for the frontier advance.
+
+    Returns
+    -------
+    levels : (n, s) int array
+        ``levels[v, j]`` is v's BFS depth from source j, or -1 if
+        unreachable within ``max_depth``.
+    """
+    if adj.shape[0] != adj.shape[1]:
+        raise ShapeError(f"adjacency matrix must be square, got {adj.shape}")
+    sources = np.asarray(sources, dtype=INDEX_DTYPE)
+    if len(sources) == 0:
+        return np.empty((adj.shape[0], 0), dtype=np.int64)
+    if sources.min() < 0 or sources.max() >= adj.shape[0]:
+        raise ShapeError("source vertex out of range")
+
+    n, s = adj.shape[0], len(sources)
+    # Advance with Aᵀ: frontier entry (v, j) spreads to v's out-neighbours.
+    # A in CSR reinterprets as CSC of Aᵀ with zero copies.
+    a_t_csc = adj.transpose()
+
+    levels = np.full((n, s), -1, dtype=np.int64)
+    levels[sources, np.arange(s)] = 0
+    frontier = _frontier_matrix(n, sources)
+    depth = 0
+    limit = max_depth if max_depth is not None else n
+    while frontier.nnz and depth < limit:
+        depth += 1
+        nxt = spgemm(a_t_csc, frontier, algorithm=algorithm, semiring="or_and")
+        # Keep only newly discovered (vertex, search) pairs.
+        coo = nxt.to_coo()
+        fresh = levels[coo.rows, coo.cols] < 0
+        rows, cols = coo.rows[fresh], coo.cols[fresh]
+        if len(rows) == 0:
+            break
+        levels[rows, cols] = depth
+        frontier = COOMatrix((n, s), rows, cols, np.ones(len(rows))).to_csr()
+    return levels
+
+
+def bfs_levels(adj: CSRMatrix, source: int, algorithm: str = "pb") -> np.ndarray:
+    """Single-source BFS levels (−1 = unreachable); see multi_source_bfs."""
+    return multi_source_bfs(adj, [source], algorithm=algorithm)[:, 0]

@@ -1,0 +1,86 @@
+"""Triangle counting and clustering coefficients via masked SpGEMM.
+
+Standard L·U formulation (Azad/Buluç/Gilbert, paper ref. [2]): with the
+adjacency matrix split into strict lower (L) and upper (U) triangles,
+``B = (L · U) ⊙ L`` counts, for each edge (i, j), the wedges through a
+common neighbour k < min(i, j); the total is the triangle count.  The
+mask keeps the ESC pipeline from ever materializing off-edge wedges —
+exactly the use case of :func:`repro.kernels.masked.masked_spgemm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..kernels.masked import masked_spgemm
+from ..matrix.csr import CSRMatrix
+from ..matrix.ops import tril, triu
+
+
+def _check_square(adj: CSRMatrix) -> None:
+    if adj.shape[0] != adj.shape[1]:
+        raise ShapeError(f"adjacency matrix must be square, got {adj.shape}")
+
+
+def _edge_triangle_counts(adj: CSRMatrix) -> CSRMatrix:
+    """B = (L · U) ⊙ L: per-edge triangle counts on the lower triangle."""
+    lower = tril(adj, k=-1)
+    upper = triu(adj, k=1)
+    return masked_spgemm(
+        lower.to_csc(), upper.to_csr(), mask=lower, semiring="plus_pair"
+    )
+
+
+def count_triangles(adj: CSRMatrix) -> int:
+    """Number of triangles in the undirected graph of ``adj``.
+
+    ``adj`` must be structurally symmetric; values and the diagonal are
+    ignored.
+    """
+    _check_square(adj)
+    b = _edge_triangle_counts(adj)
+    return int(round(b.data.sum()))
+
+
+def triangles_per_vertex(adj: CSRMatrix) -> np.ndarray:
+    """Triangles incident to each vertex.
+
+    Uses the direct formulation ``tri_i = (A² ⊙ A) row sums / 2`` over
+    the plus-pair semiring: entry (i, j) of the masked square counts
+    common neighbours of the edge (i, j), and each triangle {i, j, k}
+    contributes twice to row i (once via j, once via k).
+    """
+    _check_square(adj)
+    n = adj.shape[0]
+    from ..matrix.ops import add
+
+    no_diag = add(tril(adj, k=-1), triu(adj, k=1))  # self-loops never count
+    squared = masked_spgemm(
+        no_diag.to_csc(), no_diag.to_csr(), mask=no_diag, semiring="plus_pair"
+    )
+    per_vertex = np.zeros(n)
+    sq_coo = squared.to_coo()
+    np.add.at(per_vertex, sq_coo.rows, sq_coo.vals)
+    return per_vertex / 2.0
+
+
+def clustering_coefficients(adj: CSRMatrix) -> np.ndarray:
+    """Local clustering coefficient of every vertex.
+
+    ``c_i = triangles_i / (d_i · (d_i − 1) / 2)``, 0 for degree < 2.
+    One of the paper's listed SpGEMM applications (Sec. I).
+    """
+    _check_square(adj)
+    tri = triangles_per_vertex(adj)
+    deg = np.asarray(adj.row_nnz(), dtype=np.float64)
+    # Ignore any stored diagonal in the degree.
+    diag = np.zeros(adj.shape[0])
+    coo = adj.to_coo()
+    on_diag = coo.rows == coo.cols
+    diag[coo.rows[on_diag]] = 1.0
+    deg = deg - diag
+    pairs = deg * (deg - 1) / 2.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        c = np.where(pairs > 0, tri / pairs, 0.0)
+    return c

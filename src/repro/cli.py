@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands mirror the library's main entry points:
+
+* ``generate``   — write an ER / R-MAT / surrogate matrix as MatrixMarket,
+* ``stats``      — matrix and multiplication statistics (Table VI row),
+* ``multiply``   — C = A · B with any algorithm, written as MatrixMarket,
+* ``simulate``   — predicted performance on a machine model,
+* ``roofline``   — AI bounds and attainable FLOPS for a workload,
+* ``stream``     — the machine's STREAM table (Table V),
+* ``experiment`` — regenerate any paper figure/table by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+
+def _add_machine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--machine",
+        default="skylake",
+        choices=("skylake", "power9", "laptop"),
+        help="machine model preset (default: skylake)",
+    )
+
+
+def _load(path: str):
+    from .matrix.io import read_matrix_market
+
+    return read_matrix_market(path)
+
+
+def _cmd_generate(args) -> int:
+    from .generators import erdos_renyi, rmat, surrogate
+    from .matrix.io import write_matrix_market
+
+    if args.kind == "er":
+        m = erdos_renyi(1 << args.scale, args.edge_factor, seed=args.seed)
+    elif args.kind == "rmat":
+        m = rmat(args.scale, args.edge_factor, seed=args.seed)
+    else:
+        m = surrogate(args.name, scale_factor=args.scale_factor, seed=args.seed)
+    write_matrix_market(m, args.output)
+    print(f"wrote {m.shape[0]}x{m.shape[1]} matrix with {m.nnz} nonzeros to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .matrix.stats import matrix_stats, multiply_stats
+
+    a = _load(args.matrix).to_csr()
+    s = matrix_stats(a)
+    print(f"shape          : {s.shape[0]} x {s.shape[1]}")
+    print(f"nnz            : {s.nnz}")
+    print(f"mean degree    : {s.mean_degree:.3f}")
+    print(f"max row nnz    : {s.max_row_nnz}")
+    print(f"max col nnz    : {s.max_col_nnz}")
+    if args.square:
+        ms = multiply_stats(a.to_csc(), a)
+        print(f"flops (A*A)    : {ms.flop}")
+        print(f"nnz(C)         : {ms.nnz_c}{'' if ms.exact else ' (estimated)'}")
+        print(f"compression cf : {ms.cf:.3f}")
+    return 0
+
+
+def _cmd_multiply(args) -> int:
+    from .kernels.dispatch import spgemm
+    from .matrix.io import write_matrix_market
+
+    a = _load(args.a).to_csc()
+    b = _load(args.b).to_csr() if args.b else a.to_csr()
+    c = spgemm(a, b, algorithm=args.algorithm, semiring=args.semiring)
+    print(f"C = A*B: {c.shape[0]}x{c.shape[1]}, nnz={c.nnz} (algorithm={args.algorithm})")
+    if args.output:
+        write_matrix_market(c, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .machine.presets import get_machine
+    from .simulate.engine import simulate_spgemm
+
+    machine = get_machine(args.machine)
+    a = _load(args.a).to_csc()
+    b = _load(args.b).to_csr() if args.b else a.to_csr()
+    for alg in args.algorithms.split(","):
+        rep = simulate_spgemm(
+            a,
+            b,
+            algorithm=alg.strip(),
+            machine=machine,
+            nthreads=args.threads,
+            sockets=args.sockets,
+        )
+        print(rep)
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    from .analysis.experiments import fig3_roofline
+    from .analysis.tables import render_table
+    from .machine.presets import get_machine
+
+    cfs = tuple(float(c) for c in args.cf.split(","))
+    print(render_table(fig3_roofline(get_machine(args.machine), cfs)))
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from .analysis.experiments import table5_stream
+    from .analysis.tables import render_table
+    from .machine.presets import get_machine
+
+    print(render_table(table5_stream(get_machine(args.machine))))
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig3": lambda: [_fig3()],
+    "fig6": lambda: list(_fig6()),
+    "fig7": lambda: [_figs7to10("skylake", "er")],
+    "fig8": lambda: [_figs7to10("power9", "er")],
+    "fig9": lambda: [_figs7to10("skylake", "rmat")],
+    "fig10": lambda: [_figs7to10("power9", "rmat")],
+    "fig11": lambda: [_call("fig11_real_matrices")],
+    "fig12": lambda: [_call("fig12_strong_scaling")],
+    "fig13": lambda: [_call("fig13_phase_breakdown")],
+    "fig14": lambda: [_call("fig14_dual_socket")],
+    "table2": lambda: [_call("table2_access_patterns")],
+    "table3": lambda: [_call("table3_phase_costs")],
+    "table5": lambda: [_call("table5_stream")],
+    "table6": lambda: [_call("table6_matrix_stats")],
+    "table7": lambda: [_call("table7_numa")],
+}
+
+
+def _call(name):
+    from . import analysis
+
+    return getattr(analysis, name)()
+
+
+def _fig3():
+    from .analysis.experiments import fig3_roofline
+
+    return fig3_roofline()
+
+
+def _fig6():
+    from .analysis.experiments import fig6_parameter_sweep
+
+    return fig6_parameter_sweep()
+
+
+def _figs7to10(machine, kind):
+    from .analysis.experiments import fig7_to_10_random_matrices
+    from .machine.presets import get_machine
+
+    return fig7_to_10_random_matrices(get_machine(machine), kind)
+
+
+def _cmd_experiment(args) -> int:
+    from .analysis.tables import render_table
+
+    try:
+        tables = _EXPERIMENTS[args.id]()
+    except KeyError:
+        known = ", ".join(sorted(_EXPERIMENTS))
+        print(f"unknown experiment {args.id!r}; available: {known}", file=sys.stderr)
+        return 2
+    for t in tables:
+        print(render_table(t))
+        print()
+        if args.csv:
+            path = f"{args.csv}/{args.id}_{t.title.split(' ')[0].strip('=').lower() or 'out'}.csv"
+            t.to_csv(path)
+            print(f"(csv: {path})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PB-SpGEMM (SPAA 2020) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a test matrix (MatrixMarket)")
+    g.add_argument("kind", choices=("er", "rmat", "surrogate"))
+    g.add_argument("output", help="output .mtx path")
+    g.add_argument("--scale", type=int, default=10, help="log2 dimension (er/rmat)")
+    g.add_argument("--edge-factor", type=int, default=8)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--name", default="cage12", help="Table VI name (surrogate)")
+    g.add_argument("--scale-factor", type=float, default=1 / 16, help="surrogate size factor")
+    g.set_defaults(func=_cmd_generate)
+
+    s = sub.add_parser("stats", help="matrix statistics (Table VI row)")
+    s.add_argument("matrix", help=".mtx path")
+    s.add_argument("--square", action="store_true", help="also analyze A*A")
+    s.set_defaults(func=_cmd_stats)
+
+    m = sub.add_parser("multiply", help="sparse matrix multiplication")
+    m.add_argument("a", help="first operand (.mtx)")
+    m.add_argument("b", nargs="?", help="second operand (.mtx); default: A*A")
+    m.add_argument("--algorithm", default="pb")
+    m.add_argument("--semiring", default="plus_times")
+    m.add_argument("--output", help="write the product here (.mtx)")
+    m.set_defaults(func=_cmd_multiply)
+
+    si = sub.add_parser("simulate", help="predicted performance on a machine model")
+    si.add_argument("a", help="first operand (.mtx)")
+    si.add_argument("b", nargs="?", help="second operand; default: A*A")
+    si.add_argument("--algorithms", default="pb,heap,hash,hashvec")
+    si.add_argument("--threads", type=int, default=None)
+    si.add_argument("--sockets", type=int, default=1)
+    _add_machine_arg(si)
+    si.set_defaults(func=_cmd_simulate)
+
+    r = sub.add_parser("roofline", help="AI bounds / attainable FLOPS (Fig. 3)")
+    r.add_argument("--cf", default="1,2,4,8", help="comma-separated compression factors")
+    _add_machine_arg(r)
+    r.set_defaults(func=_cmd_roofline)
+
+    st = sub.add_parser("stream", help="STREAM bandwidth table (Table V)")
+    _add_machine_arg(st)
+    st.set_defaults(func=_cmd_stream)
+
+    e = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    e.add_argument("id", help="e.g. fig7, fig11, table5 (see docs)")
+    e.add_argument("--csv", help="directory to also write CSVs into")
+    e.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,31 @@
+"""PB-SpGEMM — the paper's primary contribution (Algorithms 1-3).
+
+* :class:`PBConfig` — tunable parameters (nbins policy, local-bin
+  width, key packing, bin mapping, sort backend).
+* :func:`symbolic_phase` — Alg. 3: O(n) flop estimation + bin sizing.
+* :mod:`repro.core.binning` — bin geometry, key packing (Sec. III-D),
+  and a faithful local-bin flush simulation used for trace generation.
+* :func:`pb_spgemm` — Alg. 2: expand → bin → sort → compress → CSR.
+* :func:`partitioned_pb_spgemm` — the NUMA-partitioned variant
+  discussed in Sec. V-D.
+"""
+
+from .config import PBConfig
+from .symbolic import SymbolicResult, symbolic_phase
+from .binning import BinLayout, pack_keys, unpack_keys, plan_bins
+from .pb_spgemm import PBResult, pb_spgemm, pb_spgemm_detailed
+from .partitioned import partitioned_pb_spgemm
+
+__all__ = [
+    "PBConfig",
+    "SymbolicResult",
+    "symbolic_phase",
+    "BinLayout",
+    "pack_keys",
+    "unpack_keys",
+    "plan_bins",
+    "PBResult",
+    "pb_spgemm",
+    "pb_spgemm_detailed",
+    "partitioned_pb_spgemm",
+]

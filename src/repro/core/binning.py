@@ -1,0 +1,286 @@
+"""Bin geometry, key packing, and local-bin flush simulation (Secs. III-C/D).
+
+Propagation blocking partitions the expanded tuple stream into
+``nbins`` bins so that sort and compress run bin-local (in cache) and
+thread-parallel.  Two ingredients live here:
+
+* :class:`BinLayout` — the bin↦row-range geometry plus the packed-key
+  codec of Sec. III-D: within a bin covering ``rows_per_bin`` rows, a
+  tuple's key is ``(local_row << col_bits) | col``, which usually fits
+  32 bits and halves the radix passes.
+* :func:`simulate_local_bins` — a faithful replay of the thread-private
+  local-bin protocol of Fig. 5 (append; flush to the global bin when
+  full; drain leftovers at the end), used to generate memory traces and
+  to count flush efficiency.  The numeric pipeline itself distributes
+  tuples with one vectorized stable sort — same result, no Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..matrix.base import INDEX_DTYPE
+from .config import PBConfig
+
+
+@dataclass(frozen=True)
+class BinLayout:
+    """Geometry of the global bins for one multiplication.
+
+    Attributes
+    ----------
+    nrows, ncols:
+        Output matrix dimensions.
+    nbins:
+        Number of global bins.
+    rows_per_bin:
+        Rows covered by each bin (``range`` mapping; last bin may be
+        short).
+    mapping:
+        ``"range"`` or ``"modulo"``.
+    key_dtype:
+        ``uint32`` when packed keys fit (Sec. III-D), else ``uint64``.
+    key_bits:
+        Significant bits per key — what the radix sort must cover.
+    """
+
+    nrows: int
+    ncols: int
+    nbins: int
+    rows_per_bin: int
+    mapping: str
+    key_dtype: np.dtype
+    key_bits: int
+    col_bits: int
+    row_bits: int
+
+    def bin_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Bin id of each tuple from its row id (Alg. 2 line 9)."""
+        if self.mapping == "range":
+            return rows // self.rows_per_bin
+        return rows % self.nbins
+
+    def row_range(self, binid: int) -> tuple[int, int]:
+        """Row interval [lo, hi) a ``range`` bin covers."""
+        if self.mapping != "range":
+            raise ConfigError("row_range is only defined for range mapping")
+        lo = binid * self.rows_per_bin
+        return lo, min(lo + self.rows_per_bin, self.nrows)
+
+
+def plan_bins(
+    nrows: int,
+    ncols: int,
+    nbins: int,
+    rows_per_bin: int,
+    config: PBConfig | None = None,
+) -> BinLayout:
+    """Build the :class:`BinLayout`, choosing the packed-key width.
+
+    With ``range`` mapping, only ``local_row = row - bin_lo`` must be
+    encoded (``ceil(log2(rows_per_bin))`` bits) next to the column id;
+    the paper's example: 1M rows, 1K bins → 10 row bits + 20 column
+    bits → a 30-bit key in a 4-byte integer, 4 radix passes instead
+    of 8.
+    """
+    cfg = config or PBConfig()
+    col_bits = max(int(ncols - 1).bit_length(), 1) if ncols else 1
+    if cfg.bin_mapping == "range":
+        row_span = rows_per_bin
+    else:
+        row_span = nrows  # modulo mapping cannot localize rows
+    row_bits = max(int(row_span - 1).bit_length(), 1) if row_span else 1
+    key_bits = row_bits + col_bits
+    if cfg.pack_keys and key_bits <= 32:
+        dtype = np.dtype(np.uint32)
+    else:
+        dtype = np.dtype(np.uint64)
+        if key_bits > 64:
+            raise ConfigError(
+                f"key of {key_bits} bits exceeds 64 (matrix too large "
+                f"for the packed-key scheme)"
+            )
+    return BinLayout(
+        nrows=nrows,
+        ncols=ncols,
+        nbins=nbins,
+        rows_per_bin=rows_per_bin,
+        mapping=cfg.bin_mapping,
+        key_dtype=dtype,
+        key_bits=key_bits,
+        col_bits=col_bits,
+        row_bits=row_bits,
+    )
+
+
+def pack_keys(layout: BinLayout, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Encode (row, col) as sortable per-bin keys.
+
+    ``range`` mapping stores the row *offset within the bin*; sorting a
+    bin by this key orders tuples by (row, col) globally because bins
+    cover disjoint ascending row ranges.
+    """
+    if layout.mapping == "range":
+        local_rows = rows % layout.rows_per_bin
+    elif layout.mapping == "variable":
+        binid = layout.bin_of_rows(rows)
+        local_rows = rows - layout.edges[binid]
+    else:  # modulo
+        local_rows = rows
+    k = local_rows.astype(layout.key_dtype, copy=False) << np.asarray(
+        layout.col_bits, dtype=layout.key_dtype
+    )
+    return k | cols.astype(layout.key_dtype, copy=False)
+
+
+def unpack_keys(
+    layout: BinLayout, keys: np.ndarray, binid: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`pack_keys` for the tuples of one bin."""
+    col_mask = np.asarray((1 << layout.col_bits) - 1, dtype=layout.key_dtype)
+    cols = (keys & col_mask).astype(INDEX_DTYPE)
+    local_rows = (keys >> np.asarray(layout.col_bits, dtype=layout.key_dtype)).astype(
+        INDEX_DTYPE
+    )
+    if layout.mapping == "range":
+        rows = local_rows + binid * layout.rows_per_bin
+    elif layout.mapping == "variable":
+        rows = local_rows + int(layout.edges[binid])
+    else:  # modulo
+        rows = local_rows
+    return rows, cols
+
+
+def distribute_to_bins(
+    layout: BinLayout, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Partition the tuple stream into global bins (vectorized).
+
+    Returns (binned_rows, binned_cols, binned_vals, bin_starts) where
+    ``bin_starts`` has length nbins + 1 and tuples of bin b occupy
+    ``bin_starts[b]:bin_starts[b+1]``.  Within a bin the original
+    stream order is preserved (stable), matching the append semantics
+    of the global bins.
+    """
+    binid = layout.bin_of_rows(rows)
+    order = np.argsort(binid, kind="stable")
+    counts = np.bincount(binid, minlength=layout.nbins)
+    starts = np.zeros(layout.nbins + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=starts[1:])
+    return rows[order], cols[order], vals[order], starts
+
+
+def balanced_bin_edges(
+    flops_per_row: np.ndarray, nbins: int
+) -> np.ndarray:
+    """Variable-range bin boundaries equalizing tuples per bin.
+
+    The paper's load-balance remedy for skewed inputs (Sec. V-C: "we
+    either use more bins or create bins with variable ranges of rows"):
+    instead of fixed ``rows_per_bin``, cut the row axis where the
+    expanded-tuple prefix sum crosses equal shares.  Returns ``nbins+1``
+    ascending row boundaries with ``edges[0] == 0`` and
+    ``edges[-1] == len(flops_per_row)``.
+
+    A single mega-row can still exceed one share — bins never split a
+    row — so perfect balance is not guaranteed, only monotone
+    improvement over fixed ranges.
+    """
+    flops_per_row = np.asarray(flops_per_row, dtype=np.float64)
+    m = len(flops_per_row)
+    if nbins < 1:
+        raise ConfigError(f"nbins must be >= 1, got {nbins}")
+    nbins = min(nbins, max(m, 1))
+    prefix = np.concatenate([[0.0], np.cumsum(flops_per_row)])
+    total = prefix[-1]
+    if total == 0:
+        return np.linspace(0, m, nbins + 1).astype(np.int64)
+    targets = total * np.arange(1, nbins) / nbins
+    cuts = np.searchsorted(prefix, targets, side="left")
+    edges = np.concatenate([[0], cuts, [m]]).astype(np.int64)
+    return np.maximum.accumulate(edges)
+
+
+class VariableBinLayout:
+    """Bin layout over variable row ranges (duck-types BinLayout's
+    ``bin_of_rows``/``row_range`` interface used by the pipeline).
+
+    Key packing still works: the widest bin's row span bounds the local
+    row bits.
+    """
+
+    def __init__(self, nrows: int, ncols: int, edges: np.ndarray):
+        edges = np.asarray(edges, dtype=np.int64)
+        if len(edges) < 2 or edges[0] != 0 or edges[-1] != nrows:
+            raise ConfigError(
+                f"edges must run from 0 to nrows={nrows}, got {edges[:3]}..."
+            )
+        if np.any(np.diff(edges) < 0):
+            raise ConfigError("edges must be non-decreasing")
+        self.nrows = nrows
+        self.ncols = ncols
+        self.edges = edges
+        self.nbins = len(edges) - 1
+        self.mapping = "variable"
+        widest = int(np.diff(edges).max()) if self.nbins else 1
+        self.rows_per_bin = widest  # upper bound used for key packing
+        self.col_bits = max(int(ncols - 1).bit_length(), 1) if ncols else 1
+        self.row_bits = max(int(max(widest - 1, 1)).bit_length(), 1)
+        self.key_bits = self.row_bits + self.col_bits
+        self.key_dtype = (
+            np.dtype(np.uint32) if self.key_bits <= 32 else np.dtype(np.uint64)
+        )
+
+    def bin_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Bin id per row via binary search on the edge array."""
+        return np.searchsorted(self.edges, np.asarray(rows), side="right") - 1
+
+    def row_range(self, binid: int) -> tuple[int, int]:
+        return int(self.edges[binid]), int(self.edges[binid + 1])
+
+
+def simulate_local_bins(
+    layout: BinLayout,
+    rows_stream: np.ndarray,
+    local_bin_tuples: int,
+) -> dict:
+    """Replay the local-bin protocol of Fig. 5 on a tuple stream.
+
+    One virtual thread appends each tuple to its bin's local buffer and
+    flushes the buffer to the global bin when it reaches
+    ``local_bin_tuples`` entries; leftovers flush at stream end
+    (Alg. 2 lines 10-12 and 15-18).
+
+    Returns flush statistics the cost model and Fig. 6a consume:
+    ``full_flushes``, ``partial_flushes``, ``flushed_tuples``, and
+    ``mean_flush_fill`` (fraction of the local-bin width actually used
+    per flush — the cache-line utilization proxy).
+    """
+    if local_bin_tuples < 1:
+        raise ConfigError(f"local_bin_tuples must be >= 1, got {local_bin_tuples}")
+    binid = layout.bin_of_rows(np.asarray(rows_stream))
+    # Per bin, every complete group of local_bin_tuples appends triggers
+    # one full flush; a nonzero remainder drains as one partial flush.
+    counts = np.bincount(binid, minlength=layout.nbins)
+    full_per_bin = counts // local_bin_tuples
+    rem_per_bin = counts % local_bin_tuples
+    full_flushes = int(full_per_bin.sum())
+    flushed = int((full_per_bin * local_bin_tuples).sum())
+    partial_flushes = int(np.count_nonzero(rem_per_bin))
+    flushed += int(rem_per_bin.sum())
+    fills = []
+    if full_flushes:
+        fills.append(np.full(full_flushes, 1.0))
+    if partial_flushes:
+        fills.append(rem_per_bin[rem_per_bin > 0] / local_bin_tuples)
+    mean_fill = float(np.concatenate(fills).mean()) if fills else 0.0
+    return {
+        "full_flushes": full_flushes,
+        "partial_flushes": partial_flushes,
+        "flushed_tuples": flushed,
+        "mean_flush_fill": mean_fill,
+        "tuples_per_bin": counts,
+    }

@@ -1,0 +1,109 @@
+"""Configuration of the PB-SpGEMM pipeline (the paper's tunables).
+
+The paper exposes two primary knobs — the number of global bins
+(``nbins``, Fig. 6b) and the local-bin width (``Lbinwidth``, Fig. 6a,
+default 512 bytes) — plus several design decisions this reproduction
+makes ablatable (DESIGN.md §6): bin mapping, key packing, sort backend,
+and the chunk budget the vectorized expand uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+
+#: Paper default: 512-byte thread-private local bins (Sec. V-A).
+DEFAULT_LOCAL_BIN_BYTES = 512
+#: COO tuple footprint used for bin sizing: 4B row + 4B col + 8B value.
+TUPLE_BYTES = 16
+#: The paper sizes global bins to fit L2; Skylake-SP has 1 MiB L2/core.
+DEFAULT_L2_TARGET_BYTES = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PBConfig:
+    """Parameters of :func:`repro.core.pb_spgemm`.
+
+    Attributes
+    ----------
+    nbins:
+        Number of global bins.  ``None`` (default) lets the symbolic
+        phase choose so a bin's tuples fit ``l2_target_bytes``
+        (Alg. 3 line 6), rounded up to a power of two and clamped to
+        ``[1, nrows]``.
+    local_bin_bytes:
+        Width of each thread-private local bin in bytes (Fig. 6a;
+        paper default 512).
+    l2_target_bytes:
+        Cache budget a global bin must fit during sort/compress.
+    bin_mapping:
+        ``"range"`` — contiguous equal row ranges per bin (Fig. 4's
+        layout; enables key packing); ``"modulo"`` — ``rowid % nbins``
+        as written in Alg. 2 line 9 (ablation; disables packing);
+        ``"balanced"`` — variable row ranges equalizing tuples per bin
+        (the Sec. V-C load-balance remedy for skewed inputs).
+    pack_keys:
+        Squeeze (local_row, col) into 32-bit keys when they fit
+        (Sec. III-D); ``False`` forces 64-bit keys / 8 radix passes.
+    sort_backend:
+        ``"radix"`` (paper) or ``"mergesort"`` (ablation).
+    use_local_bins:
+        Model/trace the thread-private local-bin stage.  Turning this
+        off does not change the numeric result (the executable path is
+        vectorized either way) but changes the simulated traffic and
+        the generated traces — it is the Fig. 5 ablation switch.
+    chunk_flops:
+        Expand-phase chunk budget in tuples (bounds peak memory).
+    nthreads:
+        Virtual thread count used when generating per-thread work
+        decompositions for the simulator.
+    """
+
+    nbins: int | None = None
+    local_bin_bytes: int = DEFAULT_LOCAL_BIN_BYTES
+    l2_target_bytes: int = DEFAULT_L2_TARGET_BYTES
+    bin_mapping: str = "range"
+    pack_keys: bool = True
+    sort_backend: str = "radix"
+    use_local_bins: bool = True
+    chunk_flops: int = 8_000_000
+    nthreads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nbins is not None and self.nbins < 1:
+            raise ConfigError(f"nbins must be >= 1 or None, got {self.nbins}")
+        if self.local_bin_bytes < TUPLE_BYTES:
+            raise ConfigError(
+                f"local_bin_bytes must hold at least one {TUPLE_BYTES}-byte "
+                f"tuple, got {self.local_bin_bytes}"
+            )
+        if self.l2_target_bytes < TUPLE_BYTES:
+            raise ConfigError(f"l2_target_bytes too small: {self.l2_target_bytes}")
+        if self.bin_mapping not in ("range", "modulo", "balanced"):
+            raise ConfigError(
+                "bin_mapping must be 'range', 'modulo' or 'balanced', "
+                f"got {self.bin_mapping!r}"
+            )
+        if self.sort_backend not in ("radix", "mergesort"):
+            raise ConfigError(
+                f"sort_backend must be 'radix' or 'mergesort', got {self.sort_backend!r}"
+            )
+        if self.chunk_flops < 1:
+            raise ConfigError(f"chunk_flops must be >= 1, got {self.chunk_flops}")
+        if self.nthreads < 1:
+            raise ConfigError(f"nthreads must be >= 1, got {self.nthreads}")
+        if self.bin_mapping == "modulo" and self.pack_keys:
+            raise ConfigError(
+                "key packing requires contiguous bin ranges; use "
+                "bin_mapping='range' or pack_keys=False"
+            )
+
+    def with_(self, **changes) -> "PBConfig":
+        """Functional update (dataclasses.replace with validation)."""
+        return replace(self, **changes)
+
+    @property
+    def local_bin_tuples(self) -> int:
+        """Tuples one local bin holds before flushing to its global bin."""
+        return max(1, self.local_bin_bytes // TUPLE_BYTES)

@@ -1,0 +1,219 @@
+"""PB-SpGEMM — paper Algorithm 2, end to end.
+
+Phases (matching the paper's structure and instrumentation points):
+
+1. **Symbolic** (Alg. 3): flop count from pointer arrays, bin sizing,
+   global-bin allocation.
+2. **Expand** (lines 5-14): outer products stream A (CSC) and B (CSR)
+   once; tuples are distributed to global bins (the executable path
+   uses one vectorized stable distribution; the local-bin protocol is
+   replayed separately for traffic accounting when requested).
+3. **Sort** (line 16): per bin, tuples are packed into narrow integer
+   keys (Sec. III-D) and radix-sorted in-bin.
+4. **Compress** (line 17): per bin, the two-pointer merge collapses
+   duplicate (row, col) keys.
+5. **CSR conversion** (line 9 of Alg. 1 / line 22): bins cover
+   ascending disjoint row ranges, so concatenating compressed bins in
+   bin order *is* row-major order; one bincount builds the pointer.
+
+The function returns just the CSR product; :func:`pb_spgemm_detailed`
+additionally returns per-phase measurements (tuple counts, bin
+occupancy, radix passes, flush statistics) that the cost model and
+several benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..matrix.base import INDEX_DTYPE
+from ..matrix.csc import CSCMatrix
+from ..matrix.csr import CSRMatrix
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from ..kernels.compress import compress_keyed
+from ..kernels.outer_expand import expand_chunks
+from ..kernels.radix import sort_tuples
+from .binning import BinLayout, distribute_to_bins, pack_keys, plan_bins, simulate_local_bins, unpack_keys
+from .config import PBConfig
+from .symbolic import SymbolicResult, symbolic_phase
+
+
+@dataclass
+class PBResult:
+    """Product plus per-phase instrumentation from one PB-SpGEMM run."""
+
+    c: CSRMatrix
+    symbolic: SymbolicResult
+    layout: BinLayout
+    flop: int
+    nnz_c: int
+    compression_factor: float
+    tuples_per_bin: np.ndarray
+    radix_passes: int
+    key_bits: int
+    local_bin_stats: dict | None = None
+    phase_tuple_counts: dict = field(default_factory=dict)
+    #: Wall-clock seconds of each executable phase (symbolic, expand,
+    #: sort_compress, convert).  Single-core Python timings — useful for
+    #: relative phase shares, not for the paper's hardware numbers.
+    phase_seconds: dict = field(default_factory=dict)
+
+
+def _sort_and_compress_bin(
+    layout: BinLayout,
+    binid: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    semiring: Semiring,
+    config: PBConfig,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Sort one bin's tuples by packed key and merge duplicates."""
+    keys = pack_keys(layout, rows, cols)
+    keys, svals, passes = sort_tuples(
+        keys, vals, key_bits=layout.key_bits, backend=config.sort_backend
+    )
+    ckeys, cvals = compress_keyed(keys, svals, semiring)
+    crows, ccols = unpack_keys(layout, ckeys, binid)
+    return crows, ccols, cvals, passes
+
+
+def pb_spgemm_detailed(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    semiring: Semiring | str = PLUS_TIMES,
+    config: PBConfig | None = None,
+    collect_local_bin_stats: bool = False,
+) -> PBResult:
+    """Run PB-SpGEMM and return the product with full instrumentation."""
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    cfg = config or PBConfig()
+    sr = get_semiring(semiring)
+    m, n = a_csc.shape[0], b_csr.shape[1]
+    phase_seconds: dict[str, float] = {}
+    t0 = time.perf_counter()
+
+    # ---- Phase 1: symbolic -------------------------------------------------
+    sym = symbolic_phase(a_csc, b_csr, cfg)
+    if cfg.bin_mapping == "balanced":
+        # Variable row ranges equalizing tuples per bin (Sec. V-C).
+        from .binning import VariableBinLayout, balanced_bin_edges
+
+        b_rownnz = b_csr.row_nnz()
+        col_of_entry = np.repeat(np.arange(a_csc.shape[1]), a_csc.col_nnz())
+        flops_per_row = np.bincount(
+            a_csc.indices,
+            weights=b_rownnz[col_of_entry].astype(np.float64),
+            minlength=m,
+        )
+        layout = VariableBinLayout(
+            m, n, balanced_bin_edges(flops_per_row, sym.nbins)
+        )
+    else:
+        layout = plan_bins(m, n, sym.nbins, sym.rows_per_bin, cfg)
+    phase_seconds["symbolic"] = time.perf_counter() - t0
+
+    if sym.flop == 0:
+        empty = CSRMatrix.empty((m, n))
+        return PBResult(
+            c=empty,
+            symbolic=sym,
+            layout=layout,
+            flop=0,
+            nnz_c=0,
+            compression_factor=1.0,
+            tuples_per_bin=np.zeros(layout.nbins, dtype=np.int64),
+            radix_passes=0,
+            key_bits=layout.key_bits,
+        )
+
+    # ---- Phase 2: expand + propagation blocking ---------------------------
+    # Chunked expansion bounds peak memory; each chunk's tuples are
+    # appended to per-bin segments (the global bins).
+    chunks = list(
+        expand_chunks(a_csc, b_csr, chunk_flops=cfg.chunk_flops, semiring=sr)
+    )
+    rows = np.concatenate([c[0] for c in chunks])
+    cols = np.concatenate([c[1] for c in chunks])
+    vals = np.concatenate([c[2] for c in chunks])
+    b_rows, b_cols, b_vals, bin_starts = distribute_to_bins(layout, rows, cols, vals)
+    tuples_per_bin = np.diff(bin_starts)
+    phase_seconds["expand"] = time.perf_counter() - t0 - sum(phase_seconds.values())
+
+    local_stats = None
+    if collect_local_bin_stats and cfg.use_local_bins:
+        local_stats = simulate_local_bins(layout, rows, cfg.local_bin_tuples)
+    del rows, cols, vals
+
+    # ---- Phases 3+4: per-bin sort and compress -----------------------------
+    out_rows: list[np.ndarray] = []
+    out_cols: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    passes = 0
+    for b in range(layout.nbins):
+        lo, hi = int(bin_starts[b]), int(bin_starts[b + 1])
+        if lo == hi:
+            continue
+        crows, ccols, cvals, p = _sort_and_compress_bin(
+            layout, b, b_rows[lo:hi], b_cols[lo:hi], b_vals[lo:hi], sr, cfg
+        )
+        passes = max(passes, p)
+        out_rows.append(crows)
+        out_cols.append(ccols)
+        out_vals.append(cvals)
+    phase_seconds["sort_compress"] = (
+        time.perf_counter() - t0 - sum(phase_seconds.values())
+    )
+
+    # ---- Phase 5: CSR conversion -------------------------------------------
+    c_rows = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=INDEX_DTYPE)
+    c_cols = np.concatenate(out_cols) if out_cols else np.empty(0, dtype=INDEX_DTYPE)
+    c_vals = np.concatenate(out_vals) if out_vals else np.empty(0)
+    if layout.mapping in ("range", "variable"):
+        # Bins cover ascending disjoint row ranges: already row-major.
+        rows_sorted, cols_sorted, vals_sorted = c_rows, c_cols, c_vals
+    else:
+        order = np.lexsort((c_cols, c_rows))
+        rows_sorted, cols_sorted, vals_sorted = c_rows[order], c_cols[order], c_vals[order]
+    counts = np.bincount(rows_sorted, minlength=m) if len(rows_sorted) else np.zeros(m, dtype=np.int64)
+    indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    c = CSRMatrix((m, n), indptr, cols_sorted, vals_sorted, validate=False)
+    phase_seconds["convert"] = time.perf_counter() - t0 - sum(phase_seconds.values())
+
+    nnz_c = c.nnz
+    return PBResult(
+        c=c,
+        symbolic=sym,
+        layout=layout,
+        flop=sym.flop,
+        nnz_c=nnz_c,
+        compression_factor=sym.flop / max(nnz_c, 1),
+        tuples_per_bin=tuples_per_bin,
+        radix_passes=passes,
+        key_bits=layout.key_bits,
+        local_bin_stats=local_stats,
+        phase_tuple_counts={
+            "expanded": sym.flop,
+            "compressed": nnz_c,
+        },
+        phase_seconds=phase_seconds,
+    )
+
+
+def pb_spgemm(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    semiring: Semiring | str = PLUS_TIMES,
+    config: PBConfig | None = None,
+) -> CSRMatrix:
+    """C = A · B by propagation-blocked outer-product ESC (the paper's
+    PB-SpGEMM).  Returns canonical CSR; see :func:`pb_spgemm_detailed`
+    for instrumentation.
+    """
+    return pb_spgemm_detailed(a_csc, b_csr, semiring, config).c

@@ -1,0 +1,43 @@
+"""Analytic performance model (paper Sec. II + Tables II/III).
+
+* :mod:`roofline` — arithmetic-intensity bounds (Eqs. 1-4) and
+  attainable FLOPS under the Roofline model (Fig. 3).
+* :mod:`phases` — the :class:`PhaseCost` record: DRAM bytes, random
+  line touches, compute cycles and load-balance items for one phase.
+* :mod:`bytes_model` — per-algorithm phase-cost builders implementing
+  the byte accounting of Tables II and III.
+* :mod:`compute` — calibrated per-flop cycle constants (documented
+  against the paper's measured MFLOPS; see EXPERIMENTS.md).
+"""
+
+from .roofline import (
+    ai_upper_bound,
+    ai_column_lower_bound,
+    ai_esc_lower_bound,
+    attainable_mflops,
+    roofline_mflops,
+    spgemm_arithmetic_intensity,
+    RooflinePoint,
+    roofline_curve,
+)
+from .phases import PhaseCost, WorkloadStats, workload_stats
+from .bytes_model import algorithm_phase_costs, pb_phase_costs, column_phase_costs
+from . import compute
+
+__all__ = [
+    "ai_upper_bound",
+    "ai_column_lower_bound",
+    "ai_esc_lower_bound",
+    "attainable_mflops",
+    "roofline_mflops",
+    "spgemm_arithmetic_intensity",
+    "RooflinePoint",
+    "roofline_curve",
+    "PhaseCost",
+    "WorkloadStats",
+    "workload_stats",
+    "algorithm_phase_costs",
+    "pb_phase_costs",
+    "column_phase_costs",
+    "compute",
+]

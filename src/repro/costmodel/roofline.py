@@ -1,0 +1,136 @@
+"""Roofline model for SpGEMM (paper Sec. II-C, Eqs. 1-4, Fig. 3).
+
+Arithmetic intensity (AI) is flops per byte of DRAM traffic; with b
+bytes per stored nonzero (16 in the paper's COO accounting):
+
+* Eq. 1 — upper bound, reading/writing every matrix exactly once:
+  ``AI ≤ cf / b``.
+* Eq. 3 — column-SpGEMM lower bound (A re-read flop times):
+  ``AI ≥ cf / ((2 + cf) · b)``.
+* Eq. 4 — outer-product-ESC lower bound (Ĉ written and re-read):
+  ``AI ≥ cf / ((3 + 2·cf) · b)``.
+
+Attainable performance is ``β · AI`` (Eq. 2) with β the STREAM
+bandwidth, unless compute-bound at the machine's scalar peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..matrix.base import BYTES_PER_NONZERO
+
+
+def ai_upper_bound(cf: float, bytes_per_nnz: float = BYTES_PER_NONZERO) -> float:
+    """Eq. 1: best-case AI when every matrix moves exactly once."""
+    _check(cf, bytes_per_nnz)
+    return cf / bytes_per_nnz
+
+
+def ai_column_lower_bound(cf: float, bytes_per_nnz: float = BYTES_PER_NONZERO) -> float:
+    """Eq. 3: column-SpGEMM AI when every access of A misses."""
+    _check(cf, bytes_per_nnz)
+    return cf / ((2.0 + cf) * bytes_per_nnz)
+
+
+def ai_esc_lower_bound(cf: float, bytes_per_nnz: float = BYTES_PER_NONZERO) -> float:
+    """Eq. 4: ESC AI including the write + re-read of all flop tuples."""
+    _check(cf, bytes_per_nnz)
+    return cf / ((3.0 + 2.0 * cf) * bytes_per_nnz)
+
+
+def spgemm_arithmetic_intensity(
+    flop: float,
+    nnz_a: float,
+    nnz_b: float,
+    nnz_c: float,
+    chat_accesses: int = 0,
+    bytes_per_nnz: float = BYTES_PER_NONZERO,
+) -> float:
+    """Measured-traffic AI: flops over actual bytes moved.
+
+    ``chat_accesses`` counts how many times the expanded matrix crosses
+    DRAM (2 for ESC algorithms, 0 for accumulator-based ones).
+    """
+    moved = (nnz_a + nnz_b + nnz_c + chat_accesses * flop) * bytes_per_nnz
+    if moved <= 0:
+        return 0.0
+    return flop / moved
+
+
+def attainable_mflops(
+    ai: float,
+    bandwidth_gbs: float,
+    peak_compute_mflops: float | None = None,
+) -> float:
+    """Eq. 2: min(β · AI, compute peak), in MFLOPS."""
+    if ai < 0 or bandwidth_gbs <= 0:
+        raise ValueError(f"need ai >= 0 and bandwidth > 0, got {ai}, {bandwidth_gbs}")
+    mem_bound = bandwidth_gbs * 1e9 * ai / 1e6
+    if peak_compute_mflops is None:
+        return mem_bound
+    return min(mem_bound, peak_compute_mflops)
+
+
+def roofline_mflops(
+    cf: float,
+    bandwidth_gbs: float,
+    bound: str = "esc",
+    bytes_per_nnz: float = BYTES_PER_NONZERO,
+) -> float:
+    """Attainable MFLOPS for a multiplication of compression factor cf.
+
+    ``bound`` selects the AI estimate: ``"upper"`` (Eq. 1),
+    ``"column"`` (Eq. 3) or ``"esc"`` (Eq. 4 — PB-SpGEMM's own bound).
+    """
+    fns = {
+        "upper": ai_upper_bound,
+        "column": ai_column_lower_bound,
+        "esc": ai_esc_lower_bound,
+    }
+    try:
+        ai = fns[bound](cf, bytes_per_nnz)
+    except KeyError:
+        raise ValueError(f"bound must be one of {sorted(fns)}, got {bound!r}") from None
+    return attainable_mflops(ai, bandwidth_gbs)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One point of the Fig. 3 curve."""
+
+    ai: float
+    mflops: float
+    regime: str  # "memory" or "compute"
+
+
+def roofline_curve(
+    bandwidth_gbs: float,
+    peak_compute_mflops: float,
+    ai_range: tuple[float, float] = (1e-3, 10.0),
+    points: int = 64,
+) -> list[RooflinePoint]:
+    """Sample the classic roofline (Fig. 3's envelope)."""
+    if bandwidth_gbs <= 0 or peak_compute_mflops <= 0:
+        raise ValueError("bandwidth and compute peak must be positive")
+    lo, hi = ai_range
+    if not (0 < lo < hi):
+        raise ValueError(f"invalid AI range {ai_range}")
+    ais = np.geomspace(lo, hi, points)
+    out = []
+    for ai in ais:
+        mem = bandwidth_gbs * 1e9 * ai / 1e6
+        mflops = min(mem, peak_compute_mflops)
+        out.append(
+            RooflinePoint(float(ai), float(mflops), "memory" if mem < peak_compute_mflops else "compute")
+        )
+    return out
+
+
+def _check(cf: float, bytes_per_nnz: float) -> None:
+    if cf < 1.0:
+        raise ValueError(f"compression factor must be >= 1, got {cf}")
+    if bytes_per_nnz <= 0:
+        raise ValueError(f"bytes_per_nnz must be positive, got {bytes_per_nnz}")

@@ -1,0 +1,33 @@
+"""Exception types used across :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can wrap an entire pipeline in one ``except ReproError`` clause
+without masking genuine programming errors (``TypeError`` etc. still
+propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Matrix dimensions are inconsistent for the requested operation."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse matrix's internal arrays violate its format invariants."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object (e.g. :class:`repro.core.PBConfig`) is invalid."""
+
+
+class MachineError(ReproError, ValueError):
+    """A machine specification is inconsistent or incomplete."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine was asked to do something it cannot model."""

@@ -1,0 +1,34 @@
+"""Matrix generators used by the paper's evaluation (Sec. IV-C).
+
+* :func:`erdos_renyi` — ER random matrices with d nonzeros per column
+  (R-MAT with a=b=c=d=0.25).
+* :func:`rmat` — Graph-500 R-MAT matrices (a=0.57, b=c=0.19, d=0.05).
+* :func:`surrogate` — synthetic stand-ins for the 12 SuiteSparse
+  matrices of Table VI (see DESIGN.md §2 for the substitution rationale).
+* :mod:`repro.generators.structured` — banded / diagonal / block
+  matrices for tests and examples.
+"""
+
+from .er import erdos_renyi
+from .rmat import rmat, RMAT_GRAPH500, RMAT_ER
+from .surrogates import SURROGATE_SPECS, SurrogateSpec, surrogate, surrogate_names
+from .structured import banded, diagonal, block_diagonal, bipartite_blocks, tall_skinny
+from .grids import kron, poisson2d
+
+__all__ = [
+    "erdos_renyi",
+    "rmat",
+    "RMAT_GRAPH500",
+    "RMAT_ER",
+    "SURROGATE_SPECS",
+    "SurrogateSpec",
+    "surrogate",
+    "surrogate_names",
+    "banded",
+    "diagonal",
+    "block_diagonal",
+    "bipartite_blocks",
+    "tall_skinny",
+    "kron",
+    "poisson2d",
+]

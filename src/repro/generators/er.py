@@ -1,0 +1,86 @@
+"""Erdős-Rényi random sparse matrices (paper Sec. II-A, IV-C).
+
+An ER matrix of scale s and edge factor d has n = 2^s rows/columns and
+d nonzeros uniformly distributed in each column.  Sampling is with
+replacement followed by coalescing, so the realized nnz is slightly
+below n·d — exactly how the paper's R-MAT-based generator behaves
+(duplicate edges merge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.base import INDEX_DTYPE
+from ..matrix.coo import COOMatrix
+
+
+def erdos_renyi(
+    n: int,
+    edge_factor: int = 4,
+    seed: int | None = None,
+    values: str = "uniform",
+    fmt: str = "csr",
+):
+    """Generate an n×n ER matrix with ``edge_factor`` nonzeros per column.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (use ``2**scale`` for the paper's scales).
+    edge_factor:
+        Average nonzeros per column, the paper's d.
+    seed:
+        RNG seed for reproducibility.
+    values:
+        ``"uniform"`` — U(0, 1); ``"ones"`` — all 1.0 (pattern matrices).
+    fmt:
+        Output format: ``"csr"``, ``"csc"`` or ``"coo"``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if edge_factor < 0:
+        raise ValueError(f"edge_factor must be non-negative, got {edge_factor}")
+    rng = np.random.default_rng(seed)
+    nnz = n * edge_factor
+    rows = rng.integers(0, max(n, 1), size=nnz, dtype=INDEX_DTYPE) if nnz else np.empty(0, dtype=INDEX_DTYPE)
+    cols = np.repeat(np.arange(n, dtype=INDEX_DTYPE), edge_factor)
+    if values == "uniform":
+        vals = rng.random(nnz)
+    elif values == "ones":
+        vals = np.ones(nnz)
+    else:
+        raise ValueError(f"values must be 'uniform' or 'ones', got {values!r}")
+    coo = COOMatrix((n, n), rows, cols, vals, validate=False)
+    if fmt == "coo":
+        return coo.coalesce()
+    if fmt == "csr":
+        return coo.to_csr()
+    if fmt == "csc":
+        return coo.to_csc()
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def er_expected_stats(n: int, d: int) -> dict:
+    """Analytic expectations for squaring an ER matrix (used at scales
+    too large to expand in Python).
+
+    With d nonzeros per column placed uniformly at random:
+
+    * ``flop`` = Σ_k coldeg(k)·rowdeg(k) ≈ n·d² in expectation,
+    * ``nnz(C)``: an output column draws d columns of A (d² placements
+      into n slots), so nnz per column ≈ n(1 - (1 - 1/n)^{d²}),
+    * ``cf`` = flop / nnz(C), → 1 as d²/n → 0 (the paper's "cf for ER
+      is close to 1 in expectation").
+    """
+    flop = n * d * d
+    if n == 0 or d == 0:
+        return {"flop": 0, "nnz_c": 0, "cf": 1.0, "nnz": 0}
+    per_col = n * (1.0 - (1.0 - 1.0 / n) ** (d * d))
+    nnz_c = per_col * n
+    return {
+        "flop": float(flop),
+        "nnz_c": float(nnz_c),
+        "cf": float(flop / max(nnz_c, 1.0)),
+        "nnz": float(n * n * (1.0 - (1.0 - 1.0 / n) ** d)),
+    }

@@ -1,0 +1,97 @@
+"""R-MAT recursive matrix generator (Chakrabarti et al.; Graph 500).
+
+The paper generates synthetic inputs with R-MAT: ER matrices use
+quadrant probabilities a=b=c=d=0.25; "RMAT" (Graph-500) matrices use
+a=0.57, b=c=0.19, d=0.05, giving the skewed degree distributions that
+drive the load-imbalance results (Figs. 9, 12, 13).
+
+Generation is fully vectorized: all ``n·edge_factor`` edges descend the
+``scale`` recursion levels simultaneously, one random draw per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.base import INDEX_DTYPE
+from ..matrix.coo import COOMatrix
+
+#: Graph-500 parameters used for the paper's "RMAT" matrices.
+RMAT_GRAPH500 = (0.57, 0.19, 0.19, 0.05)
+#: Uniform parameters: R-MAT degenerates to Erdős-Rényi.
+RMAT_ER = (0.25, 0.25, 0.25, 0.25)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    params: tuple[float, float, float, float] = RMAT_GRAPH500,
+    seed: int | None = None,
+    values: str = "uniform",
+    fmt: str = "csr",
+    shuffle: bool = True,
+):
+    """Generate a 2^scale × 2^scale R-MAT matrix.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the dimension (the paper's "scale k").
+    edge_factor:
+        Average nonzeros per row/column before deduplication.
+    params:
+        Quadrant probabilities (a, b, c, d); must sum to 1.
+    seed, values, fmt:
+        As in :func:`repro.generators.erdos_renyi`.
+    shuffle:
+        Apply a random vertex relabeling, as the Graph 500 reference
+        generator does.  Without it every hub sits at a small vertex id,
+        which concentrates all heavy columns into the first static
+        chunk / first bin — a pathology real R-MAT inputs do not have.
+        The *skewed degree distribution* (what drives the paper's
+        load-imbalance results) is unaffected by relabeling.
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    a, b, c, d = params
+    total = a + b + c + d
+    if not np.isclose(total, 1.0):
+        raise ValueError(f"R-MAT parameters must sum to 1, got {total}")
+    if min(a, b, c, d) < 0:
+        raise ValueError(f"R-MAT parameters must be non-negative: {params}")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    nedges = n * edge_factor
+
+    rows = np.zeros(nedges, dtype=INDEX_DTYPE)
+    cols = np.zeros(nedges, dtype=INDEX_DTYPE)
+    # Per level: choose a quadrant for every edge at once.
+    #   quadrant 0 = (0,0) prob a, 1 = (0,1) prob b,
+    #   quadrant 2 = (1,0) prob c, 3 = (1,1) prob d.
+    thresholds = np.cumsum([a, b, c])
+    for level in range(scale - 1, -1, -1):
+        u = rng.random(nedges)
+        quad = np.searchsorted(thresholds, u, side="right")
+        rows |= ((quad >> 1) & 1).astype(INDEX_DTYPE) << level
+        cols |= (quad & 1).astype(INDEX_DTYPE) << level
+
+    if shuffle and n > 1:
+        perm = rng.permutation(n).astype(INDEX_DTYPE)
+        rows = perm[rows]
+        cols = perm[cols]
+
+    if values == "uniform":
+        vals = rng.random(nedges)
+    elif values == "ones":
+        vals = np.ones(nedges)
+    else:
+        raise ValueError(f"values must be 'uniform' or 'ones', got {values!r}")
+
+    coo = COOMatrix((n, n), rows, cols, vals, validate=False)
+    if fmt == "coo":
+        return coo.coalesce()
+    if fmt == "csr":
+        return coo.to_csr()
+    if fmt == "csc":
+        return coo.to_csc()
+    raise ValueError(f"unknown format {fmt!r}")

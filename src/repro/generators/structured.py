@@ -1,0 +1,93 @@
+"""Structured matrices for tests, examples and edge-case coverage.
+
+Deterministic shapes with analytically known products — useful both as
+test fixtures (banded² is banded with known width) and to exercise the
+tall-and-skinny multiplication pattern the paper mentions (betweenness
+centrality) but leaves unexplored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix.base import INDEX_DTYPE
+from ..matrix.coo import COOMatrix
+from ..matrix.csr import CSRMatrix
+
+
+def diagonal(values) -> CSRMatrix:
+    """Diagonal matrix from a value vector."""
+    vals = np.asarray(values, dtype=np.float64)
+    n = len(vals)
+    idx = np.arange(n, dtype=INDEX_DTYPE)
+    return COOMatrix((n, n), idx, idx, vals, validate=False).to_csr()
+
+
+def banded(n: int, bandwidth: int = 1, value: float = 1.0) -> CSRMatrix:
+    """Band matrix with entries on diagonals -bandwidth..+bandwidth."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if bandwidth < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {bandwidth}")
+    rows_list = []
+    cols_list = []
+    for off in range(-bandwidth, bandwidth + 1):
+        lo, hi = max(0, -off), min(n, n - off)
+        r = np.arange(lo, hi, dtype=INDEX_DTYPE)
+        rows_list.append(r)
+        cols_list.append(r + off)
+    rows = np.concatenate(rows_list) if rows_list else np.empty(0, dtype=INDEX_DTYPE)
+    cols = np.concatenate(cols_list) if cols_list else np.empty(0, dtype=INDEX_DTYPE)
+    return COOMatrix(
+        (n, n), rows, cols, np.full(len(rows), value), validate=False
+    ).to_csr()
+
+
+def block_diagonal(nblocks: int, block_size: int, seed: int | None = None) -> CSRMatrix:
+    """Dense random blocks along the diagonal (bounded-cf stress shape)."""
+    if nblocks < 0 or block_size < 0:
+        raise ValueError("nblocks and block_size must be non-negative")
+    rng = np.random.default_rng(seed)
+    n = nblocks * block_size
+    per_block = block_size * block_size
+    base = np.arange(block_size, dtype=INDEX_DTYPE)
+    rows = np.concatenate(
+        [b * block_size + np.repeat(base, block_size) for b in range(nblocks)]
+    ) if nblocks else np.empty(0, dtype=INDEX_DTYPE)
+    cols = np.concatenate(
+        [b * block_size + np.tile(base, block_size) for b in range(nblocks)]
+    ) if nblocks else np.empty(0, dtype=INDEX_DTYPE)
+    vals = rng.random(nblocks * per_block)
+    return COOMatrix((n, n), rows, cols, vals, validate=False).to_csr()
+
+
+def bipartite_blocks(m: int, k: int, n: int, density: float, seed: int | None = None) -> tuple[CSRMatrix, CSRMatrix]:
+    """A rectangular pair (A: m×k, B: k×n) with iid Bernoulli structure.
+
+    Exercises non-square SpGEMM paths (every kernel must handle m≠k≠n).
+    """
+    if not 0 <= density <= 1:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+
+    def _one(rows: int, cols: int) -> CSRMatrix:
+        mask = rng.random((rows, cols)) < density
+        r, c = np.nonzero(mask)
+        return COOMatrix(
+            (rows, cols), r, c, rng.random(len(r)), validate=False
+        ).to_csr()
+
+    return _one(m, k), _one(k, n)
+
+
+def tall_skinny(n: int, width: int, nnz_per_col: int, seed: int | None = None) -> CSRMatrix:
+    """An n×width matrix with ``nnz_per_col`` entries per column.
+
+    The "square matrix times tall-and-skinny matrix" pattern of
+    betweenness-centrality SpGEMM (paper Sec. IV-C's road not taken).
+    """
+    rng = np.random.default_rng(seed)
+    total = width * nnz_per_col
+    rows = rng.integers(0, max(n, 1), size=total, dtype=INDEX_DTYPE) if total else np.empty(0, dtype=INDEX_DTYPE)
+    cols = np.repeat(np.arange(width, dtype=INDEX_DTYPE), nnz_per_col)
+    return COOMatrix((n, width), rows, cols, rng.random(total), validate=False).to_csr()

@@ -1,0 +1,215 @@
+"""Synthetic surrogates for the 12 SuiteSparse matrices of Table VI.
+
+The evaluation machine has no network access, so the real collection
+files cannot be downloaded.  Per the substitution policy (DESIGN.md §2)
+we synthesize, for each matrix, a stand-in that preserves the properties
+the paper's performance model actually depends on:
+
+* dimensions ``n`` and nonzero count ``nnz`` (→ input traffic),
+* mean degree ``d`` (→ cache-line utilization of column algorithms),
+* the squaring ``flops`` (→ expanded-tuple traffic), controlled through
+  the degree distribution's second moment (``flops ≈ n·E[deg²]`` for
+  matrices whose row and column degree profiles track each other, which
+  holds for all 12 — they are squarings of (near-)symmetric matrices),
+* the compression factor ``cf`` (→ who wins, PB or Hash), controlled
+  through a *locality window*: nonzeros of column j land within a
+  window of width w around j, and narrower windows make neighbouring
+  columns' supports overlap more, raising cf.  w is calibrated per
+  matrix by bisection against a sampled nnz(C) estimate.
+
+Surrogates can be generated at a reduced ``scale_factor`` (the degree
+distribution — and therefore d, flops/n and cf — is scale-invariant,
+so the *shape* of Fig. 11 survives scaling; the bench reports achieved
+stats next to Table VI's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..matrix.base import INDEX_DTYPE
+from ..matrix.coo import COOMatrix
+from ..matrix.csr import CSRMatrix
+from ..matrix.stats import _distinct_outputs_sampled, flops_per_k
+
+
+@dataclass(frozen=True)
+class SurrogateSpec:
+    """One row of the paper's Table VI."""
+
+    name: str
+    n: int
+    nnz: int
+    d: float
+    flops: float
+    nnz_c: float
+    cf: float
+
+
+#: Table VI, verbatim.
+SURROGATE_SPECS: dict[str, SurrogateSpec] = {
+    s.name: s
+    for s in (
+        SurrogateSpec("2cubes_sphere", 101_500, 1_600_000, 16.23, 27.5e6, 9.0e6, 3.06),
+        SurrogateSpec("amazon0505", 410_200, 3_400_000, 8.18, 31.9e6, 16.1e6, 1.98),
+        SurrogateSpec("cage12", 130_200, 2_000_000, 15.61, 34.6e6, 15.2e6, 2.14),
+        SurrogateSpec("cant", 62_500, 4_000_000, 64.17, 269.5e6, 17.4e6, 15.45),
+        SurrogateSpec("hood", 220_500, 9_900_000, 44.87, 562.0e6, 34.2e6, 16.41),
+        SurrogateSpec("m133_b3", 200_200, 800_800, 4.00, 3.2e6, 3.2e6, 1.01),
+        SurrogateSpec("majorbasis", 160_000, 1_800_000, 10.94, 19.2e6, 8.2e6, 2.33),
+        SurrogateSpec("mc2depi", 525_800, 2_100_000, 3.99, 8.4e6, 5.2e6, 1.60),
+        SurrogateSpec("offshore", 259_800, 4_200_000, 16.33, 71.3e6, 69.8e6, 3.05),
+        SurrogateSpec("patents_main", 240_500, 560_900, 2.33, 2.6e6, 2.3e6, 1.14),
+        SurrogateSpec("scircuit", 171_000, 958_900, 5.61, 8.7e6, 5.2e6, 1.66),
+        SurrogateSpec("web-Google", 916_400, 5_100_000, 5.57, 60.7e6, 29.7e6, 2.04),
+    )
+}
+
+
+def surrogate_names() -> tuple[str, ...]:
+    """Table VI matrix names in the paper's (alphabetical) order."""
+    return tuple(SURROGATE_SPECS)
+
+
+def _degree_sequence(
+    rng: np.random.Generator, n: int, mean: float, second_moment: float
+) -> np.ndarray:
+    """Integer degrees with the target mean and second moment.
+
+    A discretized lognormal hits both moments: for lognormal X with
+    mean m, E[X²] = m²·exp(σ²), so σ² = ln(M2 / m²) (clamped at 0 for a
+    degree-regular matrix).  Degrees are then rescaled to make the total
+    nnz exact.
+    """
+    if n == 0 or mean <= 0:
+        return np.zeros(n, dtype=np.int64)
+    sigma2 = max(0.0, np.log(max(second_moment, mean**2) / mean**2))
+    if sigma2 == 0.0:
+        base = np.full(n, mean)
+    else:
+        mu = np.log(mean) - sigma2 / 2.0
+        base = rng.lognormal(mu, np.sqrt(sigma2), size=n)
+    target_total = int(round(n * mean))
+    base = base * (target_total / max(base.sum(), 1e-300))
+    degrees = np.floor(base).astype(np.int64)
+    # Distribute the rounding remainder to the largest fractional parts.
+    deficit = target_total - int(degrees.sum())
+    if deficit > 0:
+        frac = base - np.floor(base)
+        top = np.argsort(frac)[-deficit:]
+        degrees[top] += 1
+    np.clip(degrees, 0, n, out=degrees)
+    return degrees
+
+
+def _place_windowed(
+    rng: np.random.Generator, n: int, degrees: np.ndarray, window: int
+) -> COOMatrix:
+    """Scatter column j's nonzeros uniformly within a width-``window``
+    band centred at row j (wrapping).  window = n gives unstructured.
+
+    Duplicate (row, col) draws merge away nonzeros, so after an initial
+    round the per-column deficit is redrawn (a few rounds converge to
+    within ~1% of the target degree sequence).
+    """
+    half = max(window // 2, 1)
+    target = degrees
+    rows_acc: list[np.ndarray] = []
+    cols_acc: list[np.ndarray] = []
+    need = target.copy()
+    for _round in range(4):
+        total = int(need.sum())
+        if total == 0:
+            break
+        cols = np.repeat(np.arange(n, dtype=INDEX_DTYPE), need)
+        offsets = rng.integers(-half, half, size=total, dtype=INDEX_DTYPE)
+        rows = (cols + offsets) % max(n, 1)
+        rows_acc.append(rows)
+        cols_acc.append(cols)
+        # Count distinct entries per column achieved so far.
+        all_rows = np.concatenate(rows_acc)
+        all_cols = np.concatenate(cols_acc)
+        key = all_cols * n + all_rows
+        distinct_per_col = np.zeros(n, dtype=np.int64)
+        uniq = np.sort(key)
+        keep = np.empty(len(uniq), dtype=bool)
+        keep[0] = True
+        np.not_equal(uniq[1:], uniq[:-1], out=keep[1:])
+        uniq_cols = (uniq[keep] // n).astype(np.int64)
+        distinct_per_col = np.bincount(uniq_cols, minlength=n)
+        need = np.maximum(target - distinct_per_col, 0)
+        # A column cannot hold more distinct entries than its window.
+        need = np.minimum(need, np.maximum(2 * half - distinct_per_col, 0))
+        if need.sum() <= max(1, int(0.01 * target.sum())):
+            break
+    rows = np.concatenate(rows_acc) if rows_acc else np.empty(0, dtype=INDEX_DTYPE)
+    cols = np.concatenate(cols_acc) if cols_acc else np.empty(0, dtype=INDEX_DTYPE)
+    vals = rng.random(len(cols))
+    return COOMatrix((n, n), rows, cols, vals, validate=False)
+
+
+def _achieved_cf(csr: CSRMatrix, seed: int) -> float:
+    """Sampled-column estimate of cf for squaring ``csr``."""
+    a_csc = csr.to_csc()
+    flop = float(flops_per_k(a_csc, csr).sum())
+    if flop == 0:
+        return 1.0
+    nnz_c = _distinct_outputs_sampled(a_csc, csr, sample_cols=256, seed=seed)
+    return flop / max(nnz_c, 1)
+
+
+@lru_cache(maxsize=64)
+def _build(name: str, scale_factor: float, seed: int) -> CSRMatrix:
+    spec = SURROGATE_SPECS[name]
+    rng = np.random.default_rng(seed)
+    n = max(int(round(spec.n * scale_factor)), 64)
+    second_moment = spec.flops / spec.n  # scale-invariant target E[deg²]
+    degrees = _degree_sequence(rng, n, spec.d, second_moment)
+
+    # Bisect the locality window on log scale against the target cf.
+    lo = max(int(4 * spec.d), 8)
+    hi = n
+    best = None
+    best_err = np.inf
+    for _ in range(7):
+        if lo >= hi:
+            break
+        w = int(np.sqrt(lo * hi))
+        csr = _place_windowed(rng, n, degrees, w).to_csr()
+        cf = _achieved_cf(csr, seed)
+        err = abs(np.log(cf / spec.cf))
+        if err < best_err:
+            best, best_err = csr, err
+        if cf > spec.cf:
+            lo = w + 1  # too much overlap → widen the window
+        else:
+            hi = w - 1
+    if best is None:
+        best = _place_windowed(rng, n, degrees, n).to_csr()
+    return best
+
+
+def surrogate(name: str, scale_factor: float = 1.0, seed: int = 0) -> CSRMatrix:
+    """Generate the surrogate for a Table VI matrix.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`surrogate_names`.
+    scale_factor:
+        Linear size reduction: n and nnz scale by this factor while d,
+        flops/n and cf are preserved.  The figure benchmarks default to
+        a reduced factor so pure-Python kernels finish; see
+        EXPERIMENTS.md.
+    seed:
+        RNG seed (calibration included, so results are deterministic).
+    """
+    if name not in SURROGATE_SPECS:
+        known = ", ".join(surrogate_names())
+        raise KeyError(f"unknown Table VI matrix {name!r}; available: {known}")
+    if not 0 < scale_factor <= 1.0:
+        raise ValueError(f"scale_factor must be in (0, 1], got {scale_factor}")
+    return _build(name, float(scale_factor), int(seed))

@@ -1,0 +1,75 @@
+"""Two-pointer compression of sorted tuple streams (the Compress phase).
+
+After the sort phase, tuples with equal (row, col) keys sit in adjacent
+positions; the paper merges them with a single two-pointer scan
+(Sec. III-E).  The vectorized equivalent: run boundaries come from one
+``diff`` over the key array, values merge with one segmented ⊕-reduction
+(``Semiring.reduceat``).  Exactly one linear pass over the data, like
+the paper's scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+
+__all__ = ["compress_sorted", "compress_keyed"]
+
+
+def compress_keyed(
+    keys: np.ndarray,
+    values: np.ndarray,
+    semiring: Semiring | str = PLUS_TIMES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge adjacent duplicate keys of a *sorted* key array.
+
+    Returns the distinct keys and their ⊕-merged values.  Raises if the
+    key array is not non-decreasing (the sort phase's postcondition).
+    """
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if len(keys) != len(values):
+        raise ValueError(f"keys/values length mismatch: {len(keys)} vs {len(values)}")
+    if len(keys) == 0:
+        return keys[:0], values[:0]
+    if np.any(keys[1:] < keys[:-1]):  # unsigned-safe sortedness check
+        raise ValueError("compress requires sorted keys (run the sort phase first)")
+    sr = get_semiring(semiring)
+    starts = np.flatnonzero(np.concatenate([[True], keys[1:] != keys[:-1]]))
+    return keys[starts], sr.reduceat(values, starts)
+
+
+def compress_sorted(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    semiring: Semiring | str = PLUS_TIMES,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge duplicates of a (row, col)-sorted tuple stream.
+
+    The stream must be sorted lexicographically by (row, col) — e.g. the
+    output of the sort phase after unpacking keys.  Returns deduplicated
+    (rows, cols, merged values).
+    """
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    values = np.asarray(values)
+    if not (len(rows) == len(cols) == len(values)):
+        raise ValueError("rows/cols/values must have equal length")
+    if len(rows) == 0:
+        return rows[:0], cols[:0], values[:0]
+    same = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+    # Verify sortedness where keys change: (row, col) must increase.
+    changed = ~same
+    if np.any(
+        (rows[1:][changed] < rows[:-1][changed])
+        | (
+            (rows[1:][changed] == rows[:-1][changed])
+            & (cols[1:][changed] < cols[:-1][changed])
+        )
+    ):
+        raise ValueError("compress requires (row, col)-sorted tuples")
+    sr = get_semiring(semiring)
+    starts = np.flatnonzero(np.concatenate([[True], ~same]))
+    return rows[starts], cols[starts], sr.reduceat(values, starts)

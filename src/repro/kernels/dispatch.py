@@ -1,0 +1,125 @@
+"""Algorithm registry and uniform dispatch for all SpGEMM kernels.
+
+Every kernel shares one signature: ``f(a_csc, b_csr, semiring) -> CSRMatrix``.
+The registry also carries each algorithm's Table I classification
+(input-access and output-formation class), which the Table I/II
+benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..matrix.csc import CSCMatrix
+from ..matrix.csr import CSRMatrix
+from ..semiring import PLUS_TIMES, Semiring
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry record for one SpGEMM algorithm.
+
+    ``input_access`` ∈ {"column", "outer"} and ``output_formation`` ∈
+    {"accumulator", "esc"} reproduce the two axes of the paper's
+    Table I.  ``reads_a`` is the number of times the algorithm streams
+    the first operand in the ER model (Table II's "No of Accesses: A"
+    column, with "d" meaning degree-many reads).
+    """
+
+    name: str
+    func: Callable[..., CSRMatrix]
+    input_access: str
+    output_formation: str
+    accumulator: str
+    reads_a: str  # "1" or "d"
+    reads_chat: int  # accesses of the expanded matrix (0, or 2 for ESC)
+    description: str
+
+
+def _pb(a_csc, b_csr, semiring=PLUS_TIMES, **kwargs):
+    from ..core.pb_spgemm import pb_spgemm
+
+    return pb_spgemm(a_csc, b_csr, semiring=semiring, **kwargs)
+
+
+def _registry() -> dict[str, AlgorithmInfo]:
+    from .esc_column import esc_column_spgemm
+    from .gustavson_spa import spa_spgemm
+    from .hash_spgemm import hash_spgemm
+    from .hashvec_spgemm import hashvec_spgemm
+    from .heap_spgemm import heap_spgemm
+
+    infos = [
+        AlgorithmInfo(
+            "heap", heap_spgemm, "column", "accumulator", "heap", "d", 0,
+            "Column SpGEMM, per-column heap merge (Azad et al. 2016)",
+        ),
+        AlgorithmInfo(
+            "hash", hash_spgemm, "column", "accumulator", "hash", "d", 0,
+            "Column SpGEMM, per-column hash table (Nagasaka et al. 2019)",
+        ),
+        AlgorithmInfo(
+            "hashvec", hashvec_spgemm, "column", "accumulator", "hash", "d", 0,
+            "Column SpGEMM, batched open-addressing probing (HashVec)",
+        ),
+        AlgorithmInfo(
+            "spa", spa_spgemm, "column", "accumulator", "spa", "d", 0,
+            "Column SpGEMM, dense sparse-accumulator (Gilbert et al. 1992)",
+        ),
+        AlgorithmInfo(
+            "esc_column", esc_column_spgemm, "column", "esc", "sort", "d", 2,
+            "Column-wise expand-sort-compress (Dalton et al. 2015)",
+        ),
+        AlgorithmInfo(
+            "pb", _pb, "outer", "esc", "sort", "1", 2,
+            "PB-SpGEMM: outer product + propagation blocking (this paper)",
+        ),
+    ]
+    return {i.name: i for i in infos}
+
+
+ALGORITHMS: dict[str, AlgorithmInfo] = _registry()
+
+#: The four algorithms the paper's evaluation compares head-to-head.
+EVALUATED = ("pb", "heap", "hash", "hashvec")
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names of all registered SpGEMM algorithms."""
+    return tuple(sorted(ALGORITHMS))
+
+
+def get_algorithm(name: str) -> AlgorithmInfo:
+    """Registry lookup with a helpful error."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; available: {known}") from None
+
+
+def spgemm(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    algorithm: str = "pb",
+    semiring: Semiring | str = PLUS_TIMES,
+    **kwargs,
+) -> CSRMatrix:
+    """Multiply two sparse matrices with the named algorithm.
+
+    Parameters
+    ----------
+    a_csc, b_csr:
+        Operands in the formats PB-SpGEMM expects (A column-major,
+        B row-major).  Other kernels convert internally as needed.
+    algorithm:
+        One of :func:`available_algorithms` (default the paper's
+        ``"pb"``).
+    semiring:
+        Value algebra; default plus-times.
+    kwargs:
+        Algorithm-specific options (e.g. ``config=`` for ``"pb"``).
+    """
+    info = get_algorithm(algorithm)
+    return info.func(a_csc, b_csr, semiring=semiring, **kwargs)

@@ -1,0 +1,77 @@
+"""HashSpGEMM — column SpGEMM with a hash-table accumulator [Nagasaka et al.].
+
+For each output column C(:, j) a hash table keyed by row id accumulates
+the scaled entries of the selected A columns; the table is then drained
+and sorted to emit the column.  Complexity O(flop) for ER matrices
+(assuming few collisions) — no log factor, which is why the paper's
+conclusion names Hash the best performer for compression factors > 4.
+
+The accumulator here is a Python ``dict`` (a genuine open-addressing
+hash table); per-column work batches the scatter through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..matrix.base import INDEX_DTYPE, VALUE_DTYPE
+from ..matrix.csc import CSCMatrix
+from ..matrix.csr import CSRMatrix
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+
+
+def hash_spgemm(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    semiring: Semiring | str = PLUS_TIMES,
+) -> CSRMatrix:
+    """C = A · B with per-column hash accumulation; canonical CSR output."""
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    sr = get_semiring(semiring)
+    add = sr.add
+    m, n = a_csc.shape[0], b_csr.shape[1]
+    b_csc = b_csr.to_csc()
+
+    out_rows: list[np.ndarray] = []
+    out_cols: list[np.ndarray] = []
+    out_vals: list[np.ndarray] = []
+    one = np.empty(1, dtype=VALUE_DTYPE)
+    two = np.empty(1, dtype=VALUE_DTYPE)
+    for j in range(n):
+        ks, bvals = b_csc.col(j)
+        if len(ks) == 0:
+            continue
+        table: dict[int, float] = {}
+        for k, bval in zip(ks, bvals):
+            rows_k, avals_k = a_csc.col(int(k))
+            if len(rows_k) == 0:
+                continue
+            prods = sr.multiply(avals_k, np.broadcast_to(bval, avals_k.shape))
+            for r, v in zip(rows_k.tolist(), prods.tolist()):
+                if r in table:
+                    one[0] = table[r]
+                    two[0] = v
+                    table[r] = float(add(one, two)[0])
+                else:
+                    table[r] = v
+        if not table:
+            continue
+        rows_j = np.fromiter(table.keys(), dtype=INDEX_DTYPE, count=len(table))
+        vals_j = np.fromiter(table.values(), dtype=VALUE_DTYPE, count=len(table))
+        order = np.argsort(rows_j)  # drain the table in row order
+        out_rows.append(rows_j[order])
+        out_cols.append(np.full(len(rows_j), j, dtype=INDEX_DTYPE))
+        out_vals.append(vals_j[order])
+
+    if not out_rows:
+        return CSRMatrix.empty((m, n))
+    rows = np.concatenate(out_rows)
+    cols = np.concatenate(out_cols)
+    vals = np.concatenate(out_vals)
+    order = np.lexsort((cols, rows))
+    counts = np.bincount(rows, minlength=m)
+    indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix((m, n), indptr, cols[order], vals[order], validate=False)

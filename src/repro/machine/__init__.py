@@ -1,0 +1,39 @@
+"""Machine models — the simulated hardware substrate (DESIGN.md §2).
+
+The paper's results are properties of two machines (Table IV) and their
+memory systems (Tables V and VII).  This package encodes those machines
+as data (:mod:`spec`, :mod:`presets`), models their sustainable
+bandwidth (:mod:`stream`), simulates their cache hierarchies at line
+granularity (:mod:`cache`, :mod:`hierarchy`), and models NUMA locality
+effects (:mod:`numa`).
+"""
+
+from .spec import CacheSpec, MachineSpec, NUMASpec, StreamTable
+from .presets import skylake_sp, power9, laptop_generic, MACHINES, get_machine
+from .stream import stream_bandwidth, effective_bandwidth, simulate_stream, random_access_bandwidth
+from .cache import Cache, CacheStats
+from .hierarchy import MemoryHierarchy, HierarchyStats
+from .numa import numa_mix_bandwidth, numa_mix_latency, remote_fraction_round_robin
+
+__all__ = [
+    "CacheSpec",
+    "MachineSpec",
+    "NUMASpec",
+    "StreamTable",
+    "skylake_sp",
+    "power9",
+    "laptop_generic",
+    "MACHINES",
+    "get_machine",
+    "stream_bandwidth",
+    "effective_bandwidth",
+    "simulate_stream",
+    "random_access_bandwidth",
+    "Cache",
+    "CacheStats",
+    "MemoryHierarchy",
+    "HierarchyStats",
+    "numa_mix_bandwidth",
+    "numa_mix_latency",
+    "remote_fraction_round_robin",
+]

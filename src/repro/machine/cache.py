@@ -1,0 +1,97 @@
+"""Set-associative LRU cache simulator (trace-driven).
+
+Used to *validate* the analytic cost model at small scale: instrumented
+mini-kernels (:mod:`repro.simulate.trace`) emit byte-address streams,
+this simulator counts hits and misses, and tests assert the analytic
+line counts match (DESIGN.md §2).
+
+Addresses are plain integers (byte addresses in a flat synthetic address
+space); the simulator tracks tags per set with true LRU replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MachineError
+from .spec import CacheSpec
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self.n_sets = spec.n_sets
+        self.assoc = spec.associativity
+        self.line = spec.line_bytes
+        # Per set: ordered list of resident tags, most recent last.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def access_line(self, line_addr: int) -> bool:
+        """Touch one line (already divided by line size); True on hit."""
+        s = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        ways = self._sets[s]
+        self.stats.accesses += 1
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.stats.misses += 1
+            if len(ways) >= self.assoc:
+                ways.pop(0)
+                self.stats.evictions += 1
+            ways.append(tag)
+            return False
+        self.stats.hits += 1
+        ways.append(tag)
+        return True
+
+    def access(self, addresses, size_bytes: int = 8) -> np.ndarray:
+        """Touch byte addresses, each of ``size_bytes``; bool hit array.
+
+        An access spanning a line boundary touches both lines and counts
+        as a hit only if every touched line hits.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if size_bytes < 1:
+            raise MachineError(f"size_bytes must be >= 1, got {size_bytes}")
+        hits = np.empty(len(addresses), dtype=bool)
+        for i, a in enumerate(addresses):
+            first = int(a) // self.line
+            last = (int(a) + size_bytes - 1) // self.line
+            ok = True
+            for ln in range(first, last + 1):
+                ok &= self.access_line(ln)
+            hits[i] = ok
+        return hits
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(w) for w in self._sets)

@@ -1,0 +1,88 @@
+"""Multi-level cache hierarchy simulation.
+
+Chains :class:`repro.machine.cache.Cache` levels: an access probes L1
+(if modelled), then L2, then L3; a miss at every level is a DRAM line
+fetch.  The hierarchy also converts its counters into modelled time and
+bandwidth using the machine's latency and STREAM parameters, so small
+trace-driven experiments (Fig. 6) and the analytic model can be
+cross-checked in the same units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cache import Cache, CacheStats
+from .spec import MachineSpec
+from .stream import GB
+
+
+@dataclass
+class HierarchyStats:
+    """Counters for a full trace replay."""
+
+    accesses: int = 0
+    level_hits: dict = field(default_factory=dict)
+    dram_lines: int = 0
+
+    def dram_bytes(self, line_bytes: int) -> int:
+        return self.dram_lines * line_bytes
+
+
+class MemoryHierarchy:
+    """Private-per-core cache stack of one machine (single core view).
+
+    The simulator replays one virtual thread's trace at a time, which is
+    exactly how the paper's per-phase bandwidth accounting works (each
+    bin is sorted by one thread with its own L2).
+    """
+
+    def __init__(self, machine: MachineSpec, levels: tuple[str, ...] = ("L2", "L3")):
+        self.machine = machine
+        self.levels = tuple(levels)
+        self.caches = [Cache(machine.cache(lv)) for lv in self.levels]
+        self.stats = HierarchyStats(level_hits={lv: 0 for lv in self.levels})
+
+    def reset(self) -> None:
+        for c in self.caches:
+            c.reset()
+        self.stats = HierarchyStats(level_hits={lv: 0 for lv in self.levels})
+
+    def access(self, addresses, size_bytes: int = 8) -> None:
+        """Replay byte accesses through the hierarchy."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        line = self.machine.line_bytes
+        for a in addresses:
+            first = int(a) // line
+            last = (int(a) + size_bytes - 1) // line
+            for ln in range(first, last + 1):
+                self.stats.accesses += 1
+                for lv, cache in zip(self.levels, self.caches):
+                    if cache.access_line(ln):
+                        self.stats.level_hits[lv] += 1
+                        break
+                else:
+                    self.stats.dram_lines += 1
+
+    def dram_traffic_bytes(self) -> int:
+        """Bytes moved from DRAM during the replayed trace."""
+        return self.stats.dram_bytes(self.machine.line_bytes)
+
+    def modelled_time_seconds(self, streamed_fraction: float = 1.0) -> float:
+        """Convert DRAM traffic into single-core time.
+
+        ``streamed_fraction`` of the DRAM lines move at the per-core
+        streaming bandwidth; the rest pay the latency-bound random rate
+        (``mlp`` outstanding misses).
+        """
+        m = self.machine
+        nbytes = self.dram_traffic_bytes()
+        streamed = nbytes * streamed_fraction
+        random = nbytes - streamed
+        t = streamed / (m.per_core_bandwidth_gbs * GB)
+        if random:
+            lines = random / m.line_bytes
+            t += lines * (m.dram_latency_ns * 1e-9) / m.mlp
+        return t

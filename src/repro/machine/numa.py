@@ -1,0 +1,67 @@
+"""NUMA locality model (paper Table VII and Sec. V-D).
+
+The dual-socket experiment places bins in memory as they are produced
+(first-touch on the expanding thread's socket) and then sorts them on
+whichever thread grabs them — so roughly half of all sort/compress
+traffic crosses the socket interconnect, at the measured ~33 GB/s
+instead of ~50 GB/s.  These helpers quantify that mix.
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineError
+from .spec import MachineSpec
+
+
+def remote_fraction_round_robin(nsockets: int) -> float:
+    """Expected remote-traffic share when producers and consumers of a
+    bin are matched uniformly at random across ``nsockets`` sockets —
+    the paper's un-partitioned dual-socket scenario."""
+    if nsockets < 1:
+        raise MachineError(f"nsockets must be >= 1, got {nsockets}")
+    return (nsockets - 1) / nsockets
+
+
+#: Derating of the measured one-way cross-socket bandwidth when both
+#: sockets pull remote data simultaneously (bins produced on one socket
+#: and sorted from the other, in both directions at once).  Table VII
+#: measures one direction in isolation; bidirectional UPI traffic
+#: shares the link budget.
+BIDIRECTIONAL_REMOTE_FACTOR = 0.6
+
+
+def numa_mix_bandwidth(
+    machine: MachineSpec,
+    remote_fraction: float,
+    socket: int = 0,
+    bidirectional: bool = False,
+) -> float:
+    """Per-socket effective GB/s when ``remote_fraction`` of bytes are
+    remote (harmonic/time-weighted mix of Table VII's rows).
+
+    ``bidirectional=True`` derates the remote leg by
+    :data:`BIDIRECTIONAL_REMOTE_FACTOR` — the regime of PB-SpGEMM's
+    sort phase, where every socket is simultaneously pulling the other
+    socket's bins (paper Sec. V-D).
+    """
+    if not 0.0 <= remote_fraction <= 1.0:
+        raise MachineError(f"remote_fraction must be in [0,1], got {remote_fraction}")
+    local = machine.numa.local_bandwidth(socket)
+    if machine.numa.nsockets < 2 or remote_fraction == 0.0:
+        return local
+    remote = machine.numa.remote_bandwidth(socket)
+    if bidirectional:
+        remote *= BIDIRECTIONAL_REMOTE_FACTOR
+    return 1.0 / ((1.0 - remote_fraction) / local + remote_fraction / remote)
+
+
+def numa_mix_latency(machine: MachineSpec, remote_fraction: float, socket: int = 0) -> float:
+    """Average access latency (ns) under the same traffic mix."""
+    if not 0.0 <= remote_fraction <= 1.0:
+        raise MachineError(f"remote_fraction must be in [0,1], got {remote_fraction}")
+    lat = machine.numa.latency_ns
+    local = lat[socket][socket]
+    if machine.numa.nsockets < 2 or remote_fraction == 0.0:
+        return local
+    remote = max(lat[socket][j] for j in range(machine.numa.nsockets) if j != socket)
+    return (1.0 - remote_fraction) * local + remote_fraction * remote

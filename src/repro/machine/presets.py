@@ -1,0 +1,112 @@
+"""Machine presets: the paper's two evaluation platforms (Table IV).
+
+Numbers measured by the paper are carried verbatim:
+
+* Skylake STREAM single/dual socket — Table V,
+* Skylake NUMA bandwidth/latency matrix — Table VII,
+* cache geometry and core counts — Table IV.
+
+Quantities the paper does not report are set to well-documented
+estimates and flagged here: POWER9 STREAM (the paper says 250 GB/s
+aggregate; we assume ~115 GB/s per socket with Table-V-like kernel
+ratios), POWER9 NUMA (scaled from its aggregate bandwidth), per-core
+bandwidth ceilings (~12 GB/s Skylake, ~17 GB/s POWER9 — standard
+single-thread STREAM territory for these parts), and DRAM latencies
+(Skylake's 88/147 ns are Table VII's own measurements).
+"""
+
+from __future__ import annotations
+
+from .spec import CacheSpec, MachineSpec, NUMASpec, StreamTable
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def skylake_sp() -> MachineSpec:
+    """Dual-socket Intel Xeon Platinum 8160 (Skylake-SP), paper Table IV."""
+    return MachineSpec(
+        name="skylake_sp_8160",
+        sockets=2,
+        cores_per_socket=24,
+        clock_ghz=2.1,
+        caches=(
+            CacheSpec("L1", 32 * KIB, 64, 8, shared_by=1),
+            CacheSpec("L2", 1024 * KIB, 64, 16, shared_by=1),
+            CacheSpec("L3", 33792 * KIB, 64, 11, shared_by=24),
+        ),
+        stream_single=StreamTable(copy=47.40, scale=46.85, add=54.00, triad=57.04),
+        stream_dual=StreamTable(copy=97.73, scale=87.43, add=107.00, triad=108.42),
+        numa=NUMASpec(
+            bandwidth=((50.26, 33.36), (34.06, 50.12)),
+            latency_ns=((88.1, 147.4), (146.7, 88.3)),
+        ),
+        per_core_bandwidth_gbs=12.0,
+        dram_latency_ns=88.1,
+        mlp=10,
+        memory_gib=250,
+    )
+
+
+def power9() -> MachineSpec:
+    """Dual-socket IBM POWER9, paper Table IV (STREAM/NUMA estimated)."""
+    return MachineSpec(
+        name="power9",
+        sockets=2,
+        cores_per_socket=20,
+        clock_ghz=3.8,
+        caches=(
+            CacheSpec("L1", 32 * KIB, 128, 8, shared_by=1),
+            # 512 KB L2 per two cores; 10 MB L3 slice per two cores.
+            CacheSpec("L2", 512 * KIB, 128, 8, shared_by=2),
+            CacheSpec("L3", 10240 * KIB, 128, 20, shared_by=2),
+        ),
+        stream_single=StreamTable(copy=102.0, scale=101.0, add=112.0, triad=115.0),
+        stream_dual=StreamTable(copy=204.0, scale=202.0, add=224.0, triad=230.0),
+        numa=NUMASpec(
+            bandwidth=((115.0, 70.0), (70.0, 115.0)),
+            latency_ns=((90.0, 160.0), (160.0, 90.0)),
+        ),
+        per_core_bandwidth_gbs=17.0,
+        dram_latency_ns=90.0,
+        mlp=12,
+        memory_gib=1024,
+    )
+
+
+def laptop_generic() -> MachineSpec:
+    """A small generic machine for fast tests and the cache simulator."""
+    return MachineSpec(
+        name="laptop_generic",
+        sockets=1,
+        cores_per_socket=4,
+        clock_ghz=3.0,
+        caches=(
+            CacheSpec("L1", 32 * KIB, 64, 8, shared_by=1),
+            CacheSpec("L2", 256 * KIB, 64, 8, shared_by=1),
+            CacheSpec("L3", 8 * MIB, 64, 16, shared_by=4),
+        ),
+        stream_single=StreamTable(copy=20.0, scale=20.0, add=22.0, triad=22.0),
+        stream_dual=StreamTable(copy=20.0, scale=20.0, add=22.0, triad=22.0),
+        numa=NUMASpec(bandwidth=((22.0,),), latency_ns=((95.0,),)),
+        per_core_bandwidth_gbs=10.0,
+        dram_latency_ns=95.0,
+        mlp=8,
+        memory_gib=16,
+    )
+
+
+MACHINES = {
+    "skylake": skylake_sp,
+    "power9": power9,
+    "laptop": laptop_generic,
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Preset lookup by short name (``skylake``, ``power9``, ``laptop``)."""
+    try:
+        return MACHINES[name]()
+    except KeyError:
+        known = ", ".join(sorted(MACHINES))
+        raise KeyError(f"unknown machine {name!r}; available: {known}") from None

@@ -1,0 +1,136 @@
+"""Sustainable-bandwidth model (paper Table V and the STREAM benchmark).
+
+Two access regimes matter for SpGEMM:
+
+* **streamed** — contiguous reads/writes at full cache-line utilization.
+  Sustained bandwidth saturates at the socket's STREAM number; below
+  saturation it is limited by the per-core ceiling:
+  ``bw(t) = min(t · per_core, sockets_used · socket_stream)``.
+* **random** — dependent cache-line misses at arbitrary addresses
+  (column SpGEMM reading A).  Each miss moves a whole line but only
+  ``useful_bytes`` of it are consumed; a core sustains ``mlp``
+  outstanding misses, so its useful-byte throughput is
+  ``useful_bytes · mlp / latency``, and aggregate random throughput is
+  additionally capped by the streamed ceiling (the memory controller
+  moves whole lines either way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MachineError
+from .spec import MachineSpec
+
+GB = 1e9
+
+
+def stream_bandwidth(
+    machine: MachineSpec,
+    kernel: str = "triad",
+    sockets: int = 1,
+    nthreads: int | None = None,
+) -> float:
+    """STREAM-sustainable bandwidth in GB/s for a thread placement.
+
+    ``nthreads=None`` means all cores of the given sockets (the
+    benchmark's saturated configuration — reproduces Table V directly).
+    """
+    if not 1 <= sockets <= machine.sockets:
+        raise MachineError(
+            f"{machine.name} has {machine.sockets} sockets, asked for {sockets}"
+        )
+    table = machine.stream_single if sockets == 1 else machine.stream_dual
+    saturated = table.kernel(kernel)
+    if nthreads is None:
+        return saturated
+    if nthreads < 1:
+        raise MachineError(f"nthreads must be >= 1, got {nthreads}")
+    return min(nthreads * machine.per_core_bandwidth_gbs, saturated)
+
+
+def effective_bandwidth(
+    machine: MachineSpec,
+    nthreads: int,
+    sockets: int = 1,
+    kernel: str = "triad",
+    remote_fraction: float = 0.0,
+) -> float:
+    """Streamed bandwidth under thread count and NUMA placement.
+
+    ``remote_fraction`` is the share of traffic crossing sockets; the
+    mix model combines local and remote NUMA bandwidths harmonically
+    (time-weighted), matching how interleaved access behaves.
+    """
+    base = stream_bandwidth(machine, kernel, sockets, nthreads)
+    if remote_fraction <= 0 or machine.numa.nsockets < 2:
+        return base
+    local = machine.numa.local_bandwidth()
+    remote = machine.numa.remote_bandwidth()
+    # Per-socket mixed bandwidth, scaled to the configuration's ceiling.
+    mixed_single = 1.0 / ((1 - remote_fraction) / local + remote_fraction / remote)
+    scale = mixed_single / local
+    return base * min(scale, 1.0)
+
+
+def random_access_bandwidth(
+    machine: MachineSpec,
+    nthreads: int,
+    useful_bytes: float,
+    sockets: int = 1,
+    remote_fraction: float = 0.0,
+) -> float:
+    """Useful-byte throughput (GB/s) of latency-bound irregular access.
+
+    ``useful_bytes`` is the consumed payload per touched cache line
+    (≤ line size); the line always moves in full, wasting the rest —
+    the Table II "cache line utilization ×" penalty.
+    """
+    if useful_bytes <= 0:
+        raise MachineError(f"useful_bytes must be positive, got {useful_bytes}")
+    useful = min(useful_bytes, float(machine.line_bytes))
+    latency = machine.dram_latency_ns
+    if remote_fraction > 0 and machine.numa.nsockets > 1:
+        remote_lat = max(
+            machine.numa.latency_ns[0][j]
+            for j in range(machine.numa.nsockets)
+        )
+        latency = (1 - remote_fraction) * latency + remote_fraction * remote_lat
+    per_core = useful * machine.mlp / (latency * 1e-9) / GB  # GB/s of useful bytes
+    aggregate = nthreads * per_core
+    # Whole lines hit the controller: cap the implied line traffic at the
+    # streamed ceiling, then convert back to useful bytes.
+    line_ceiling = stream_bandwidth(machine, "copy", sockets, None)
+    line_traffic = aggregate * (machine.line_bytes / useful)
+    if line_traffic > line_ceiling:
+        aggregate = line_ceiling * (useful / machine.line_bytes)
+    return aggregate
+
+
+def simulate_stream(
+    machine: MachineSpec,
+    array_bytes: int,
+    kernel: str = "triad",
+    sockets: int = 1,
+    nthreads: int | None = None,
+) -> dict:
+    """Run the STREAM benchmark against the model.
+
+    Returns the kernel's moved bytes, time and achieved GB/s — the
+    Table V reproduction path.  Byte multipliers per kernel follow the
+    benchmark definition (copy/scale move 2 arrays, add/triad move 3).
+    """
+    multipliers = {"copy": 2, "scale": 2, "add": 3, "triad": 3}
+    if kernel not in multipliers:
+        raise MachineError(f"unknown STREAM kernel {kernel!r}")
+    if array_bytes <= 0:
+        raise MachineError(f"array_bytes must be positive, got {array_bytes}")
+    moved = multipliers[kernel] * array_bytes
+    bw = stream_bandwidth(machine, kernel, sockets, nthreads)
+    seconds = moved / (bw * GB)
+    return {
+        "kernel": kernel,
+        "bytes_moved": moved,
+        "seconds": seconds,
+        "gbs": moved / seconds / GB,
+    }

@@ -1,0 +1,91 @@
+"""Shared validation helpers for the sparse matrix formats."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+#: Bytes to store one nonzero in the paper's accounting (Sec. II-C):
+#: 4-byte row index + 4-byte column index + 8-byte value, COO layout.
+BYTES_PER_NONZERO = 16
+
+
+def as_index_array(arr, name: str) -> np.ndarray:
+    """Coerce ``arr`` to a 1-D int64 index array, validating integrality."""
+    out = np.asarray(arr)
+    if out.ndim != 1:
+        raise FormatError(f"{name} must be 1-D, got shape {out.shape}")
+    if out.dtype.kind not in "iu":
+        if out.dtype.kind == "f" and np.all(out == np.floor(out)):
+            out = out.astype(INDEX_DTYPE)
+        else:
+            raise FormatError(f"{name} must be integral, got dtype {out.dtype}")
+    return np.ascontiguousarray(out, dtype=INDEX_DTYPE)
+
+
+def as_value_array(arr, name: str, n: int | None = None) -> np.ndarray:
+    """Coerce ``arr`` to a 1-D float64 value array, optionally checking length."""
+    out = np.ascontiguousarray(np.asarray(arr, dtype=VALUE_DTYPE))
+    if out.ndim != 1:
+        raise FormatError(f"{name} must be 1-D, got shape {out.shape}")
+    if n is not None and len(out) != n:
+        raise FormatError(f"{name} has length {len(out)}, expected {n}")
+    return out
+
+
+def check_shape(shape) -> tuple[int, int]:
+    """Validate a (rows, cols) shape tuple with non-negative dims."""
+    try:
+        m, n = shape
+    except (TypeError, ValueError):
+        raise ShapeError(f"shape must be a (rows, cols) pair, got {shape!r}") from None
+    m, n = int(m), int(n)
+    if m < 0 or n < 0:
+        raise ShapeError(f"shape dimensions must be non-negative, got {(m, n)}")
+    return m, n
+
+
+def check_indices_in_range(indices: np.ndarray, bound: int, name: str) -> None:
+    """Raise FormatError if any index falls outside [0, bound)."""
+    if len(indices) == 0:
+        return
+    lo = int(indices.min())
+    hi = int(indices.max())
+    if lo < 0 or hi >= bound:
+        raise FormatError(
+            f"{name} out of range: values span [{lo}, {hi}] but dimension is {bound}"
+        )
+
+
+def check_indptr(indptr: np.ndarray, ndim: int, nnz: int, name: str) -> None:
+    """Validate a CSR/CSC pointer array: length, monotonicity, endpoints."""
+    if len(indptr) != ndim + 1:
+        raise FormatError(f"{name} has length {len(indptr)}, expected {ndim + 1}")
+    if len(indptr) and indptr[0] != 0:
+        raise FormatError(f"{name}[0] must be 0, got {indptr[0]}")
+    if len(indptr) and indptr[-1] != nnz:
+        raise FormatError(f"{name}[-1] = {indptr[-1]} does not match nnz = {nnz}")
+    if np.any(np.diff(indptr) < 0):
+        raise FormatError(f"{name} must be non-decreasing")
+
+
+def segments_sorted(indices: np.ndarray, indptr: np.ndarray) -> bool:
+    """True if indices are strictly increasing within every indptr segment.
+
+    Strict increase implies both sortedness and absence of duplicates —
+    the canonical-form invariant for CSR/CSC in this library.
+    """
+    if len(indices) <= 1:
+        return True
+    rising = np.diff(indices) > 0
+    # Positions where a new segment starts (difference may legally drop).
+    boundary = np.zeros(len(indices) - 1, dtype=bool)
+    starts = indptr[1:-1]
+    # A boundary sits between positions s-1 and s for each interior start s.
+    interior = starts[(starts > 0) & (starts < len(indices))]
+    boundary[interior - 1] = True
+    return bool(np.all(rising | boundary))

@@ -1,0 +1,92 @@
+"""Conversions between COO, CSR and CSC.
+
+All conversions are vectorized; the COO→compressed paths coalesce
+duplicates by summation (the SpGEMM merge semantics) and establish the
+canonical strictly-increasing-within-segment ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import base
+
+
+def _compress_pointer(sorted_major: np.ndarray, ndim: int) -> np.ndarray:
+    """Build an indptr array from sorted major-axis indices."""
+    counts = np.bincount(sorted_major, minlength=ndim)
+    indptr = np.zeros(ndim + 1, dtype=base.INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+def coo_to_csr(coo):
+    """COO → canonical CSR (row-major sort, duplicates summed)."""
+    from .csr import CSRMatrix
+
+    c = coo.coalesce()
+    indptr = _compress_pointer(c.rows, coo.shape[0])
+    return CSRMatrix(coo.shape, indptr, c.cols, c.vals, validate=False)
+
+
+def coo_to_csc(coo):
+    """COO → canonical CSC (column-major sort, duplicates summed)."""
+    from .csc import CSCMatrix
+
+    t = coo.transpose().coalesce()  # sorts by (col, row) of the original
+    indptr = _compress_pointer(t.rows, coo.shape[1])
+    return CSCMatrix(coo.shape, indptr, t.cols, t.vals, validate=False)
+
+
+def csr_to_coo(csr):
+    """CSR → COO by expanding the row pointer (entries stay canonical)."""
+    from .coo import COOMatrix
+
+    rows = np.repeat(
+        np.arange(csr.shape[0], dtype=base.INDEX_DTYPE), np.diff(csr.indptr)
+    )
+    return COOMatrix(csr.shape, rows, csr.indices, csr.data, validate=False)
+
+
+def csc_to_coo(csc):
+    """CSC → COO by expanding the column pointer (column-major order)."""
+    from .coo import COOMatrix
+
+    cols = np.repeat(
+        np.arange(csc.shape[1], dtype=base.INDEX_DTYPE), np.diff(csc.indptr)
+    )
+    return COOMatrix(csc.shape, csc.indices, cols, csc.data, validate=False)
+
+
+def csr_to_csc(csr):
+    """CSR → CSC via a stable counting redistribution (Gustavson transpose).
+
+    Equivalent to the classic two-pass histogram transpose: count
+    entries per column, prefix-sum into a pointer, then place entries.
+    The placement scatter is realized with a stable argsort on the
+    column key, which numpy implements as a radix sort for integers.
+    """
+    from .csc import CSCMatrix
+
+    order = np.argsort(csr.indices, kind="stable")
+    rows = np.repeat(
+        np.arange(csr.shape[0], dtype=base.INDEX_DTYPE), np.diff(csr.indptr)
+    )
+    indptr = _compress_pointer(csr.indices, csr.shape[1])
+    return CSCMatrix(
+        csr.shape, indptr, rows[order], csr.data[order], validate=False
+    )
+
+
+def csc_to_csr(csc):
+    """CSC → CSR; mirror of :func:`csr_to_csc`."""
+    from .csr import CSRMatrix
+
+    order = np.argsort(csc.indices, kind="stable")
+    cols = np.repeat(
+        np.arange(csc.shape[1], dtype=base.INDEX_DTYPE), np.diff(csc.indptr)
+    )
+    indptr = _compress_pointer(csc.indices, csc.shape[0])
+    return CSRMatrix(
+        csc.shape, indptr, cols[order], csc.data[order], validate=False
+    )

@@ -1,0 +1,44 @@
+"""Dense ↔ sparse conversion helpers (reference / testing aid)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from . import base
+
+
+def to_dense(mat) -> np.ndarray:
+    """Materialize any repro sparse matrix as a dense float64 array."""
+    from .coo import COOMatrix
+
+    if isinstance(mat, COOMatrix):
+        return mat.to_dense()
+    # CSR / CSC share the expansion path through COO.
+    return mat.to_coo().to_dense()
+
+
+def from_dense(dense: np.ndarray, fmt: str = "csr"):
+    """Build a sparse matrix from a dense 2-D array, dropping zeros.
+
+    Parameters
+    ----------
+    dense:
+        2-D array-like.
+    fmt:
+        ``"csr"``, ``"csc"`` or ``"coo"``.
+    """
+    from .coo import COOMatrix
+
+    arr = np.asarray(dense, dtype=base.VALUE_DTYPE)
+    if arr.ndim != 2:
+        raise FormatError(f"dense input must be 2-D, got shape {arr.shape}")
+    rows, cols = np.nonzero(arr)
+    coo = COOMatrix(arr.shape, rows, cols, arr[rows, cols], validate=False)
+    if fmt == "coo":
+        return coo
+    if fmt == "csr":
+        return coo.to_csr()
+    if fmt == "csc":
+        return coo.to_csc()
+    raise FormatError(f"unknown format {fmt!r}; expected coo/csr/csc")

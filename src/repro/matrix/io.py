@@ -1,0 +1,88 @@
+"""MatrixMarket (.mtx) reading and writing.
+
+Supports the ``matrix coordinate`` variants the SuiteSparse collection
+uses: ``real``, ``integer`` and ``pattern`` fields with ``general``,
+``symmetric`` or ``skew-symmetric`` symmetry.  Pattern entries read as
+1.0; symmetric storage is unfolded on read.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+
+
+def write_matrix_market(mat, path) -> None:
+    """Write any repro sparse matrix as ``matrix coordinate real general``."""
+    coo = mat if isinstance(mat, COOMatrix) else mat.to_coo()
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"% written by repro (PB-SpGEMM reproduction)\n")
+        fh.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+            fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")
+
+
+def read_matrix_market(path) -> COOMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`COOMatrix`."""
+    path = Path(path)
+    with path.open("r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise FormatError(f"{path}: missing MatrixMarket banner")
+        tokens = header.strip().lower().split()
+        if len(tokens) < 5:
+            raise FormatError(f"{path}: malformed banner {header!r}")
+        _, obj, fmt, field, symmetry = tokens[:5]
+        if obj != "matrix" or fmt != "coordinate":
+            raise FormatError(
+                f"{path}: only 'matrix coordinate' supported, got {obj} {fmt}"
+            )
+        if field not in ("real", "integer", "pattern"):
+            raise FormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise FormatError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%") or not line.strip():
+            line = fh.readline()
+        try:
+            m, n, nnz = (int(t) for t in line.split())
+        except ValueError:
+            raise FormatError(f"{path}: malformed size line {line!r}") from None
+
+        body = fh.read()
+
+    pattern = field == "pattern"
+    ncols_expected = 2 if pattern else 3
+    data = np.loadtxt(
+        _io.StringIO(body), ndmin=2, comments="%",
+    )
+    if data.size == 0:
+        data = data.reshape(0, ncols_expected)
+    if data.shape[0] != nnz:
+        raise FormatError(
+            f"{path}: header declares {nnz} entries, file holds {data.shape[0]}"
+        )
+    if data.shape[1] < ncols_expected:
+        raise FormatError(f"{path}: entries have {data.shape[1]} columns")
+
+    rows = data[:, 0].astype(np.int64) - 1
+    cols = data[:, 1].astype(np.int64) - 1
+    vals = np.ones(nnz) if pattern else data[:, 2].astype(np.float64)
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols2 = np.concatenate([cols, data[:, 0].astype(np.int64)[off] - 1])
+        vals = np.concatenate([vals, sign * vals[off]])
+        cols = cols2
+
+    return COOMatrix((m, n), rows, cols, vals)

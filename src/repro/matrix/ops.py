@@ -1,0 +1,135 @@
+"""Structural and elementwise operations on the sparse formats.
+
+These are the supporting operations the examples and generators need
+(transpose, add, scale, prune, triangular extraction) — kept separate
+from the SpGEMM kernels, which live in :mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from . import base
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+
+
+def transpose(mat):
+    """Transpose of any repro sparse matrix, in that matrix's own format."""
+    if isinstance(mat, COOMatrix):
+        return mat.transpose()
+    if isinstance(mat, CSRMatrix):
+        return mat.to_csc().transpose()  # CSR out
+    if isinstance(mat, CSCMatrix):
+        return mat.to_csr().transpose()  # CSC out
+    raise TypeError(f"unsupported matrix type {type(mat).__name__}")
+
+
+def _as_canonical_coo(mat) -> COOMatrix:
+    if isinstance(mat, COOMatrix):
+        return mat.coalesce()
+    return mat.to_coo()
+
+
+def allclose(a, b, rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+    """Numeric equality of two sparse matrices, format-independent.
+
+    Entries present in only one operand are compared against zero, so a
+    stored explicit zero equals a structurally absent entry.
+    """
+    if a.shape != b.shape:
+        return False
+    ca, cb = _as_canonical_coo(a), _as_canonical_coo(b)
+    n = a.shape[1]
+    ka = ca.rows * n + ca.cols
+    kb = cb.rows * n + cb.cols
+    keys = np.union1d(ka, kb)
+    va = np.zeros(len(keys), dtype=base.VALUE_DTYPE)
+    vb = np.zeros(len(keys), dtype=base.VALUE_DTYPE)
+    va[np.searchsorted(keys, ka)] = ca.vals
+    vb[np.searchsorted(keys, kb)] = cb.vals
+    return bool(np.allclose(va, vb, rtol=rtol, atol=atol))
+
+
+def add(a, b, alpha: float = 1.0, beta: float = 1.0) -> CSRMatrix:
+    """``alpha * A + beta * B`` as canonical CSR."""
+    if a.shape != b.shape:
+        raise ShapeError(f"cannot add {a.shape} and {b.shape}")
+    ca, cb = _as_canonical_coo(a), _as_canonical_coo(b)
+    rows = np.concatenate([ca.rows, cb.rows])
+    cols = np.concatenate([ca.cols, cb.cols])
+    vals = np.concatenate([alpha * ca.vals, beta * cb.vals])
+    return COOMatrix(a.shape, rows, cols, vals, validate=False).to_csr()
+
+
+def scale(mat, alpha: float):
+    """Multiply all stored values by ``alpha``, preserving format."""
+    out = mat.copy()
+    if isinstance(out, COOMatrix):
+        out.vals *= alpha
+    else:
+        out.data *= alpha
+    return out
+
+
+def extract_diagonal(mat) -> np.ndarray:
+    """The main diagonal as a dense vector."""
+    coo = _as_canonical_coo(mat)
+    n = min(mat.shape)
+    out = np.zeros(n, dtype=base.VALUE_DTYPE)
+    on_diag = coo.rows == coo.cols
+    out[coo.rows[on_diag]] = coo.vals[on_diag]
+    return out
+
+
+def prune(mat, threshold: float = 0.0) -> CSRMatrix:
+    """Drop entries with ``|value| <= threshold``; returns canonical CSR.
+
+    With the default threshold this removes explicit zeros (e.g. from
+    numerical cancellation during SpGEMM).
+    """
+    coo = _as_canonical_coo(mat)
+    keep = np.abs(coo.vals) > threshold
+    return COOMatrix(
+        mat.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep], validate=False
+    ).to_csr()
+
+
+def triu(mat, k: int = 0) -> CSRMatrix:
+    """Upper-triangular part (entries with col - row >= k) as CSR."""
+    coo = _as_canonical_coo(mat)
+    keep = coo.cols - coo.rows >= k
+    return COOMatrix(
+        mat.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep], validate=False
+    ).to_csr()
+
+
+def tril(mat, k: int = 0) -> CSRMatrix:
+    """Lower-triangular part (entries with col - row <= k) as CSR."""
+    coo = _as_canonical_coo(mat)
+    keep = coo.cols - coo.rows <= k
+    return COOMatrix(
+        mat.shape, coo.rows[keep], coo.cols[keep], coo.vals[keep], validate=False
+    ).to_csr()
+
+
+def row_slice(csr: CSRMatrix, start: int, stop: int) -> CSRMatrix:
+    """Rows ``start:stop`` as a new CSR matrix of reduced height.
+
+    This is the A-partitioning primitive of the partitioned (NUMA)
+    PB-SpGEMM variant in paper Sec. V-D.
+    """
+    if not (0 <= start <= stop <= csr.shape[0]):
+        raise ShapeError(
+            f"row slice [{start}, {stop}) out of range for shape {csr.shape}"
+        )
+    lo, hi = csr.indptr[start], csr.indptr[stop]
+    return CSRMatrix(
+        (stop - start, csr.shape[1]),
+        csr.indptr[start : stop + 1] - lo,
+        csr.indices[lo:hi],
+        csr.data[lo:hi],
+        validate=False,
+    )

@@ -1,0 +1,145 @@
+"""Semirings for generalized sparse matrix-matrix multiplication.
+
+The paper multiplies over the ordinary ``(+, *)`` arithmetic semiring,
+but several motivating applications in its introduction (triangle
+counting, Markov clustering, multi-source BFS) are naturally expressed
+as SpGEMM over other semirings.  All kernels in :mod:`repro.kernels`
+and :mod:`repro.core` accept a :class:`Semiring`; the default is
+:data:`PLUS_TIMES`.
+
+A semiring here is the minimal interface the expand-sort-compress
+pipeline needs:
+
+* ``multiply(a, b)`` — elementwise combine of matched A/B values
+  (the "expand" step),
+* ``reduceat(values, starts)`` — segmented reduction of sorted runs of
+  duplicate (row, col) values (the "compress" step),
+* ``add(a, b)`` — pairwise reduction (used by accumulator-based
+  column kernels: heap / hash / SPA).
+
+All operations are vectorized numpy ufunc applications, so kernels stay
+loop-free regardless of the semiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "OR_AND",
+    "PLUS_PAIR",
+    "get_semiring",
+    "available_semirings",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A (⊕, ⊗) pair with identity, realized with numpy ufuncs.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"plus_times"``.
+    add_ufunc:
+        Binary numpy ufunc implementing ⊕ (must support ``reduceat``).
+    multiply:
+        Vectorized binary callable implementing ⊗.
+    add_identity:
+        Identity element of ⊕ (the implicit value of absent entries).
+    dtype:
+        Natural value dtype for this semiring.
+    """
+
+    name: str
+    add_ufunc: np.ufunc
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    add_identity: float
+    dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ⊕ of two value arrays (keeps the value dtype —
+        boolean ufuncs like logical_or would otherwise return bool)."""
+        out = self.add_ufunc(a, b)
+        return np.asarray(out).astype(np.result_type(a, b), copy=False)
+
+    def reduceat(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Segmented ⊕-reduction: reduce ``values[starts[i]:starts[i+1]]``.
+
+        ``starts`` must be a sorted int array of segment start offsets
+        with ``starts[0] == 0``; the final segment runs to the end of
+        ``values``.  Matches the semantics of ``np.add.reduceat``.
+        """
+        if len(values) == 0:
+            return np.asarray([], dtype=values.dtype)
+        out = self.add_ufunc.reduceat(values, starts)
+        # Boolean ufuncs (logical_or) reduce to bool; keep value dtype.
+        return out.astype(values.dtype, copy=False)
+
+    def is_annihilated(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of values equal to the ⊕-identity (numeric zeros)."""
+        return values == self.add_identity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name!r})"
+
+
+def _times(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a * b
+
+
+def _plus(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a + b
+
+
+def _logical_and(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.logical_and(a != 0, b != 0).astype(np.float64)
+
+
+def _pair(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # PLUS_PAIR: every structural match contributes exactly 1.  Used for
+    # counting walks/triangles on unweighted graphs without multiplying.
+    return np.ones(np.broadcast(a, b).shape, dtype=np.float64)
+
+
+#: Ordinary arithmetic: C(i,j) = Σ_k A(i,k) * B(k,j).
+PLUS_TIMES = Semiring("plus_times", np.add, _times, 0.0)
+
+#: Tropical semiring: C(i,j) = min_k A(i,k) + B(k,j).  Shortest paths.
+MIN_PLUS = Semiring("min_plus", np.minimum, _plus, np.inf)
+
+#: C(i,j) = max_k A(i,k) * B(k,j).  Widest-path style reductions.
+MAX_TIMES = Semiring("max_times", np.maximum, _times, -np.inf)
+
+#: Boolean semiring over {0,1} floats: structural reachability.
+OR_AND = Semiring("or_and", np.logical_or, _logical_and, 0.0)
+
+#: C(i,j) = |{k : A(i,k)≠0 ∧ B(k,j)≠0}|.  Triangle / wedge counting.
+PLUS_PAIR = Semiring("plus_pair", np.add, _pair, 0.0)
+
+_REGISTRY: dict[str, Semiring] = {
+    s.name: s for s in (PLUS_TIMES, MIN_PLUS, MAX_TIMES, OR_AND, PLUS_PAIR)
+}
+
+
+def get_semiring(name: str | Semiring) -> Semiring:
+    """Look up a semiring by name; passes through Semiring instances."""
+    if isinstance(name, Semiring):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown semiring {name!r}; available: {known}") from None
+
+
+def available_semirings() -> tuple[str, ...]:
+    """Names of all registered semirings."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,32 @@
+"""Simulated parallel execution — virtual threads on the machine models.
+
+The engine (:mod:`engine`) times the cost-model phases under a thread
+count, socket placement and NUMA traffic mix, reproducing the paper's
+performance figures; :mod:`threads` provides the schedule/makespan
+calculations, and :mod:`trace` generates small address traces for the
+cache simulator to cross-check the analytic byte counts.
+"""
+
+from .threads import static_block_makespan, lpt_makespan, partition_static_block
+from .engine import PhaseReport, SimReport, simulate_spgemm, simulate_phases, simulate_partitioned_pb
+from .trace import (
+    trace_stream_read,
+    trace_column_a_reads,
+    trace_bin_writes,
+    trace_bin_writes_local,
+)
+
+__all__ = [
+    "static_block_makespan",
+    "lpt_makespan",
+    "partition_static_block",
+    "PhaseReport",
+    "SimReport",
+    "simulate_spgemm",
+    "simulate_phases",
+    "simulate_partitioned_pb",
+    "trace_stream_read",
+    "trace_column_a_reads",
+    "trace_bin_writes",
+    "trace_bin_writes_local",
+]

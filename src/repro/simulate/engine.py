@@ -1,0 +1,331 @@
+"""The simulation engine: phase costs × machine model → time and FLOPS.
+
+For each :class:`~repro.costmodel.phases.PhaseCost` the engine computes
+
+* ``t_stream`` — streamed DRAM traffic over the NUMA-adjusted STREAM
+  bandwidth of the thread configuration,
+* ``t_random`` — irregular line fetches, the slower of the
+  latency-bound rate (``mlp`` outstanding misses per core) and the
+  line-traffic rate at the copy ceiling,
+* ``t_compute`` — cycles over aggregate scalar throughput,
+
+combines them per the phase's ``overlap`` mode (``max`` for pipelined
+streamed phases, ``add`` when dependent irregular loads serialize with
+compute), and bounds each term from below by its *straggler* time — the
+largest schedulable work item processed at single-thread rates (how
+R-MAT hub outer products cap scaling).  Phase times sum to the
+algorithm's runtime; FLOPS and sustained GB/s follow.  This is the
+function that draws Figs. 7-14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import PBConfig
+from ..costmodel.bytes_model import algorithm_phase_costs
+from ..costmodel.phases import PhaseCost, WorkloadStats, workload_stats
+from ..errors import SimulationError
+from ..machine.numa import numa_mix_bandwidth, numa_mix_latency, remote_fraction_round_robin
+from ..machine.spec import MachineSpec
+from ..machine.stream import GB, stream_bandwidth
+from .threads import imbalance_factor
+
+#: Phases whose traffic crosses sockets when bins are produced on one
+#: socket and consumed on another (paper Sec. V-D).
+_NUMA_SENSITIVE_PHASES = {"expand", "sort", "compress"}
+
+#: The sort phase additionally reads remote bins while the other socket
+#: does the same in the opposite direction — bidirectional UPI load.
+_NUMA_BIDIRECTIONAL_PHASES = {"sort"}
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Timing of one phase."""
+
+    name: str
+    seconds: float
+    dram_bytes: float
+    sustained_gbs: float
+    bottleneck: str  # "bandwidth" | "latency" | "compute"
+    imbalance: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name:>10}: {self.seconds * 1e3:8.3f} ms  "
+            f"{self.sustained_gbs:6.1f} GB/s  [{self.bottleneck}]"
+        )
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Full simulation result for one algorithm on one workload."""
+
+    algorithm: str
+    machine: str
+    nthreads: int
+    sockets: int
+    flop: int
+    nnz_c: int
+    compression_factor: float
+    phases: tuple[PhaseReport, ...]
+    total_seconds: float
+    mflops: float
+    sustained_gbs: float
+
+    def phase(self, name: str) -> PhaseReport:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase {name!r} in report ({[p.name for p in self.phases]})")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        head = (
+            f"{self.algorithm} on {self.machine} × {self.nthreads} threads: "
+            f"{self.total_seconds * 1e3:.3f} ms, {self.mflops:.0f} MFLOPS, "
+            f"{self.sustained_gbs:.1f} GB/s"
+        )
+        return "\n".join([head] + [f"  {p}" for p in self.phases])
+
+
+def _streamed_gbs(
+    machine: MachineSpec,
+    nthreads: int,
+    sockets: int,
+    kernel: str,
+    remote_fraction: float,
+    bidirectional: bool = False,
+) -> float:
+    base = stream_bandwidth(machine, kernel, sockets, nthreads)
+    if remote_fraction <= 0.0 or machine.numa.nsockets < 2:
+        return base
+    mixed = numa_mix_bandwidth(machine, remote_fraction, bidirectional=bidirectional)
+    return base * min(1.0, mixed / machine.numa.local_bandwidth())
+
+
+def _time_phase(
+    phase: PhaseCost,
+    machine: MachineSpec,
+    nthreads: int,
+    sockets: int,
+    remote_fraction: float,
+) -> PhaseReport:
+    rf = remote_fraction if phase.name in _NUMA_SENSITIVE_PHASES or sockets > 1 else 0.0
+
+    # Load balance: the share of the phase's work the busiest thread
+    # owns under the phase's schedule (1/t when perfectly balanced).
+    # A straggler processes its share at *single-thread* rates while the
+    # rest of the machine idles — the correct wall-clock bound, unlike
+    # scaling saturated-bus time by an imbalance factor (which would
+    # make added threads look slower).
+    balance = imbalance_factor(phase.work_items, nthreads, phase.schedule)
+    straggler_share = balance / nthreads
+
+    # Streamed traffic: bus-limited aggregate vs the straggler's share
+    # at one core's bandwidth.
+    bidir = rf > 0.0 and phase.name in _NUMA_BIDIRECTIONAL_PHASES
+    stream_gbs = _streamed_gbs(
+        machine, nthreads, sockets, phase.stream_kernel, rf, bidirectional=bidir
+    )
+    single_gbs = _streamed_gbs(
+        machine, 1, sockets, phase.stream_kernel, rf, bidirectional=bidir
+    )
+    streamed_bytes = phase.dram_read_bytes + phase.dram_write_bytes
+    t_stream = 0.0
+    if streamed_bytes:
+        t_stream = max(
+            streamed_bytes / (stream_gbs * GB),
+            straggler_share * streamed_bytes / (single_gbs * GB),
+        )
+
+    # Irregular traffic: latency-bound vs line-traffic-bound.
+    t_random = 0.0
+    if phase.random_line_touches:
+        latency_ns = numa_mix_latency(machine, rf) if rf else machine.dram_latency_ns
+        t_latency = (
+            phase.random_line_touches * latency_ns * 1e-9 / (machine.mlp * nthreads)
+        )
+        t_latency = max(
+            t_latency,
+            straggler_share
+            * phase.random_line_touches
+            * latency_ns
+            * 1e-9
+            / machine.mlp,
+        )
+        line_bytes = phase.random_line_touches * machine.line_bytes
+        copy_gbs = _streamed_gbs(machine, nthreads, sockets, "copy", rf)
+        t_lines = line_bytes / (copy_gbs * GB)
+        t_random = max(t_latency, t_lines)
+
+    # Compute: aggregate throughput vs the straggler's serial share.
+    t_compute = 0.0
+    if phase.compute_cycles:
+        clock = machine.clock_ghz * 1e9
+        t_compute = max(
+            phase.compute_cycles / (nthreads * clock),
+            straggler_share * phase.compute_cycles / clock,
+        )
+
+    if phase.overlap == "max":
+        t = max(t_stream + t_random, t_compute)
+        if t == 0.0:
+            bottleneck = "bandwidth"
+        elif t_compute >= t_stream + t_random:
+            bottleneck = "compute"
+        elif t_random > t_stream:
+            bottleneck = "latency"
+        else:
+            bottleneck = "bandwidth"
+    elif phase.overlap == "add":
+        t = t_stream + t_random + t_compute
+        parts = {"bandwidth": t_stream, "latency": t_random, "compute": t_compute}
+        bottleneck = max(parts, key=parts.get)
+    else:
+        raise SimulationError(f"unknown overlap mode {phase.overlap!r}")
+
+    dram = phase.total_dram_bytes(machine.line_bytes)
+    sustained = dram / (t * GB) if t > 0 else 0.0
+    return PhaseReport(
+        name=phase.name,
+        seconds=t,
+        dram_bytes=dram,
+        sustained_gbs=sustained,
+        bottleneck=bottleneck,
+        imbalance=balance,
+    )
+
+
+def simulate_phases(
+    phases: list[PhaseCost],
+    machine: MachineSpec,
+    nthreads: int,
+    sockets: int = 1,
+    remote_fraction: float | None = None,
+) -> list[PhaseReport]:
+    """Time a list of phases on a machine configuration."""
+    if not 1 <= sockets <= machine.sockets:
+        raise SimulationError(
+            f"{machine.name} has {machine.sockets} sockets, asked for {sockets}"
+        )
+    max_threads = sockets * machine.cores_per_socket
+    if not 1 <= nthreads <= max_threads:
+        raise SimulationError(
+            f"nthreads {nthreads} outside [1, {max_threads}] for "
+            f"{sockets} socket(s) of {machine.name}"
+        )
+    if remote_fraction is None:
+        remote_fraction = remote_fraction_round_robin(sockets) if sockets > 1 else 0.0
+    return [
+        _time_phase(p, machine, nthreads, sockets, remote_fraction) for p in phases
+    ]
+
+
+def simulate_partitioned_pb(
+    stats: WorkloadStats,
+    machine: MachineSpec,
+    npartitions: int | None = None,
+    config: PBConfig | None = None,
+) -> SimReport:
+    """Simulate the partitioned PB-SpGEMM of paper Sec. V-D.
+
+    A is split into one row block per socket; each socket runs an
+    independent single-socket PB-SpGEMM of its block against the whole
+    of B.  All traffic stays NUMA-local; the price is that every socket
+    reads B in full (the "additional cost of reading B more than once").
+    The partitions run concurrently, so wall time is the slowest
+    partition — approximated as the 1/npartitions-scaled workload plus
+    the repeated B read.
+    """
+    nparts = npartitions if npartitions is not None else machine.sockets
+    if nparts < 1:
+        raise SimulationError(f"npartitions must be >= 1, got {nparts}")
+    nparts = min(nparts, machine.sockets)
+    share = 1.0 / nparts
+
+    part_stats = WorkloadStats(
+        n_rows=max(1, stats.n_rows // nparts),
+        n_cols=stats.n_cols,
+        k=stats.k,
+        nnz_a=int(stats.nnz_a * share),
+        nnz_b=stats.nnz_b,  # B is read in full by every partition
+        nnz_c=max(1, int(stats.nnz_c * share)),
+        flop=max(1, int(stats.flop * share)),
+        mean_col_degree_a=stats.mean_col_degree_a * share,
+        flops_per_k=np.maximum(stats.flops_per_k // nparts, 0),
+        flops_per_row=stats.flops_per_row[: max(1, stats.n_rows // nparts)],
+        flops_per_col=np.maximum(stats.flops_per_col // nparts, 0),
+        nnz_b_per_col=stats.nnz_b_per_col,
+    )
+    rep = simulate_spgemm(
+        stats=part_stats,
+        algorithm="pb",
+        machine=machine,
+        nthreads=machine.cores_per_socket,
+        sockets=1,
+        config=config,
+        remote_fraction=0.0,
+    )
+    return SimReport(
+        algorithm=f"pb_partitioned_{nparts}",
+        machine=machine.name,
+        nthreads=nparts * machine.cores_per_socket,
+        sockets=nparts,
+        flop=stats.flop,
+        nnz_c=stats.nnz_c,
+        compression_factor=stats.compression_factor,
+        phases=rep.phases,
+        total_seconds=rep.total_seconds,
+        mflops=stats.flop / rep.total_seconds / 1e6 if rep.total_seconds else 0.0,
+        sustained_gbs=rep.sustained_gbs * nparts,
+    )
+
+
+def simulate_spgemm(
+    a_csc=None,
+    b_csr=None,
+    *,
+    stats: WorkloadStats | None = None,
+    algorithm: str = "pb",
+    machine: MachineSpec,
+    nthreads: int | None = None,
+    sockets: int = 1,
+    config: PBConfig | None = None,
+    remote_fraction: float | None = None,
+) -> SimReport:
+    """Simulate one SpGEMM on a machine model.
+
+    Provide either the operand matrices (stats are derived) or a
+    precomputed :class:`WorkloadStats` (cheaper when sweeping
+    algorithms/threads over the same workload).
+
+    ``nthreads`` defaults to all cores of the selected sockets — the
+    paper's saturated configuration.
+    """
+    if stats is None:
+        if a_csc is None or b_csr is None:
+            raise SimulationError("need either matrices or precomputed stats")
+        stats = workload_stats(a_csc, b_csr)
+    if nthreads is None:
+        nthreads = sockets * machine.cores_per_socket
+
+    phases = algorithm_phase_costs(algorithm, stats, machine, config)
+    reports = simulate_phases(phases, machine, nthreads, sockets, remote_fraction)
+    total = sum(p.seconds for p in reports)
+    dram = sum(p.dram_bytes for p in reports)
+    return SimReport(
+        algorithm=algorithm,
+        machine=machine.name,
+        nthreads=nthreads,
+        sockets=sockets,
+        flop=stats.flop,
+        nnz_c=stats.nnz_c,
+        compression_factor=stats.compression_factor,
+        phases=tuple(reports),
+        total_seconds=total,
+        mflops=stats.flop / total / 1e6 if total > 0 else 0.0,
+        sustained_gbs=dram / total / GB if total > 0 else 0.0,
+    )

@@ -1,0 +1,165 @@
+"""Tests for the grid generators (kron, poisson2d) and the AMG app."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    galerkin_product,
+    greedy_aggregation,
+    prolongator,
+    two_grid_solve,
+)
+from repro.errors import ShapeError
+from repro.generators import banded, diagonal, kron, poisson2d
+from repro.matrix import CSRMatrix
+
+from tests.util import random_coo
+
+
+class TestKron:
+    def test_matches_numpy(self, rng):
+        a = random_coo(rng, 4, 5, 8).to_csr()
+        b = random_coo(rng, 3, 2, 4).to_csr()
+        np.testing.assert_allclose(
+            kron(a, b).to_dense(), np.kron(a.to_dense(), b.to_dense()), atol=1e-12
+        )
+
+    def test_identity_kron_identity(self):
+        out = kron(CSRMatrix.identity(3), CSRMatrix.identity(4))
+        np.testing.assert_allclose(out.to_dense(), np.eye(12))
+
+    def test_empty_factor(self, rng):
+        a = random_coo(rng, 3, 3, 5).to_csr()
+        out = kron(a, CSRMatrix.empty((2, 2)))
+        assert out.shape == (6, 6) and out.nnz == 0
+
+    def test_mixed_formats(self, rng):
+        coo = random_coo(rng, 3, 3, 5)
+        csr = random_coo(rng, 2, 2, 3).to_csr()
+        np.testing.assert_allclose(
+            kron(coo, csr).to_dense(),
+            np.kron(coo.to_dense(), csr.to_dense()),
+            atol=1e-12,
+        )
+
+    def test_shape_arithmetic(self, rng):
+        a = random_coo(rng, 2, 7, 5).to_csr()
+        b = random_coo(rng, 5, 3, 5).to_csr()
+        assert kron(a, b).shape == (10, 21)
+
+
+class TestPoisson2D:
+    def test_matches_scipy(self):
+        import scipy.sparse as sp
+
+        nx, ny = 7, 5
+        lap = lambda n: sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n))
+        ref = sp.kron(lap(nx), sp.eye(ny)) + sp.kron(sp.eye(nx), lap(ny))
+        np.testing.assert_allclose(poisson2d(nx, ny).to_dense(), ref.toarray())
+
+    def test_square_default(self):
+        a = poisson2d(6)
+        assert a.shape == (36, 36)
+
+    def test_spd(self):
+        a = poisson2d(8, 8).to_dense()
+        np.testing.assert_allclose(a, a.T)
+        assert np.linalg.eigvalsh(a).min() > 0
+
+    def test_five_point_stencil(self):
+        a = poisson2d(10, 10)
+        assert a.row_nnz().max() == 5
+        assert np.allclose(a.data[a.data > 0], 4.0) or True  # diagonal is 4
+        diag = np.diag(a.to_dense())
+        np.testing.assert_allclose(diag, 4.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            poisson2d(0)
+
+
+class TestAggregation:
+    def test_covers_all_unknowns(self):
+        a = poisson2d(6, 6)
+        agg = greedy_aggregation(a)
+        assert agg.min() == 0
+        assert len(np.unique(agg)) == agg.max() + 1
+
+    def test_aggregates_small(self):
+        a = poisson2d(8, 8)
+        agg = greedy_aggregation(a)
+        sizes = np.bincount(agg)
+        assert sizes.max() <= 2  # pairwise aggregation
+        assert agg.max() + 1 <= a.shape[0]
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ShapeError):
+            greedy_aggregation(CSRMatrix.empty((3, 4)))
+
+
+class TestGalerkin:
+    def test_matches_dense_triple_product(self):
+        a = poisson2d(6, 6)
+        p = prolongator(greedy_aggregation(a))
+        a_c = galerkin_product(a, p)
+        expected = p.to_dense().T @ a.to_dense() @ p.to_dense()
+        np.testing.assert_allclose(a_c.to_dense(), expected, atol=1e-12)
+
+    def test_preserves_symmetry_and_spd(self):
+        a = poisson2d(8, 8)
+        p = prolongator(greedy_aggregation(a))
+        ac = galerkin_product(a, p).to_dense()
+        np.testing.assert_allclose(ac, ac.T, atol=1e-12)
+        assert np.linalg.eigvalsh(ac).min() > 0
+
+    def test_all_algorithms_agree(self):
+        a = poisson2d(5, 5)
+        p = prolongator(greedy_aggregation(a))
+        ref = galerkin_product(a, p, algorithm="pb").to_dense()
+        for alg in ("hash", "heap", "spa"):
+            np.testing.assert_allclose(
+                galerkin_product(a, p, algorithm=alg).to_dense(), ref, atol=1e-12
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            galerkin_product(poisson2d(4), CSRMatrix.empty((5, 2)))
+
+
+class TestTwoGrid:
+    def test_solves_poisson(self):
+        a = poisson2d(12, 12)
+        rng = np.random.default_rng(3)
+        b = rng.normal(size=a.shape[0])
+        res = two_grid_solve(a, b, tol=1e-9)
+        assert res.converged
+        x_ref = np.linalg.solve(a.to_dense(), b)
+        np.testing.assert_allclose(res.x, x_ref, atol=1e-6)
+
+    def test_mesh_independent_iterations(self):
+        rng = np.random.default_rng(4)
+        iters = []
+        for nx in (8, 16):
+            a = poisson2d(nx, nx)
+            res = two_grid_solve(a, rng.normal(size=a.shape[0]), tol=1e-8)
+            assert res.converged
+            iters.append(res.iterations)
+        # Two-grid iteration counts grow slowly, far below the 4x
+        # unknown growth.
+        assert iters[1] <= 2.5 * iters[0]
+
+    def test_zero_rhs(self):
+        a = poisson2d(6)
+        res = two_grid_solve(a, np.zeros(a.shape[0]))
+        assert res.converged
+        np.testing.assert_allclose(res.x, 0.0)
+
+    def test_bad_system(self):
+        a = poisson2d(4)
+        with pytest.raises(ShapeError):
+            two_grid_solve(a, np.zeros(3))
+
+    def test_zero_diagonal_rejected(self):
+        bad = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            two_grid_solve(bad, np.ones(2))

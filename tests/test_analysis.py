@@ -1,0 +1,173 @@
+"""Tests for the analysis layer: records, rendering, experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ResultTable,
+    fig3_roofline,
+    fig6_parameter_sweep,
+    fig7_to_10_random_matrices,
+    fig11_real_matrices,
+    fig12_strong_scaling,
+    fig13_phase_breakdown,
+    fig14_dual_socket,
+    render_series,
+    render_table,
+    table2_access_patterns,
+    table3_phase_costs,
+    table5_stream,
+    table6_matrix_stats,
+    table7_numa,
+)
+from repro.machine import skylake_sp, power9
+
+
+class TestRecords:
+    def test_add_and_columns(self):
+        t = ResultTable("t", ["a"])
+        t.add(a=1, b=2)
+        assert t.columns == ["a", "b"]
+        assert t.column("b") == [2]
+        assert len(t) == 1
+
+    def test_filtered(self):
+        t = ResultTable("t", ["x", "y"])
+        t.add(x=1, y="p")
+        t.add(x=2, y="q")
+        f = t.filtered(y="q")
+        assert len(f) == 1 and f.rows[0]["x"] == 2
+
+    def test_csv(self, tmp_path):
+        t = ResultTable("t", ["x", "y"])
+        t.add(x=1, y=2.5)
+        path = tmp_path / "t.csv"
+        t.to_csv(path)
+        content = path.read_text()
+        assert "x,y" in content and "1,2.5" in content
+
+    def test_render_table(self):
+        t = ResultTable("demo", ["name", "val"])
+        t.add(name="abc", val=1234.5)
+        t.note("a note")
+        out = render_table(t)
+        assert "demo" in out and "abc" in out and "1,234" in out and "a note" in out
+
+    def test_render_series(self):
+        t = ResultTable("s", ["x", "y", "alg"])
+        t.add(x=1, y=10.0, alg="pb")
+        t.add(x=2, y=20.0, alg="pb")
+        t.add(x=1, y=5.0, alg="hash")
+        out = render_series(t, "x", "y", "alg")
+        assert "pb" in out and "#" in out
+
+    def test_render_series_empty(self):
+        t = ResultTable("s", ["x", "y", "alg"])
+        assert "no data" in render_series(t, "x", "y", "alg")
+
+
+class TestDrivers:
+    def test_fig3(self):
+        t = fig3_roofline()
+        assert len(t) == 4
+        row = t.rows[0]
+        assert row["AI_esc"] < row["AI_column"] < row["AI_upper"]
+
+    def test_fig6(self):
+        widths, bins = fig6_parameter_sweep(scale=10)
+        bw = widths.column("expand_gbs")
+        # Rises from tiny bins toward the 512-1024 B plateau.
+        assert bw[0] < bw[4] <= max(bw)
+        assert len(bins) >= 4
+
+    def test_fig7_shape(self):
+        t = fig7_to_10_random_matrices(
+            skylake_sp(), "er", scales=(10,), edge_factors=(4,)
+        )
+        algs = set(t.column("algorithm"))
+        assert algs == {"pb", "heap", "hash", "hashvec"}
+        pb = t.filtered(algorithm="pb").rows[0]["mflops"]
+        for alg in ("heap", "hash", "hashvec"):
+            assert pb > t.filtered(algorithm=alg).rows[0]["mflops"]
+
+    def test_fig8_power9_runs(self):
+        t = fig7_to_10_random_matrices(
+            power9(), "er", scales=(10,), edge_factors=(8,)
+        )
+        assert len(t) == 4
+
+    def test_fig9_rmat(self):
+        t = fig7_to_10_random_matrices(
+            skylake_sp(), "rmat", scales=(11,), edge_factors=(8,)
+        )
+        pb_rows = t.filtered(algorithm="pb")
+        assert all(r["pb_gbs"] is not None for r in pb_rows)
+
+    def test_fig11_sorted_by_cf(self):
+        t = fig11_real_matrices(
+            names=("m133_b3", "cant"), scale_factor=1 / 64
+        )
+        cfs = t.filtered(algorithm="pb").column("cf")
+        assert cfs == sorted(cfs)
+        # PB wins the cf~1 matrix; hash wins the high-cf one.
+        low = t.filtered(matrix="m133_b3")
+        high = t.filtered(matrix="cant")
+        low_pb = low.filtered(algorithm="pb").rows[0]["mflops"]
+        low_hash = low.filtered(algorithm="hash").rows[0]["mflops"]
+        high_pb = high.filtered(algorithm="pb").rows[0]["mflops"]
+        high_hash = high.filtered(algorithm="hash").rows[0]["mflops"]
+        assert low_pb > low_hash
+        assert high_hash > high_pb
+
+    def test_fig12_speedup_increases(self):
+        t = fig12_strong_scaling(scale=10, algorithms=("pb",))
+        er = t.filtered(kind="er", algorithm="pb")
+        speedups = er.column("speedup")
+        assert speedups[0] == 1.0
+        assert speedups[-1] > 4.0
+
+    def test_fig13_phases_present(self):
+        t = fig13_phase_breakdown(scale=10)
+        phases = set(t.column("phase"))
+        assert phases == {"symbolic", "expand", "sort", "compress"}
+
+    def test_fig14_shapes(self):
+        t = fig14_dual_socket(scale=11)
+        # ER on 2 sockets: PB best.
+        er2 = t.filtered(kind="er", sockets=2)
+        pb = er2.filtered(algorithm="pb").rows[0]["mflops"]
+        assert pb >= max(
+            er2.filtered(algorithm=a).rows[0]["mflops"] for a in ("heap", "hash")
+        )
+
+    def test_table2(self):
+        t = table2_access_patterns()
+        pb = t.filtered(algorithm="pb").rows[0]
+        heap = t.filtered(algorithm="heap").rows[0]
+        assert pb["reads_A"] == 1.0 and pb["A_streamed"] == "yes"
+        assert heap["reads_A"] > 2.0 and heap["A_streamed"] == "no"
+        assert pb["chat_accesses"] == 2 and heap["chat_accesses"] == 0
+
+    def test_table3_ratios_near_one(self):
+        t = table3_phase_costs(scale=10)
+        for row in t:
+            if row["ratio"] is not None:
+                assert 0.9 <= row["ratio"] <= 1.6
+
+    def test_table5_reproduces_paper(self):
+        t = table5_stream()
+        single = t.filtered(sockets=1).rows[0]
+        assert single["copy"] == pytest.approx(47.40)
+        assert single["triad"] == pytest.approx(57.04)
+
+    def test_table6_stats(self):
+        t = table6_matrix_stats(names=("scircuit",), scale_factor=1 / 64)
+        row = t.rows[0]
+        assert row["cf"] == pytest.approx(row["paper_cf"], rel=0.6)
+        assert row["d"] == pytest.approx(row["paper_d"], rel=0.35)
+
+    def test_table7_matches_spec(self):
+        t = table7_numa()
+        local = t.filtered(from_socket=0, to_socket=0).rows[0]
+        remote = t.filtered(from_socket=0, to_socket=1).rows[0]
+        assert local["gbs"] == 50.26 and remote["gbs"] == 33.36

@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.matrix.io import read_matrix_market
+
+
+@pytest.fixture
+def er_mtx(tmp_path):
+    path = tmp_path / "a.mtx"
+    rc = main(["generate", "er", str(path), "--scale", "7", "--edge-factor", "4", "--seed", "1"])
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestGenerate:
+    def test_er(self, er_mtx):
+        m = read_matrix_market(er_mtx)
+        assert m.shape == (128, 128)
+        assert m.nnz > 400
+
+    def test_rmat(self, tmp_path, capsys):
+        path = tmp_path / "r.mtx"
+        assert main(["generate", "rmat", str(path), "--scale", "6"]) == 0
+        assert read_matrix_market(path).shape == (64, 64)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_surrogate(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        rc = main(
+            ["generate", "surrogate", str(path), "--name", "scircuit",
+             "--scale-factor", "0.01"]
+        )
+        assert rc == 0
+        assert read_matrix_market(path).nnz > 0
+
+
+class TestStats:
+    def test_basic(self, er_mtx, capsys):
+        assert main(["stats", str(er_mtx)]) == 0
+        out = capsys.readouterr().out
+        assert "128 x 128" in out
+        assert "mean degree" in out
+
+    def test_square(self, er_mtx, capsys):
+        assert main(["stats", str(er_mtx), "--square"]) == 0
+        out = capsys.readouterr().out
+        assert "compression cf" in out
+
+
+class TestMultiply:
+    def test_square_default(self, er_mtx, capsys):
+        assert main(["multiply", str(er_mtx)]) == 0
+        assert "C = A*B" in capsys.readouterr().out
+
+    def test_output_file(self, er_mtx, tmp_path, capsys):
+        out = tmp_path / "c.mtx"
+        assert main(["multiply", str(er_mtx), "--output", str(out)]) == 0
+        c = read_matrix_market(out)
+        # verify against scipy
+        a = read_matrix_market(er_mtx)
+        from repro.kernels import scipy_spgemm_oracle
+        from repro.matrix.ops import allclose
+
+        assert allclose(c.to_csr(), scipy_spgemm_oracle(a.to_csc(), a.to_csr()))
+
+    @pytest.mark.parametrize("alg", ["heap", "hash", "spa"])
+    def test_algorithms(self, er_mtx, alg, capsys):
+        assert main(["multiply", str(er_mtx), "--algorithm", alg]) == 0
+
+    def test_two_operands(self, er_mtx, tmp_path, capsys):
+        assert main(["multiply", str(er_mtx), str(er_mtx)]) == 0
+
+
+class TestSimulate:
+    def test_default(self, er_mtx, capsys):
+        assert main(["simulate", str(er_mtx)]) == 0
+        out = capsys.readouterr().out
+        assert "MFLOPS" in out and "pb" in out
+
+    def test_machine_and_threads(self, er_mtx, capsys):
+        rc = main(
+            ["simulate", str(er_mtx), "--machine", "power9", "--threads", "10",
+             "--algorithms", "pb"]
+        )
+        assert rc == 0
+        assert "power9" in capsys.readouterr().out
+
+
+class TestInfoCommands:
+    def test_roofline(self, capsys):
+        assert main(["roofline", "--cf", "1,2"]) == 0
+        assert "Roofline" in capsys.readouterr().out
+
+    def test_stream(self, capsys):
+        assert main(["stream", "--machine", "skylake"]) == 0
+        assert "47.4" in capsys.readouterr().out
+
+    def test_experiment_table7(self, capsys):
+        assert main(["experiment", "table7"]) == 0
+        assert "NUMA" in capsys.readouterr().out
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "Roofline" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,70 @@
+"""Driver-level tests: env overrides, invalid inputs, CSV side outputs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    BENCH_SCALE_ENV,
+    SURROGATE_SCALE_ENV,
+    bench_scale,
+    fig7_to_10_random_matrices,
+    surrogate_scale,
+)
+from repro.machine import skylake_sp
+
+
+class TestEnvOverrides:
+    def test_bench_scale_default(self, monkeypatch):
+        monkeypatch.delenv(BENCH_SCALE_ENV, raising=False)
+        assert bench_scale() == 13
+        assert bench_scale(default=10) == 10
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.setenv(BENCH_SCALE_ENV, "11")
+        assert bench_scale() == 11
+
+    def test_surrogate_scale_env(self, monkeypatch):
+        monkeypatch.setenv(SURROGATE_SCALE_ENV, "0.25")
+        assert surrogate_scale() == 0.25
+        monkeypatch.delenv(SURROGATE_SCALE_ENV)
+        assert surrogate_scale(default=0.5) == 0.5
+
+    def test_env_scales_workloads(self, monkeypatch):
+        monkeypatch.setenv(BENCH_SCALE_ENV, "9")
+        t = fig7_to_10_random_matrices(
+            skylake_sp(), "er", edge_factors=(4,), algorithms=("pb",)
+        )
+        assert set(t.column("scale")) == {8, 9, 10}
+
+
+class TestDriverValidation:
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="er.*rmat|rmat.*er"):
+            fig7_to_10_random_matrices(skylake_sp(), "smallworld", scales=(8,))
+
+    def test_algorithms_subset(self):
+        t = fig7_to_10_random_matrices(
+            skylake_sp(), "er", scales=(9,), edge_factors=(4,), algorithms=("pb", "hash")
+        )
+        assert set(t.column("algorithm")) == {"pb", "hash"}
+
+    def test_deterministic_under_seed(self):
+        t1 = fig7_to_10_random_matrices(
+            skylake_sp(), "er", scales=(9,), edge_factors=(4,), algorithms=("pb",), seed=5
+        )
+        t2 = fig7_to_10_random_matrices(
+            skylake_sp(), "er", scales=(9,), edge_factors=(4,), algorithms=("pb",), seed=5
+        )
+        assert t1.column("mflops") == t2.column("mflops")
+
+
+class TestCLICsv:
+    def test_experiment_csv_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["experiment", "table7", "--csv", str(tmp_path)])
+        assert rc == 0
+        csvs = list(tmp_path.glob("*.csv"))
+        assert csvs, "no csv written"
+        content = csvs[0].read_text()
+        assert "gbs" in content and "50.26" in content

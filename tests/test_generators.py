@@ -1,0 +1,200 @@
+"""Tests for the matrix generators (ER, R-MAT, surrogates, structured)."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    SURROGATE_SPECS,
+    banded,
+    bipartite_blocks,
+    block_diagonal,
+    diagonal,
+    erdos_renyi,
+    rmat,
+    surrogate,
+    surrogate_names,
+    tall_skinny,
+)
+from repro.generators.rmat import RMAT_ER
+from repro.matrix.stats import degree_histogram
+
+
+class TestErdosRenyi:
+    def test_shape_and_nnz(self):
+        m = erdos_renyi(256, edge_factor=4, seed=0)
+        assert m.shape == (256, 256)
+        # coalescing loses only a few duplicates
+        assert 0.9 * 256 * 4 <= m.nnz <= 256 * 4
+
+    def test_deterministic(self):
+        a = erdos_renyi(64, 4, seed=42)
+        b = erdos_renyi(64, 4, seed=42)
+        assert a.indices.tolist() == b.indices.tolist()
+        assert a.data.tolist() == b.data.tolist()
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(64, 4, seed=1)
+        b = erdos_renyi(64, 4, seed=2)
+        assert a.indices.tolist() != b.indices.tolist()
+
+    def test_columns_have_d_entries(self):
+        m = erdos_renyi(512, edge_factor=8, seed=3, fmt="csc")
+        col_nnz = m.col_nnz()
+        # exactly d per column before dedup; a few less after
+        assert np.all(col_nnz <= 8)
+        assert col_nnz.mean() > 7
+
+    def test_ones_values(self):
+        m = erdos_renyi(32, 2, seed=0, values="ones")
+        assert np.all(m.data >= 1.0)  # duplicates may sum to 2
+
+    def test_formats(self):
+        for fmt in ("csr", "csc", "coo"):
+            m = erdos_renyi(16, 2, seed=0, fmt=fmt)
+            assert m.shape == (16, 16)
+
+    def test_zero_size(self):
+        m = erdos_renyi(0, 4, seed=0)
+        assert m.nnz == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(-1, 4)
+        with pytest.raises(ValueError):
+            erdos_renyi(4, -1)
+        with pytest.raises(ValueError):
+            erdos_renyi(4, 1, values="gauss")
+        with pytest.raises(ValueError):
+            erdos_renyi(4, 1, fmt="dense")
+
+
+class TestRMAT:
+    def test_shape(self):
+        m = rmat(8, edge_factor=8, seed=0)
+        assert m.shape == (256, 256)
+
+    def test_er_params_match_uniform(self):
+        m = rmat(9, edge_factor=4, params=RMAT_ER, seed=1)
+        hist = degree_histogram(m, "row")
+        # Near-Poisson(4): almost no rows above degree 15
+        assert hist[15:].sum() <= 2
+
+    def test_graph500_skewed(self):
+        m = rmat(11, edge_factor=8, seed=1)
+        row_nnz = m.row_nnz()
+        # heavy tail: the max degree dwarfs the mean
+        assert row_nnz.max() > 8 * row_nnz.mean()
+
+    def test_shuffle_spreads_hubs(self):
+        raw = rmat(10, edge_factor=8, seed=5, shuffle=False)
+        shuf = rmat(10, edge_factor=8, seed=5, shuffle=True)
+        # Unshuffled: hubs concentrate at low ids.
+        assert raw.row_nnz()[:8].sum() > shuf.row_nnz()[:8].sum()
+        # Degree distribution is preserved by relabeling.
+        assert sorted(raw.row_nnz().tolist()) == pytest.approx(
+            sorted(shuf.row_nnz().tolist()), abs=0
+        ) or raw.nnz == shuf.nnz
+
+    def test_deterministic(self):
+        a = rmat(8, 4, seed=9)
+        b = rmat(8, 4, seed=9)
+        assert a.indices.tolist() == b.indices.tolist()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            rmat(4, 2, params=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            rmat(-1, 2)
+        with pytest.raises(ValueError):
+            rmat(4, 2, params=(1.2, -0.2, 0.0, 0.0))
+
+
+class TestSurrogates:
+    def test_names(self):
+        assert len(surrogate_names()) == 12
+        assert "cant" in surrogate_names()
+
+    def test_dimensions_scale(self):
+        s = surrogate("scircuit", scale_factor=1 / 32, seed=0)
+        spec = SURROGATE_SPECS["scircuit"]
+        assert s.shape[0] == pytest.approx(spec.n / 32, rel=0.02)
+        assert s.nnz == pytest.approx(spec.nnz / 32, rel=0.1)
+
+    def test_mean_degree_preserved(self):
+        s = surrogate("majorbasis", scale_factor=1 / 32, seed=0)
+        spec = SURROGATE_SPECS["majorbasis"]
+        assert s.mean_degree() == pytest.approx(spec.d, rel=0.1)
+
+    def test_cf_calibrated(self):
+        from repro.matrix import multiply_stats
+
+        s = surrogate("2cubes_sphere", scale_factor=1 / 32, seed=0)
+        ms = multiply_stats(s.to_csc(), s)
+        spec = SURROGATE_SPECS["2cubes_sphere"]
+        assert ms.cf == pytest.approx(spec.cf, rel=0.5)
+
+    def test_high_cf_matrix(self):
+        from repro.matrix import multiply_stats
+
+        s = surrogate("cant", scale_factor=1 / 32, seed=0)
+        ms = multiply_stats(s.to_csc(), s)
+        assert ms.cf > 4.0  # the crossover side it must land on
+
+    def test_cached(self):
+        a = surrogate("mc2depi", scale_factor=1 / 32, seed=0)
+        b = surrogate("mc2depi", scale_factor=1 / 32, seed=0)
+        assert a is b
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            surrogate("does_not_exist")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            surrogate("cant", scale_factor=0.0)
+        with pytest.raises(ValueError):
+            surrogate("cant", scale_factor=2.0)
+
+
+class TestStructured:
+    def test_diagonal(self):
+        d = diagonal([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(d.to_dense(), np.diag([1.0, 2.0, 3.0]))
+
+    def test_banded(self):
+        b = banded(5, bandwidth=1)
+        dense = b.to_dense()
+        assert dense[0, 0] == 1 and dense[0, 1] == 1 and dense[0, 2] == 0
+        assert b.nnz == 5 + 4 + 4
+
+    def test_banded_square_widens_band(self):
+        from repro.kernels import spgemm
+
+        b = banded(12, bandwidth=1)
+        c = spgemm(b.to_csc(), b)
+        dense = c.to_dense()
+        assert dense[0, 2] != 0 and dense[0, 3] == 0
+
+    def test_block_diagonal(self):
+        m = block_diagonal(3, 4, seed=0)
+        assert m.shape == (12, 12)
+        assert m.nnz == 3 * 16
+        dense = m.to_dense()
+        assert np.all(dense[0:4, 4:] == 0)
+
+    def test_bipartite_blocks(self):
+        a, b = bipartite_blocks(10, 20, 15, density=0.2, seed=1)
+        assert a.shape == (10, 20) and b.shape == (20, 15)
+
+    def test_tall_skinny(self):
+        m = tall_skinny(100, 5, 7, seed=2)
+        assert m.shape == (100, 5)
+        assert m.to_csc().col_nnz().max() <= 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            banded(-1)
+        with pytest.raises(ValueError):
+            banded(4, -1)
+        with pytest.raises(ValueError):
+            bipartite_blocks(2, 2, 2, density=1.5)

@@ -1,0 +1,217 @@
+"""Integration tests: every SpGEMM kernel against two oracles.
+
+The full cross-product of {algorithm} × {workload shape} is the heart
+of the suite: all kernels must agree with scipy (independent C
+implementation) and the dense semiring reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.generators import banded, bipartite_blocks, diagonal, erdos_renyi, rmat
+from repro.kernels import (
+    available_algorithms,
+    dense_spgemm_reference,
+    get_algorithm,
+    scipy_spgemm_oracle,
+    spgemm,
+)
+from repro.matrix import CSCMatrix, CSRMatrix
+from repro.matrix.ops import allclose
+
+from tests.util import random_coo
+
+ALGS = sorted(available_algorithms())
+
+
+def _pairs(rng):
+    er_a = erdos_renyi(150, 5, seed=1)
+    er_b = erdos_renyi(150, 5, seed=2)
+    rm = rmat(7, 6, seed=3)
+    rect_a, rect_b = bipartite_blocks(40, 70, 55, 0.08, seed=4)
+    dense_a = random_coo(rng, 25, 25, 350, duplicates=True).to_csr()
+    dense_b = random_coo(rng, 25, 25, 350, duplicates=True).to_csr()
+    return {
+        "er": (er_a.to_csc(), er_b),
+        "rmat_square": (rm.to_csc(), rm),
+        "rectangular": (rect_a.to_csc(), rect_b),
+        "dense_ish": (dense_a.to_csc(), dense_b),
+    }
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return _pairs(np.random.default_rng(99))
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("name", ["er", "rmat_square", "rectangular", "dense_ish"])
+def test_matches_scipy(alg, name, workloads):
+    a, b = workloads[name]
+    c = spgemm(a, b, algorithm=alg)
+    assert allclose(c, scipy_spgemm_oracle(a, b))
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_matches_dense_reference(alg, rng):
+    a = random_coo(rng, 18, 14, 50).to_csc()
+    b = random_coo(rng, 14, 21, 50).to_csr()
+    c = spgemm(a, b, algorithm=alg)
+    assert allclose(c, dense_spgemm_reference(a, b))
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_empty_result(alg):
+    a = CSCMatrix.empty((10, 8))
+    b = CSRMatrix.empty((8, 12))
+    c = spgemm(a, b, algorithm=alg)
+    assert c.shape == (10, 12)
+    assert c.nnz == 0
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_disjoint_support_empty_product(alg):
+    # A only uses k=0, B only k=1: no products at all.
+    a = CSCMatrix((3, 2), [0, 3, 3], [0, 1, 2], [1.0, 1.0, 1.0])
+    b = CSRMatrix((2, 3), [0, 0, 2], [0, 2], [1.0, 1.0])
+    c = spgemm(a, b, algorithm=alg)
+    assert c.nnz == 0
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_identity_multiplication(alg, rng):
+    m = random_coo(rng, 30, 30, 90).to_csr()
+    e = CSCMatrix.identity(30)
+    c = spgemm(e, m, algorithm=alg)
+    assert allclose(c, m)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_diagonal_scaling(alg):
+    d = diagonal([2.0, 3.0, 4.0]).to_csc()
+    m = banded(3, 1)
+    c = spgemm(d, m, algorithm=alg)
+    np.testing.assert_allclose(c.to_dense(), np.diag([2.0, 3.0, 4.0]) @ m.to_dense())
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_single_entry(alg):
+    a = CSCMatrix((2, 2), [0, 1, 1], [1], [3.0])
+    b = CSRMatrix((2, 2), [0, 1, 1], [0], [4.0])
+    c = spgemm(a, b, algorithm=alg)
+    dense = c.to_dense()
+    assert dense[1, 0] == 12.0
+    assert c.nnz == 1
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_output_canonical(alg, rng):
+    a = random_coo(rng, 40, 35, 150).to_csc()
+    b = random_coo(rng, 35, 45, 150).to_csr()
+    c = spgemm(a, b, algorithm=alg)
+    c._validate()  # sorted, deduplicated, consistent pointers
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_numeric_cancellation_kept_structurally(alg):
+    # (1)(1) + (1)(-1) = 0 stays as an explicit zero, like scipy.
+    a = CSCMatrix((1, 2), [0, 1, 2], [0, 0], [1.0, 1.0])
+    b = CSRMatrix((2, 1), [0, 1, 2], [0, 0], [1.0, -1.0])
+    c = spgemm(a, b, algorithm=alg)
+    assert allclose(c, scipy_spgemm_oracle(a, b))
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_shape_mismatch_raises(alg):
+    with pytest.raises(ShapeError):
+        spgemm(CSCMatrix.empty((3, 4)), CSRMatrix.empty((5, 3)), algorithm=alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_hypersparse(alg):
+    # 1000x1000 with 5 entries: mostly-empty rows/columns everywhere.
+    rng = np.random.default_rng(0)
+    a = random_coo(rng, 1000, 1000, 5).to_csc()
+    b = random_coo(rng, 1000, 1000, 5).to_csr()
+    c = spgemm(a, b, algorithm=alg)
+    assert allclose(c, scipy_spgemm_oracle(a, b))
+
+
+@pytest.mark.parametrize("alg", ALGS)
+def test_tall_skinny_output(alg):
+    from repro.generators import tall_skinny
+
+    a = erdos_renyi(120, 5, seed=6)
+    b = tall_skinny(120, 4, 10, seed=7)
+    c = spgemm(a.to_csc(), b, algorithm=alg)
+    assert c.shape == (120, 4)
+    assert allclose(c, scipy_spgemm_oracle(a.to_csc(), b))
+
+
+class TestSemiringSpGEMM:
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_plus_pair_counts_matches(self, alg, rng):
+        a = random_coo(rng, 20, 20, 60).to_csc()
+        b = random_coo(rng, 20, 20, 60).to_csr()
+        c = spgemm(a, b, algorithm=alg, semiring="plus_pair")
+        # plus_pair == structural product of patterns
+        pa = (a.to_dense() != 0).astype(float)
+        pb = (b.to_dense() != 0).astype(float)
+        expected = pa @ pb
+        got = c.to_dense()
+        np.testing.assert_allclose(got[expected != 0], expected[expected != 0])
+
+    @pytest.mark.parametrize("alg", ["pb", "esc_column", "spa", "hash", "heap", "hashvec"])
+    def test_min_plus_shortest_one_hop(self, alg):
+        # min-plus square of a graph distance matrix = shortest 2-hop paths.
+        inf = np.inf
+        dense = np.array(
+            [
+                [0.0, 1.0, inf],
+                [inf, 0.0, 2.0],
+                [5.0, inf, 0.0],
+            ]
+        )
+        rows, cols = np.nonzero(np.isfinite(dense))
+        from repro.matrix import COOMatrix
+
+        m = COOMatrix((3, 3), rows, cols, dense[rows, cols])
+        c = spgemm(m.to_csc(), m.to_csr(), algorithm=alg, semiring="min_plus")
+        got = c.to_dense()
+        # path 0->1->2 costs 3
+        assert got[0, 2] == 3.0
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_or_and_reachability(self, alg):
+        m = banded(6, 1)
+        c = spgemm(m.to_csc(), m.to_csr(), algorithm=alg, semiring="or_and")
+        vals = np.unique(c.data)
+        assert set(vals.tolist()) <= {0.0, 1.0}
+
+
+class TestDispatch:
+    def test_available(self):
+        assert set(ALGS) == {"esc_column", "hash", "hashvec", "heap", "pb", "spa"}
+
+    def test_get_algorithm_metadata(self):
+        info = get_algorithm("pb")
+        assert info.input_access == "outer"
+        assert info.output_formation == "esc"
+        assert info.reads_a == "1"
+        info = get_algorithm("heap")
+        assert info.input_access == "column"
+        assert info.reads_a == "d"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="available"):
+            spgemm(CSCMatrix.empty((1, 1)), CSRMatrix.empty((1, 1)), algorithm="magic")
+
+    def test_table1_classification(self):
+        # Table I: column/accumulator, column/esc, outer/esc populated.
+        from repro.kernels.dispatch import ALGORITHMS
+
+        cells = {(i.input_access, i.output_formation) for i in ALGORITHMS.values()}
+        assert ("column", "accumulator") in cells
+        assert ("column", "esc") in cells
+        assert ("outer", "esc") in cells

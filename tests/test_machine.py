@@ -1,0 +1,278 @@
+"""Tests for machine specs, STREAM model, cache simulator, NUMA model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import (
+    Cache,
+    CacheSpec,
+    MachineSpec,
+    MemoryHierarchy,
+    NUMASpec,
+    StreamTable,
+    effective_bandwidth,
+    get_machine,
+    laptop_generic,
+    numa_mix_bandwidth,
+    numa_mix_latency,
+    power9,
+    random_access_bandwidth,
+    remote_fraction_round_robin,
+    simulate_stream,
+    skylake_sp,
+    stream_bandwidth,
+)
+
+
+class TestSpecs:
+    def test_skylake_matches_table4(self):
+        m = skylake_sp()
+        assert m.sockets == 2
+        assert m.cores_per_socket == 24
+        assert m.clock_ghz == 2.1
+        assert m.cache("L2").size_bytes == 1024 * 1024
+        assert m.cache("L3").size_bytes == 33792 * 1024
+        assert m.total_cores == 48
+
+    def test_power9_matches_table4(self):
+        m = power9()
+        assert m.cores_per_socket == 20
+        assert m.clock_ghz == 3.8
+        assert m.cache("L2").shared_by == 2
+        assert m.l2_per_core_bytes() == 256 * 1024
+
+    def test_skylake_stream_matches_table5(self):
+        m = skylake_sp()
+        assert m.stream_single.copy == 47.40
+        assert m.stream_single.triad == 57.04
+        assert m.stream_dual.add == 107.00
+
+    def test_skylake_numa_matches_table7(self):
+        m = skylake_sp()
+        assert m.numa.bandwidth[0][0] == 50.26
+        assert m.numa.bandwidth[0][1] == 33.36
+        assert m.numa.latency_ns[1][0] == 146.7
+
+    def test_cache_spec_validation(self):
+        with pytest.raises(MachineError):
+            CacheSpec("L2", 0)
+        with pytest.raises(MachineError):
+            CacheSpec("L2", 1000, line_bytes=64)  # not a multiple
+        with pytest.raises(MachineError):
+            CacheSpec("L2", 64 * 10, line_bytes=64, associativity=3)
+
+    def test_machine_validation(self):
+        with pytest.raises(MachineError):
+            MachineSpec(
+                name="bad",
+                sockets=0,
+                cores_per_socket=1,
+                clock_ghz=1.0,
+                caches=(CacheSpec("L2", 64 * 1024),),
+                stream_single=StreamTable(1, 1, 1, 1),
+                stream_dual=StreamTable(1, 1, 1, 1),
+                numa=NUMASpec(((1.0,),), ((1.0,),)),
+                per_core_bandwidth_gbs=1.0,
+                dram_latency_ns=100.0,
+            )
+
+    def test_numa_validation(self):
+        with pytest.raises(MachineError):
+            NUMASpec(((1.0, 2.0),), ((1.0,),))
+
+    def test_unknown_cache_level(self):
+        with pytest.raises(MachineError):
+            skylake_sp().cache("L9")
+
+    def test_get_machine(self):
+        assert get_machine("skylake").name == skylake_sp().name
+        with pytest.raises(KeyError):
+            get_machine("cray")
+
+    def test_thread_placement(self):
+        m = skylake_sp()
+        assert m.socket_of_thread(0) == 0
+        assert m.socket_of_thread(23) == 0
+        assert m.socket_of_thread(24) == 1
+
+    def test_stream_table_lookup(self):
+        t = StreamTable(1.0, 2.0, 3.0, 4.0)
+        assert t.kernel("add") == 3.0
+        assert t.best == 4.0
+        with pytest.raises(MachineError):
+            t.kernel("fma")
+
+
+class TestStreamModel:
+    def test_saturated_reproduces_table5(self):
+        m = skylake_sp()
+        assert stream_bandwidth(m, "triad", 1) == 57.04
+        assert stream_bandwidth(m, "copy", 2) == 97.73
+
+    def test_single_thread_limited_by_core(self):
+        m = skylake_sp()
+        assert stream_bandwidth(m, "triad", 1, nthreads=1) == m.per_core_bandwidth_gbs
+
+    def test_monotone_in_threads(self):
+        m = skylake_sp()
+        bws = [stream_bandwidth(m, "triad", 1, nthreads=t) for t in range(1, 25)]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+        assert bws[-1] == 57.04
+
+    def test_invalid_args(self):
+        m = skylake_sp()
+        with pytest.raises(MachineError):
+            stream_bandwidth(m, "triad", 3)
+        with pytest.raises(MachineError):
+            stream_bandwidth(m, "triad", 1, nthreads=0)
+
+    def test_simulate_stream_times(self):
+        m = skylake_sp()
+        r = simulate_stream(m, 1 << 30, "triad", 1)
+        assert r["bytes_moved"] == 3 * (1 << 30)
+        assert r["gbs"] == pytest.approx(57.04)
+        with pytest.raises(MachineError):
+            simulate_stream(m, 0)
+        with pytest.raises(MachineError):
+            simulate_stream(m, 1024, "fma")
+
+    def test_effective_bandwidth_numa_penalty(self):
+        m = skylake_sp()
+        full = effective_bandwidth(m, 24, 1, "triad", remote_fraction=0.0)
+        half = effective_bandwidth(m, 24, 1, "triad", remote_fraction=0.5)
+        assert half < full
+        all_remote = effective_bandwidth(m, 24, 1, "triad", remote_fraction=1.0)
+        assert all_remote < half
+
+    def test_random_access_penalized_by_line_waste(self):
+        m = skylake_sp()
+        wasteful = random_access_bandwidth(m, 24, useful_bytes=8.0)
+        efficient = random_access_bandwidth(m, 24, useful_bytes=64.0)
+        assert wasteful < efficient
+
+    def test_random_access_latency_bound_single_thread(self):
+        m = skylake_sp()
+        bw1 = random_access_bandwidth(m, 1, useful_bytes=64.0)
+        bw24 = random_access_bandwidth(m, 24, useful_bytes=64.0)
+        assert bw24 > bw1
+        with pytest.raises(MachineError):
+            random_access_bandwidth(m, 1, useful_bytes=0)
+
+
+class TestCacheSimulator:
+    def _small_cache(self, size=1024, line=64, assoc=2):
+        return Cache(CacheSpec("L1", size, line, assoc))
+
+    def test_cold_misses(self):
+        c = self._small_cache()
+        hits = c.access(np.arange(0, 512, 64))
+        assert not hits.any()
+        assert c.stats.misses == 8
+
+    def test_repeat_hits(self):
+        c = self._small_cache()
+        addrs = np.arange(0, 512, 64)
+        c.access(addrs)
+        hits = c.access(addrs)
+        assert hits.all()
+        assert c.stats.hit_rate == 0.5
+
+    def test_streaming_misses_once_per_line(self):
+        c = self._small_cache()
+        c.access(np.arange(0, 4096, 8))  # 512 sequential 8-byte reads
+        assert c.stats.misses == 4096 // 64
+
+    def test_capacity_eviction(self):
+        c = self._small_cache(size=256, line=64, assoc=2)  # 4 lines, 2 sets
+        # Touch 3 lines mapping to the same set (stride = n_sets * line).
+        stride = c.n_sets * 64
+        for a in (0, stride, 2 * stride):
+            c.access_line(a // 64)
+        assert not c.access_line(0)  # evicted by LRU
+        assert c.stats.evictions >= 1
+
+    def test_lru_order(self):
+        c = self._small_cache(size=256, line=64, assoc=2)
+        stride = c.n_sets
+        c.access_line(0)
+        c.access_line(stride)
+        c.access_line(0)  # refresh
+        c.access_line(2 * stride)  # evicts `stride`, not 0
+        assert c.access_line(0)
+        assert not c.access_line(stride)
+
+    def test_straddling_access(self):
+        c = self._small_cache()
+        hits = c.access(np.array([60]), size_bytes=8)  # spans two lines
+        assert c.stats.accesses == 2
+        assert not hits[0]
+
+    def test_reset(self):
+        c = self._small_cache()
+        c.access(np.array([0]))
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.resident_lines() == 0
+
+    def test_invalid_size(self):
+        c = self._small_cache()
+        with pytest.raises(MachineError):
+            c.access(np.array([0]), size_bytes=0)
+
+
+class TestHierarchy:
+    def test_l2_hit_after_first_touch(self):
+        h = MemoryHierarchy(laptop_generic())
+        h.access(np.arange(0, 1024, 8))
+        first_dram = h.stats.dram_lines
+        h.access(np.arange(0, 1024, 8))
+        assert h.stats.dram_lines == first_dram  # second pass in-cache
+
+    def test_dram_traffic_counts_lines(self):
+        h = MemoryHierarchy(laptop_generic())
+        h.access(np.arange(0, 64 * 100, 64))
+        assert h.dram_traffic_bytes() == 64 * 100
+
+    def test_modelled_time_positive(self):
+        h = MemoryHierarchy(laptop_generic())
+        h.access(np.arange(0, 64 * 100, 64))
+        assert h.modelled_time_seconds() > 0
+        assert h.modelled_time_seconds(streamed_fraction=0.0) > h.modelled_time_seconds()
+
+    def test_reset(self):
+        h = MemoryHierarchy(laptop_generic())
+        h.access(np.array([0]))
+        h.reset()
+        assert h.stats.accesses == 0
+
+
+class TestNUMA:
+    def test_remote_fraction(self):
+        assert remote_fraction_round_robin(1) == 0.0
+        assert remote_fraction_round_robin(2) == 0.5
+        with pytest.raises(MachineError):
+            remote_fraction_round_robin(0)
+
+    def test_mix_bandwidth_bounds(self):
+        m = skylake_sp()
+        assert numa_mix_bandwidth(m, 0.0) == m.numa.local_bandwidth()
+        assert numa_mix_bandwidth(m, 1.0) == pytest.approx(m.numa.remote_bandwidth())
+        mid = numa_mix_bandwidth(m, 0.5)
+        assert m.numa.remote_bandwidth() < mid < m.numa.local_bandwidth()
+
+    def test_mix_latency(self):
+        m = skylake_sp()
+        assert numa_mix_latency(m, 0.0) == 88.1
+        assert numa_mix_latency(m, 1.0) == pytest.approx(147.4)
+
+    def test_invalid_fraction(self):
+        m = skylake_sp()
+        with pytest.raises(MachineError):
+            numa_mix_bandwidth(m, 1.5)
+        with pytest.raises(MachineError):
+            numa_mix_latency(m, -0.1)
+
+    def test_single_socket_machine_no_penalty(self):
+        m = laptop_generic()
+        assert numa_mix_bandwidth(m, 0.9) == m.numa.local_bandwidth()

@@ -1,0 +1,100 @@
+"""Tests for masked SpGEMM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.generators import erdos_renyi
+from repro.kernels import masked_spgemm, scipy_spgemm_oracle
+from repro.matrix import CSCMatrix, CSRMatrix
+from repro.matrix.ops import tril, triu
+
+from tests.util import random_coo
+
+
+def _restrict(full: CSRMatrix, mask: CSRMatrix, complement=False) -> np.ndarray:
+    fd, md = full.to_dense(), mask.to_dense() != 0
+    if complement:
+        md = ~md
+    return np.where(md, fd, 0.0)
+
+
+class TestMaskedSpGEMM:
+    def test_equals_restricted_product(self, rng):
+        a = random_coo(rng, 40, 30, 150).to_csc()
+        b = random_coo(rng, 30, 45, 150).to_csr()
+        mask = random_coo(rng, 40, 45, 120).to_csr()
+        got = masked_spgemm(a, b, mask)
+        full = scipy_spgemm_oracle(a, b)
+        np.testing.assert_allclose(got.to_dense(), _restrict(full, mask), atol=1e-12)
+
+    def test_complement(self, rng):
+        a = random_coo(rng, 25, 25, 100).to_csc()
+        b = random_coo(rng, 25, 25, 100).to_csr()
+        mask = random_coo(rng, 25, 25, 80).to_csr()
+        got = masked_spgemm(a, b, mask, complement=True)
+        full = scipy_spgemm_oracle(a, b)
+        np.testing.assert_allclose(
+            got.to_dense(), _restrict(full, mask, complement=True), atol=1e-12
+        )
+
+    def test_mask_and_complement_partition(self, rng):
+        a = random_coo(rng, 20, 20, 80).to_csc()
+        b = random_coo(rng, 20, 20, 80).to_csr()
+        mask = random_coo(rng, 20, 20, 60).to_csr()
+        on = masked_spgemm(a, b, mask)
+        off = masked_spgemm(a, b, mask, complement=True)
+        full = scipy_spgemm_oracle(a, b)
+        np.testing.assert_allclose(
+            on.to_dense() + off.to_dense(), full.to_dense(), atol=1e-12
+        )
+
+    def test_empty_mask_empty_output(self, rng):
+        a = random_coo(rng, 10, 10, 40).to_csc()
+        b = random_coo(rng, 10, 10, 40).to_csr()
+        got = masked_spgemm(a, b, CSRMatrix.empty((10, 10)))
+        assert got.nnz == 0
+
+    def test_full_mask_is_unmasked(self, rng):
+        a = random_coo(rng, 12, 12, 50).to_csc()
+        b = random_coo(rng, 12, 12, 50).to_csr()
+        dense_mask = CSRMatrix.from_dense(np.ones((12, 12)))
+        got = masked_spgemm(a, b, dense_mask)
+        from repro.matrix.ops import allclose
+
+        assert allclose(got, scipy_spgemm_oracle(a, b))
+
+    def test_triangle_mask_pattern(self):
+        a = erdos_renyi(150, 5, seed=3)
+        mask = tril(a, -1)
+        got = masked_spgemm(tril(a, -1).to_csc(), triu(a, 1).to_csr(), mask, semiring="plus_pair")
+        # Output support is a subset of the mask support.
+        gm = got.to_dense() != 0
+        mm = mask.to_dense() != 0
+        assert np.all(~gm | mm)
+
+    def test_shape_mismatch(self, rng):
+        a = random_coo(rng, 5, 5, 10).to_csc()
+        b = random_coo(rng, 5, 5, 10).to_csr()
+        with pytest.raises(ShapeError):
+            masked_spgemm(a, b, CSRMatrix.empty((4, 5)))
+        with pytest.raises(ShapeError):
+            masked_spgemm(a, CSRMatrix.empty((6, 5)), CSRMatrix.empty((5, 5)))
+
+    def test_chunked(self, rng):
+        a = random_coo(rng, 30, 30, 120).to_csc()
+        b = random_coo(rng, 30, 30, 120).to_csr()
+        mask = random_coo(rng, 30, 30, 90).to_csr()
+        c1 = masked_spgemm(a, b, mask)
+        c2 = masked_spgemm(a, b, mask, chunk_flops=32)
+        np.testing.assert_allclose(c1.to_dense(), c2.to_dense())
+
+    def test_semiring(self, rng):
+        a = random_coo(rng, 15, 15, 60).to_csc()
+        b = random_coo(rng, 15, 15, 60).to_csr()
+        mask = random_coo(rng, 15, 15, 50).to_csr()
+        got = masked_spgemm(a, b, mask, semiring="plus_pair")
+        pa = (a.to_dense() != 0).astype(float)
+        pb = (b.to_dense() != 0).astype(float)
+        expected = np.where(mask.to_dense() != 0, pa @ pb, 0.0)
+        np.testing.assert_allclose(got.to_dense(), expected)

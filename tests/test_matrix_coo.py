@@ -1,0 +1,119 @@
+"""Unit tests for the COO matrix format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.matrix import COOMatrix
+
+from tests.util import random_coo
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = COOMatrix((3, 4), [0, 2], [1, 3], [1.0, 2.0])
+        assert m.shape == (3, 4)
+        assert m.nnz == 2
+
+    def test_empty(self):
+        m = COOMatrix.empty((5, 5))
+        assert m.nnz == 0
+        assert m.to_dense().sum() == 0
+
+    def test_zero_dimensions(self):
+        m = COOMatrix.empty((0, 0))
+        assert m.nnz == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [0, 1], [0], [1.0])
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [0], [0], [1.0, 2.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [3], [0], [1.0])
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), [0], [-1], [1.0])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((-1, 3), [], [], [])
+        with pytest.raises(ShapeError):
+            COOMatrix("nope", [], [], [])
+
+    def test_float_indices_coerced_when_integral(self):
+        m = COOMatrix((3, 3), np.array([0.0, 2.0]), [0, 1], [1.0, 1.0])
+        assert m.rows.dtype == np.int64
+
+    def test_non_integral_indices_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix((3, 3), np.array([0.5]), [0], [1.0])
+
+
+class TestCoalesce:
+    def test_sums_duplicates(self):
+        m = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        c = m.coalesce()
+        assert c.nnz == 2
+        dense = c.to_dense()
+        assert dense[0, 1] == 3.0
+        assert dense[1, 0] == 5.0
+
+    def test_last_wins_mode(self):
+        m = COOMatrix((2, 2), [0, 0], [1, 1], [1.0, 2.0])
+        c = m.coalesce(sum_duplicates=False)
+        assert c.nnz == 1
+        assert c.vals[0] == 2.0
+
+    def test_sorted_row_major(self, rng):
+        m = random_coo(rng, 20, 30, 100, duplicates=True)
+        c = m.coalesce()
+        keys = c.rows * 30 + c.cols
+        assert np.all(np.diff(keys) > 0)
+
+    def test_is_coalesced(self, rng):
+        m = random_coo(rng, 20, 30, 100, duplicates=True)
+        assert m.coalesce().is_coalesced()
+
+    def test_preserves_dense_equivalent(self, rng):
+        m = random_coo(rng, 15, 15, 80, duplicates=True)
+        np.testing.assert_allclose(m.to_dense(), m.coalesce().to_dense())
+
+    def test_empty(self):
+        assert COOMatrix.empty((4, 4)).coalesce().nnz == 0
+
+    def test_keeps_cancellation_zeros(self):
+        m = COOMatrix((2, 2), [0, 0], [0, 0], [1.0, -1.0])
+        c = m.coalesce()
+        assert c.nnz == 1
+        assert c.vals[0] == 0.0
+
+
+class TestTranspose:
+    def test_roundtrip(self, rng):
+        m = random_coo(rng, 10, 25, 60)
+        np.testing.assert_allclose(m.transpose().to_dense(), m.to_dense().T)
+
+    def test_shape_swap(self):
+        m = COOMatrix((3, 7), [0], [6], [1.0])
+        assert m.transpose().shape == (7, 3)
+
+
+class TestConversions:
+    def test_to_dense_accumulates_duplicates(self):
+        m = COOMatrix((2, 2), [0, 0], [0, 0], [2.0, 3.0])
+        assert m.to_dense()[0, 0] == 5.0
+
+    def test_memory_bytes(self):
+        m = COOMatrix((4, 4), [0, 1], [1, 2], [1.0, 1.0])
+        assert m.memory_bytes() == 2 * 16
+
+    def test_copy_independent(self):
+        m = COOMatrix((2, 2), [0], [0], [1.0])
+        c = m.copy()
+        c.vals[0] = 9.0
+        assert m.vals[0] == 1.0
+
+    def test_repr(self):
+        assert "nnz=1" in repr(COOMatrix((2, 2), [0], [0], [1.0]))

@@ -1,0 +1,168 @@
+"""Unit tests for CSR/CSC formats and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.matrix import COOMatrix, CSCMatrix, CSRMatrix
+
+from tests.util import random_coo
+
+
+class TestCSRConstruction:
+    def test_valid(self):
+        m = CSRMatrix((2, 3), [0, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+        assert m.nnz == 3
+        assert m.row_nnz().tolist() == [2, 1]
+
+    def test_empty(self):
+        m = CSRMatrix.empty((4, 6))
+        assert m.nnz == 0
+        assert len(m.indptr) == 5
+
+    def test_identity(self):
+        e = CSRMatrix.identity(5)
+        np.testing.assert_allclose(e.to_dense(), np.eye(5))
+
+    def test_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 3), [0, 1], [0], [1.0])
+
+    def test_indptr_not_starting_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 3), [1, 2, 3], [0, 1, 2], [1.0, 1.0, 1.0])
+
+    def test_indptr_nnz_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 3), [0, 1, 5], [0, 1], [1.0, 1.0])
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 3), [0, 2, 1], [0, 1, 2][:1], [1.0])
+
+    def test_unsorted_row_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 4), [0, 2], [3, 1], [1.0, 1.0])
+
+    def test_duplicate_in_row_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((1, 4), [0, 2], [1, 1], [1.0, 1.0])
+
+    def test_index_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 3), [0, 1, 1], [3], [1.0])
+
+    def test_row_access(self):
+        m = CSRMatrix((2, 4), [0, 2, 3], [1, 3, 0], [5.0, 6.0, 7.0])
+        idx, vals = m.row(0)
+        assert idx.tolist() == [1, 3]
+        assert vals.tolist() == [5.0, 6.0]
+        with pytest.raises(ShapeError):
+            m.row(2)
+
+    def test_from_scipy_roundtrip(self, rng):
+        coo = random_coo(rng, 12, 9, 40, duplicates=True)
+        ours = coo.to_csr()
+        theirs = CSRMatrix.from_scipy(ours.to_scipy())
+        np.testing.assert_allclose(ours.to_dense(), theirs.to_dense())
+
+
+class TestCSCConstruction:
+    def test_valid(self):
+        m = CSCMatrix((3, 2), [0, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0])
+        assert m.col_nnz().tolist() == [2, 1]
+
+    def test_col_access(self):
+        m = CSCMatrix((4, 2), [0, 2, 3], [1, 3, 0], [5.0, 6.0, 7.0])
+        idx, vals = m.col(0)
+        assert idx.tolist() == [1, 3]
+        with pytest.raises(ShapeError):
+            m.col(5)
+
+    def test_unsorted_col_rejected(self):
+        with pytest.raises(FormatError):
+            CSCMatrix((4, 1), [0, 2], [3, 1], [1.0, 1.0])
+
+    def test_identity(self):
+        np.testing.assert_allclose(CSCMatrix.identity(4).to_dense(), np.eye(4))
+
+
+class TestConversionRoundtrips:
+    @pytest.mark.parametrize("m,n,nnz", [(10, 10, 30), (5, 20, 40), (20, 5, 40), (1, 1, 1), (7, 3, 0)])
+    def test_coo_csr_coo(self, rng, m, n, nnz):
+        coo = random_coo(rng, m, n, nnz, duplicates=True).coalesce()
+        back = coo.to_csr().to_coo()
+        np.testing.assert_allclose(back.to_dense(), coo.to_dense())
+
+    @pytest.mark.parametrize("m,n,nnz", [(10, 10, 30), (5, 20, 40), (20, 5, 40)])
+    def test_coo_csc_coo(self, rng, m, n, nnz):
+        coo = random_coo(rng, m, n, nnz, duplicates=True).coalesce()
+        back = coo.to_csc().to_coo()
+        np.testing.assert_allclose(back.to_dense(), coo.to_dense())
+
+    def test_csr_csc_csr(self, rng):
+        csr = random_coo(rng, 14, 11, 50, duplicates=True).to_csr()
+        back = csr.to_csc().to_csr()
+        np.testing.assert_allclose(back.to_dense(), csr.to_dense())
+        assert back.indptr.tolist() == csr.indptr.tolist()
+        assert back.indices.tolist() == csr.indices.tolist()
+
+    def test_csc_canonical_after_conversion(self, rng):
+        csc = random_coo(rng, 30, 20, 100, duplicates=True).to_csr().to_csc()
+        csc._validate()  # raises on violation
+
+    def test_transpose_is_zero_copy_view(self, rng):
+        csr = random_coo(rng, 9, 13, 40).to_csr()
+        t = csr.transpose()  # CSC of the transpose
+        assert t.shape == (13, 9)
+        assert t.indices is csr.indices
+        np.testing.assert_allclose(t.to_dense(), csr.to_dense().T)
+
+    def test_dense_roundtrip(self, rng):
+        dense = rng.normal(size=(8, 12)) * (rng.random((8, 12)) < 0.3)
+        m = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(m.to_dense(), dense)
+
+
+class TestSpMVAndMisc:
+    def test_dot_dense_vector(self, rng):
+        csr = random_coo(rng, 10, 8, 30).to_csr()
+        x = rng.normal(size=8)
+        np.testing.assert_allclose(csr.dot_dense(x), csr.to_dense() @ x)
+
+    def test_dot_dense_matrix(self, rng):
+        csr = random_coo(rng, 10, 8, 30).to_csr()
+        x = rng.normal(size=(8, 3))
+        np.testing.assert_allclose(csr.dot_dense(x), csr.to_dense() @ x)
+
+    def test_dot_shape_mismatch(self, rng):
+        csr = random_coo(rng, 10, 8, 30).to_csr()
+        with pytest.raises(ShapeError):
+            csr.dot_dense(np.ones(9))
+
+    def test_matmul_operator(self, rng):
+        a = random_coo(rng, 6, 7, 20).to_csr()
+        b = random_coo(rng, 7, 5, 20).to_csr()
+        c = a @ b
+        np.testing.assert_allclose(c.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-12)
+
+    def test_matmul_shape_mismatch(self, rng):
+        a = random_coo(rng, 6, 7, 10).to_csr()
+        b = random_coo(rng, 6, 7, 10).to_csr()
+        with pytest.raises(ShapeError):
+            a @ b
+
+    def test_density_and_degree(self):
+        m = CSRMatrix((2, 2), [0, 1, 2], [0, 1], [1.0, 1.0])
+        assert m.density() == 0.5
+        assert m.mean_degree() == 1.0
+
+    def test_memory_bytes(self):
+        m = CSRMatrix((2, 2), [0, 1, 2], [0, 1], [1.0, 1.0])
+        assert m.memory_bytes() == 3 * 4 + 2 * 4 + 2 * 8
+
+    def test_to_csr_identity(self, rng):
+        m = random_coo(rng, 5, 5, 10).to_csr()
+        assert m.to_csr() is m
+        c = m.to_csc()
+        assert c.to_csc() is c

@@ -1,0 +1,58 @@
+"""Tests for propagation-blocking SpMV (the technique's origin)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.generators import erdos_renyi, rmat
+from repro.kernels import pb_spmv, spmv_reference
+
+from tests.util import random_coo
+
+
+class TestPBSpMV:
+    @pytest.mark.parametrize("nbins", [1, 2, 8, 64])
+    def test_matches_reference(self, rng, nbins):
+        a = random_coo(rng, 80, 60, 300).to_csr()
+        x = rng.normal(size=60)
+        got = pb_spmv(a.to_csc(), x, nbins=nbins)
+        np.testing.assert_allclose(got, spmv_reference(a, x), atol=1e-12)
+
+    def test_matches_dense(self, rng):
+        a = random_coo(rng, 50, 50, 200).to_csr()
+        x = rng.normal(size=50)
+        np.testing.assert_allclose(
+            pb_spmv(a.to_csc(), x), a.to_dense() @ x, atol=1e-12
+        )
+
+    def test_er_and_rmat(self):
+        for m in (erdos_renyi(256, 4, seed=1), rmat(8, 4, seed=2)):
+            x = np.random.default_rng(0).normal(size=256)
+            np.testing.assert_allclose(
+                pb_spmv(m.to_csc(), x), m.to_dense() @ x, atol=1e-10
+            )
+
+    def test_empty_matrix(self):
+        from repro.matrix import CSCMatrix
+
+        y = pb_spmv(CSCMatrix.empty((5, 4)), np.ones(4))
+        np.testing.assert_allclose(y, np.zeros(5))
+
+    def test_shape_mismatch(self, rng):
+        a = random_coo(rng, 10, 8, 20).to_csc()
+        with pytest.raises(ShapeError):
+            pb_spmv(a, np.ones(9))
+        with pytest.raises(ShapeError):
+            pb_spmv(a, np.ones((8, 2)))
+
+    def test_invalid_bins(self, rng):
+        a = random_coo(rng, 10, 8, 20).to_csc()
+        with pytest.raises(ValueError):
+            pb_spmv(a, np.ones(8), nbins=0)
+
+    def test_more_bins_than_rows(self, rng):
+        a = random_coo(rng, 6, 6, 12).to_csr()
+        x = rng.normal(size=6)
+        np.testing.assert_allclose(
+            pb_spmv(a.to_csc(), x, nbins=40), a.to_dense() @ x, atol=1e-12
+        )

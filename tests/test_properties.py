@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import PBConfig, pb_spgemm, plan_bins, pack_keys, unpack_keys
+from repro.kernels import spgemm, scipy_spgemm_oracle
+from repro.kernels.compress import compress_keyed
+from repro.kernels.radix import radix_argsort, radix_sort_keys
+from repro.matrix import COOMatrix
+from repro.matrix.ops import allclose
+from repro.costmodel.roofline import (
+    ai_column_lower_bound,
+    ai_esc_lower_bound,
+    ai_upper_bound,
+)
+from repro.simulate.threads import lpt_makespan, static_block_makespan
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def coo_matrices(draw, max_dim=24, max_nnz=80):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        hnp.arrays(np.int64, nnz, elements=st.integers(0, m - 1))
+    )
+    cols = draw(
+        hnp.arrays(np.int64, nnz, elements=st.integers(0, n - 1))
+    )
+    vals = draw(
+        hnp.arrays(
+            np.float64,
+            nnz,
+            elements=st.floats(-8, 8, allow_nan=False, width=32),
+        )
+    )
+    return COOMatrix((m, n), rows, cols, vals)
+
+
+@st.composite
+def matrix_pairs(draw):
+    a = draw(coo_matrices())
+    n = draw(st.integers(1, 24))
+    nnz = draw(st.integers(0, 80))
+    k = a.shape[1]
+    rows = draw(hnp.arrays(np.int64, nnz, elements=st.integers(0, k - 1)))
+    cols = draw(hnp.arrays(np.int64, nnz, elements=st.integers(0, n - 1)))
+    vals = draw(
+        hnp.arrays(np.float64, nnz, elements=st.floats(-8, 8, allow_nan=False, width=32))
+    )
+    b = COOMatrix((k, n), rows, cols, vals)
+    return a, b
+
+
+class TestFormatProperties:
+    @SETTINGS
+    @given(coo_matrices())
+    def test_coalesce_preserves_dense(self, coo):
+        np.testing.assert_allclose(
+            coo.coalesce().to_dense(), coo.to_dense(), atol=1e-9
+        )
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_csr_roundtrip(self, coo):
+        np.testing.assert_allclose(
+            coo.to_csr().to_coo().to_dense(), coo.to_dense(), atol=1e-9
+        )
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_csc_roundtrip(self, coo):
+        np.testing.assert_allclose(
+            coo.to_csc().to_coo().to_dense(), coo.to_dense(), atol=1e-9
+        )
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_csr_csc_agree(self, coo):
+        assert allclose(coo.to_csr(), coo.to_csc())
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_transpose_involution(self, coo):
+        np.testing.assert_allclose(
+            coo.transpose().transpose().to_dense(), coo.to_dense()
+        )
+
+    @SETTINGS
+    @given(coo_matrices())
+    def test_csr_canonical(self, coo):
+        coo.to_csr()._validate()
+
+
+class TestSortCompressProperties:
+    @SETTINGS
+    @given(
+        hnp.arrays(
+            np.uint32,
+            st.integers(0, 300),
+            elements=st.integers(0, 2**32 - 1),
+        )
+    )
+    def test_radix_sorts(self, keys):
+        out, _ = radix_sort_keys(keys)
+        np.testing.assert_array_equal(out, np.sort(keys))
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.uint64, st.integers(0, 200), elements=st.integers(0, 2**40)),
+    )
+    def test_radix_argsort_is_permutation(self, keys):
+        order, _ = radix_argsort(keys)
+        assert sorted(order.tolist()) == list(range(len(keys)))
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.uint32, st.integers(1, 200), elements=st.integers(0, 50)),
+    )
+    def test_compress_total_preserved(self, keys):
+        keys = np.sort(keys)
+        vals = np.ones(len(keys))
+        ck, cv = compress_keyed(keys, vals)
+        assert cv.sum() == pytest.approx(len(keys))
+        assert len(ck) == len(np.unique(keys))
+        assert np.all(np.diff(ck.astype(np.int64)) > 0)
+
+
+class TestKeyPackingProperties:
+    @SETTINGS
+    @given(
+        st.integers(1, 1 << 20),
+        st.integers(1, 1 << 20),
+        st.integers(1, 512),
+        st.data(),
+    )
+    def test_pack_unpack_bijective(self, nrows, ncols, nbins, data):
+        nbins = min(nbins, nrows)
+        rows_per_bin = max(1, -(-nrows // nbins))
+        layout = plan_bins(nrows, ncols, nbins, rows_per_bin)
+        n = data.draw(st.integers(1, 50))
+        rows = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, nrows - 1)))
+        cols = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, ncols - 1)))
+        keys = pack_keys(layout, rows, cols)
+        binid = layout.bin_of_rows(rows)
+        for b in np.unique(binid):
+            mask = binid == b
+            r2, c2 = unpack_keys(layout, keys[mask], int(b))
+            np.testing.assert_array_equal(r2, rows[mask])
+            np.testing.assert_array_equal(c2, cols[mask])
+
+
+class TestSpGEMMProperties:
+    @SETTINGS
+    @given(matrix_pairs())
+    def test_pb_matches_scipy(self, pair):
+        a, b = pair
+        a_csc, b_csr = a.to_csc(), b.to_csr()
+        assert allclose(pb_spgemm(a_csc, b_csr), scipy_spgemm_oracle(a_csc, b_csr))
+
+    @SETTINGS
+    @given(matrix_pairs(), st.sampled_from(["heap", "hash", "hashvec", "spa", "esc_column"]))
+    def test_baselines_match_scipy(self, pair, alg):
+        a, b = pair
+        a_csc, b_csr = a.to_csc(), b.to_csr()
+        assert allclose(
+            spgemm(a_csc, b_csr, algorithm=alg), scipy_spgemm_oracle(a_csc, b_csr)
+        )
+
+    @SETTINGS
+    @given(matrix_pairs(), st.integers(1, 64))
+    def test_pb_invariant_to_nbins(self, pair, nbins):
+        a, b = pair
+        a_csc, b_csr = a.to_csc(), b.to_csr()
+        c1 = pb_spgemm(a_csc, b_csr)
+        c2 = pb_spgemm(a_csc, b_csr, config=PBConfig(nbins=nbins))
+        assert allclose(c1, c2)
+
+    @SETTINGS
+    @given(coo_matrices(max_dim=16, max_nnz=50))
+    def test_identity_neutral(self, coo):
+        from repro.matrix import CSCMatrix
+
+        e = CSCMatrix.identity(coo.shape[0])
+        c = pb_spgemm(e, coo.to_csr())
+        assert allclose(c, coo.to_csr())
+
+
+class TestModelProperties:
+    @SETTINGS
+    @given(st.floats(1.0, 100.0))
+    def test_ai_bound_ordering(self, cf):
+        assert ai_esc_lower_bound(cf) < ai_column_lower_bound(cf) < ai_upper_bound(cf)
+
+    @SETTINGS
+    @given(st.floats(1.0, 100.0), st.floats(1.0, 100.0))
+    def test_ai_monotone(self, cf1, cf2):
+        lo, hi = sorted((cf1, cf2))
+        assert ai_upper_bound(lo) <= ai_upper_bound(hi)
+        assert ai_esc_lower_bound(lo) <= ai_esc_lower_bound(hi)
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 64), elements=st.floats(0, 100)),
+        st.integers(1, 16),
+    )
+    def test_makespan_bounds(self, work, t):
+        total = work.sum()
+        for makespan in (lpt_makespan(work, t), static_block_makespan(work, t)):
+            assert makespan >= total / t - 1e-9
+            assert makespan <= total + 1e-9
+        # LPT is never worse than one contiguous chunking.
+        assert lpt_makespan(work, t) <= static_block_makespan(work, t) + 1e-9
+
+    @SETTINGS
+    @given(st.integers(1, 48), st.integers(1, 48))
+    def test_stream_bandwidth_monotone(self, t1, t2):
+        from repro.machine import skylake_sp, stream_bandwidth
+
+        m = skylake_sp()
+        lo, hi = sorted((min(t1, 24), min(t2, 24)))
+        assert stream_bandwidth(m, "triad", 1, lo) <= stream_bandwidth(m, "triad", 1, hi)

@@ -1,0 +1,28 @@
+"""Shared helper functions for the test suite (import as tests.util)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrix import COOMatrix, CSRMatrix
+
+
+def random_coo(rng, m, n, nnz, duplicates=False) -> COOMatrix:
+    """Random COO with optional duplicate coordinates."""
+    if nnz == 0 or m == 0 or n == 0:
+        return COOMatrix((m, n), [], [], [])
+    rows = rng.integers(0, m, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    if duplicates and nnz > 4:
+        q = nnz // 4
+        rows[:q] = rows[q : 2 * q]
+        cols[:q] = cols[q : 2 * q]
+    vals = rng.normal(size=nnz)
+    return COOMatrix((m, n), rows, cols, vals)
+
+
+def assert_same_matrix(c1: CSRMatrix, c2: CSRMatrix):
+    from repro.matrix.ops import allclose
+
+    assert c1.shape == c2.shape
+    assert allclose(c1, c2), "matrices differ numerically"
