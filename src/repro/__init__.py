@@ -8,8 +8,13 @@ Quickstart::
 
     import repro
     a = repro.erdos_renyi(2**12, edge_factor=4, seed=1)
-    c = repro.spgemm(a.to_csc(), a.to_csr(), algorithm="pb")
+    c = repro.multiply(a, a, algorithm="pb")   # or simply: a @ a
     print(c.nnz)
+
+:func:`multiply` accepts COO/CSR/CSC (or scipy/dense) operands in
+either position and converts to each kernel's expected formats; pass
+``config=PBConfig(nthreads=4, executor="process")`` for real
+multi-core execution of the PB pipeline.
 """
 
 from .errors import (
@@ -49,9 +54,10 @@ from .kernels import (
     heap_spgemm,
     pb_spmv,
     spa_spgemm,
-    spgemm,
 )
+from .api import multiply, spgemm
 from .core import PBConfig, pb_spgemm, pb_spgemm_detailed, partitioned_pb_spgemm
+from .parallel import process_backend_available
 from . import apps
 from .machine import MachineSpec, skylake_sp, power9, stream_bandwidth
 from .costmodel import roofline_mflops, spgemm_arithmetic_intensity
@@ -85,8 +91,10 @@ __all__ = [
     "rmat",
     "surrogate",
     "SURROGATE_SPECS",
+    "multiply",
     "spgemm",
     "available_algorithms",
+    "process_backend_available",
     "masked_spgemm",
     "apps",
     "heap_spgemm",

@@ -18,6 +18,7 @@ from .experiments import (
     fig11_real_matrices,
     fig12_strong_scaling,
     fig13_phase_breakdown,
+    measured_parallel_scaling,
     fig14_dual_socket,
     table2_access_patterns,
     table3_phase_costs,
@@ -39,6 +40,7 @@ __all__ = [
     "fig11_real_matrices",
     "fig12_strong_scaling",
     "fig13_phase_breakdown",
+    "measured_parallel_scaling",
     "fig14_dual_socket",
     "table2_access_patterns",
     "table3_phase_costs",

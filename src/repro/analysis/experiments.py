@@ -22,6 +22,7 @@ the reduced-scale shapes transfer; EXPERIMENTS.md quantifies this.
 from __future__ import annotations
 
 import os
+import time
 
 
 from ..core.config import PBConfig, TUPLE_BYTES
@@ -324,6 +325,79 @@ def fig13_phase_breakdown(
                     imbalance=round(rep.imbalance, 2),
                 )
     t.note("paper shape: expand scales worst on R-MAT (hub outer products)")
+    return t
+
+
+def measured_parallel_scaling(
+    machine: MachineSpec | None = None,
+    scale: int | None = None,
+    edge_factor: int = 8,
+    workers: tuple[int, ...] = (1, 2, 4),
+    seed: int = 5,
+    kinds: tuple[str, ...] = ("er",),
+    repeats: int = 2,
+) -> ResultTable:
+    """*Measured* strong scaling of the process executor (Fig. 12's
+    real-hardware analogue).
+
+    Unlike every other driver here, this one does not simulate: it runs
+    ``pb_spgemm`` on this machine with ``executor="process"`` at each
+    worker count and records wall-clock seconds (best of ``repeats``),
+    per-phase seconds from ``PBResult.phase_seconds``, and the
+    simulator's modeled speedup at the same thread count for
+    comparison.  Measured speedups depend on the host — on a
+    single-core container they hover near (or below) 1.0 because the
+    workers share one CPU; the modeled column shows what the paper's
+    machine would do.
+    """
+    from ..core.pb_spgemm import pb_spgemm_detailed
+
+    m = machine or skylake_sp()
+    s = scale if scale is not None else bench_scale() - 1
+    t = ResultTable(
+        f"Measured strong scaling — PB process executor, scale {s} ef {edge_factor} "
+        f"({os.cpu_count() or '?'} host CPUs)",
+        [
+            "kind", "workers", "executor", "seconds", "speedup",
+            "modeled_speedup", "expand_s", "sort_compress_s", "nbins",
+        ],
+    )
+    for kind in kinds:
+        a = _random_matrix(kind, s, edge_factor, seed)
+        a_csc, b_csr = a.to_csc(), a.to_csr()
+        stats = _squaring_stats(a)
+        base_measured = None
+        base_modeled = None
+        for w in workers:
+            cfg = PBConfig(
+                nthreads=w, executor="serial" if w == 1 else "process"
+            )
+            best = None
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                res = pb_spgemm_detailed(a_csc, b_csr, config=cfg)
+                elapsed = time.perf_counter() - t0
+                best = elapsed if best is None else min(best, elapsed)
+            modeled = simulate_spgemm(
+                stats=stats, algorithm="pb", machine=m, nthreads=w
+            ).total_seconds
+            if base_measured is None:
+                base_measured, base_modeled = best, modeled
+            t.add(
+                kind=kind,
+                workers=w,
+                executor=res.executor_used,
+                seconds=round(best, 4),
+                speedup=round(base_measured / best, 2),
+                modeled_speedup=round(base_modeled / modeled, 2),
+                expand_s=round(res.phase_seconds.get("expand", 0.0), 4),
+                sort_compress_s=round(res.phase_seconds.get("sort_compress", 0.0), 4),
+                nbins=res.layout.nbins,
+            )
+    t.note(
+        "measured on this host (process pool + shared memory); "
+        "modeled_speedup is the simulator's Fig. 12 prediction"
+    )
     return t
 
 

@@ -1,0 +1,119 @@
+"""Top-level multiplication API: :func:`repro.multiply`.
+
+The kernels have a strict **format contract** — PB-SpGEMM streams its
+first operand column-major and its second row-major, so every kernel
+takes ``(A as CSC, B as CSR)``.  :func:`multiply` is the front door
+that hides this: it accepts COO / CSR / CSC (or a ``scipy.sparse``
+matrix, or a dense ``numpy.ndarray``) in either position, converts each
+operand to the kernel-facing format, resolves string semirings, and
+routes ``PBConfig`` to the PB pipeline.  The ``@`` operator on
+:class:`~repro.matrix.csr.CSRMatrix` / :class:`~repro.matrix.csc.CSCMatrix`
+/ :class:`~repro.matrix.coo.COOMatrix` delegates here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ConfigError, FormatError, ShapeError
+from .kernels.dispatch import get_algorithm
+from .semiring import PLUS_TIMES, Semiring, get_semiring
+
+
+def _coerce(operand, side: str, fmt: str):
+    """Convert one operand to CSC (``fmt="csc"``) or CSR (``fmt="csr"``)."""
+    converter = getattr(operand, f"to_{fmt}", None)
+    if converter is not None:
+        return converter()
+    if isinstance(operand, np.ndarray):
+        from .matrix.csc import CSCMatrix
+        from .matrix.csr import CSRMatrix
+
+        cls = CSCMatrix if fmt == "csc" else CSRMatrix
+        return cls.from_dense(operand)
+    # scipy.sparse matrices expose .tocsc/.tocsr rather than .to_csc/.to_csr.
+    if hasattr(operand, "tocsc") and hasattr(operand, "tocsr"):
+        from .matrix.csc import CSCMatrix
+        from .matrix.csr import CSRMatrix
+
+        cls = CSCMatrix if fmt == "csc" else CSRMatrix
+        return cls.from_scipy(operand)
+    raise FormatError(
+        f"operand {side} must be a repro sparse matrix (COO/CSR/CSC), a "
+        f"scipy.sparse matrix, or a dense ndarray; got {type(operand).__name__}"
+    )
+
+
+def multiply(
+    a,
+    b,
+    algorithm: str = "pb",
+    semiring: Semiring | str = PLUS_TIMES,
+    config=None,
+    **kwargs,
+):
+    """C = A · B over any registered algorithm and semiring.
+
+    Format contract
+    ---------------
+    Every kernel consumes ``(A as CSC, B as CSR)`` — A streams
+    column-major, B row-major (paper Alg. 2).  ``multiply`` accepts
+    :class:`~repro.matrix.coo.COOMatrix`,
+    :class:`~repro.matrix.csr.CSRMatrix`,
+    :class:`~repro.matrix.csc.CSCMatrix`, ``scipy.sparse`` matrices, or
+    dense ``numpy`` arrays in either position and converts as needed;
+    operands already in the expected format pass through zero-copy.
+    The product is always canonical CSR.
+
+    Parameters
+    ----------
+    a, b:
+        The operands, in any supported format.
+    algorithm:
+        One of :func:`repro.available_algorithms` (default the paper's
+        ``"pb"``).
+    semiring:
+        A :class:`~repro.semiring.Semiring` or a registered name such
+        as ``"min_plus"``.
+    config:
+        Optional :class:`~repro.core.PBConfig` (``algorithm="pb"``
+        only) — e.g. ``PBConfig(nthreads=4, executor="process")`` for
+        real multi-core execution.
+    kwargs:
+        Forwarded to the kernel.
+    """
+    info = get_algorithm(algorithm)
+    sr = get_semiring(semiring)
+    a_csc = _coerce(a, "A", "csc")
+    b_csr = _coerce(b, "B", "csr")
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    if config is not None:
+        if algorithm != "pb":
+            raise ConfigError(
+                f"config= (PBConfig) only applies to algorithm='pb', "
+                f"got algorithm={algorithm!r}"
+            )
+        kwargs["config"] = config
+    return info.func(a_csc, b_csr, semiring=sr, **kwargs)
+
+
+def spgemm(
+    a,
+    b,
+    algorithm: str = "pb",
+    semiring: Semiring | str = PLUS_TIMES,
+    config=None,
+    **kwargs,
+):
+    """Thin alias of :func:`multiply` under the paper-facing name.
+
+    Same format contract: operands may be COO / CSR / CSC (or scipy
+    sparse / dense numpy); each is converted to the kernel-facing
+    ``(A as CSC, B as CSR)`` pair, so ``repro.spgemm(a, b)`` works on
+    whatever formats you hold.  The stricter positional entry point
+    that skips conversion lives at :func:`repro.kernels.spgemm`.
+    """
+    return multiply(
+        a, b, algorithm=algorithm, semiring=semiring, config=config, **kwargs
+    )

@@ -68,13 +68,36 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_multiply(args) -> int:
-    from .kernels.dispatch import spgemm
+    from .api import multiply
     from .matrix.io import write_matrix_market
 
-    a = _load(args.a).to_csc()
-    b = _load(args.b).to_csr() if args.b else a.to_csr()
-    c = spgemm(a, b, algorithm=args.algorithm, semiring=args.semiring)
-    print(f"C = A*B: {c.shape[0]}x{c.shape[1]}, nnz={c.nnz} (algorithm={args.algorithm})")
+    config = None
+    if args.executor != "serial" or args.nthreads != 1 or args.nbins is not None:
+        if args.algorithm != "pb":
+            print(
+                "--executor/--nthreads/--nbins configure the PB pipeline; "
+                f"use --algorithm pb (got {args.algorithm!r})",
+                file=sys.stderr,
+            )
+            return 2
+        from .core.config import PBConfig
+        from .errors import ConfigError
+
+        try:
+            config = PBConfig(
+                nthreads=args.nthreads, executor=args.executor, nbins=args.nbins
+            )
+        except ConfigError as exc:
+            print(f"invalid PB configuration: {exc}", file=sys.stderr)
+            return 2
+    a = _load(args.a)
+    b = _load(args.b) if args.b else a
+    c = multiply(a, b, algorithm=args.algorithm, semiring=args.semiring, config=config)
+    backend = f", executor={args.executor}x{args.nthreads}" if config else ""
+    print(
+        f"C = A*B: {c.shape[0]}x{c.shape[1]}, nnz={c.nnz} "
+        f"(algorithm={args.algorithm}{backend})"
+    )
     if args.output:
         write_matrix_market(c, args.output)
         print(f"wrote {args.output}")
@@ -129,6 +152,7 @@ _EXPERIMENTS = {
     "fig10": lambda: [_figs7to10("power9", "rmat")],
     "fig11": lambda: [_call("fig11_real_matrices")],
     "fig12": lambda: [_call("fig12_strong_scaling")],
+    "fig12m": lambda: [_call("measured_parallel_scaling")],
     "fig13": lambda: [_call("fig13_phase_breakdown")],
     "fig14": lambda: [_call("fig14_dual_socket")],
     "table2": lambda: [_call("table2_access_patterns")],
@@ -212,6 +236,16 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--algorithm", default="pb")
     m.add_argument("--semiring", default="plus_times")
     m.add_argument("--output", help="write the product here (.mtx)")
+    m.add_argument(
+        "--executor",
+        default="serial",
+        choices=("serial", "process"),
+        help="PB execution backend: in-process numpy, or a real process pool",
+    )
+    m.add_argument(
+        "--nthreads", type=int, default=1, help="worker count for --executor process"
+    )
+    m.add_argument("--nbins", type=int, default=None, help="global bin count override")
     m.set_defaults(func=_cmd_multiply)
 
     si = sub.add_parser("simulate", help="predicted performance on a machine model")

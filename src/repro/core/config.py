@@ -54,10 +54,20 @@ class PBConfig:
         vectorized either way) but changes the simulated traffic and
         the generated traces — it is the Fig. 5 ablation switch.
     chunk_flops:
-        Expand-phase chunk budget in tuples (bounds peak memory).
+        Expand-phase chunk budget in tuples (bounds peak memory; also
+        the work-grain of the parallel expand).
     nthreads:
-        Virtual thread count used when generating per-thread work
-        decompositions for the simulator.
+        Worker count.  With ``executor="serial"`` it only feeds the
+        simulator's per-thread work decompositions; with
+        ``executor="process"`` it is the real process-pool size.
+    executor:
+        ``"serial"`` (default) — single-process numpy pipeline;
+        ``"process"`` — run expand and per-bin sort/compress on a
+        process pool with shared-memory array transport
+        (:mod:`repro.parallel`).  Results are bit-identical.  Falls
+        back to serial when ``nthreads == 1``, when the platform lacks
+        POSIX shared memory, or when the semiring is an unregistered
+        object that cannot be pickled.
     """
 
     nbins: int | None = None
@@ -69,6 +79,7 @@ class PBConfig:
     use_local_bins: bool = True
     chunk_flops: int = 8_000_000
     nthreads: int = 1
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if self.nbins is not None and self.nbins < 1:
@@ -93,6 +104,10 @@ class PBConfig:
             raise ConfigError(f"chunk_flops must be >= 1, got {self.chunk_flops}")
         if self.nthreads < 1:
             raise ConfigError(f"nthreads must be >= 1, got {self.nthreads}")
+        if self.executor not in ("serial", "process"):
+            raise ConfigError(
+                f"executor must be 'serial' or 'process', got {self.executor!r}"
+            )
         if self.bin_mapping == "modulo" and self.pack_keys:
             raise ConfigError(
                 "key packing requires contiguous bin ranges; use "

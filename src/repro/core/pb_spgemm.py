@@ -25,6 +25,7 @@ several benchmarks consume.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,9 +59,16 @@ class PBResult:
     local_bin_stats: dict | None = None
     phase_tuple_counts: dict = field(default_factory=dict)
     #: Wall-clock seconds of each executable phase (symbolic, expand,
-    #: sort_compress, convert).  Single-core Python timings — useful for
-    #: relative phase shares, not for the paper's hardware numbers.
+    #: sort_compress, convert).  Under ``executor="process"`` the keys
+    #: ``expand_workers`` and ``sort_compress_workers`` additionally
+    #: hold the per-worker-task seconds of each parallel phase, so
+    #: benchmarks can report measured numbers next to the simulator's
+    #: modeled Fig. 12/13 curves.
     phase_seconds: dict = field(default_factory=dict)
+    #: Backend that actually ran: ``"serial"``, or ``"process"`` when
+    #: the process pool executed expand and sort/compress (requested
+    #: ``executor="process"`` may legitimately degrade — see PBConfig).
+    executor_used: str = "serial"
 
 
 def _sort_and_compress_bin(
@@ -132,43 +140,91 @@ def pb_spgemm_detailed(
             key_bits=layout.key_bits,
         )
 
-    # ---- Phase 2: expand + propagation blocking ---------------------------
-    # Chunked expansion bounds peak memory; each chunk's tuples are
-    # appended to per-bin segments (the global bins).
-    chunks = list(
-        expand_chunks(a_csc, b_csr, chunk_flops=cfg.chunk_flops, semiring=sr)
-    )
-    rows = np.concatenate([c[0] for c in chunks])
-    cols = np.concatenate([c[1] for c in chunks])
-    vals = np.concatenate([c[2] for c in chunks])
-    b_rows, b_cols, b_vals, bin_starts = distribute_to_bins(layout, rows, cols, vals)
-    tuples_per_bin = np.diff(bin_starts)
-    phase_seconds["expand"] = time.perf_counter() - t0 - sum(phase_seconds.values())
+    # ---- Executor selection ------------------------------------------------
+    # The process backend runs expand and per-bin sort/compress on a
+    # worker pool (repro.parallel); every fallback condition documented
+    # on PBConfig.executor degrades to the serial path below.
+    engine = None
+    sr_token = None
+    if cfg.executor == "process" and cfg.nthreads > 1:
+        from ..parallel import process_backend_available, semiring_token
 
-    local_stats = None
-    if collect_local_bin_stats and cfg.use_local_bins:
-        local_stats = simulate_local_bins(layout, rows, cfg.local_bin_tuples)
-    del rows, cols, vals
+        sr_token = semiring_token(sr)
+        if process_backend_available() and sr_token is not None:
+            from ..parallel.executor import ProcessEngine
 
-    # ---- Phases 3+4: per-bin sort and compress -----------------------------
-    out_rows: list[np.ndarray] = []
-    out_cols: list[np.ndarray] = []
-    out_vals: list[np.ndarray] = []
-    passes = 0
-    for b in range(layout.nbins):
-        lo, hi = int(bin_starts[b]), int(bin_starts[b + 1])
-        if lo == hi:
-            continue
-        crows, ccols, cvals, p = _sort_and_compress_bin(
-            layout, b, b_rows[lo:hi], b_cols[lo:hi], b_vals[lo:hi], sr, cfg
+            try:
+                engine = ProcessEngine(cfg.nthreads)
+            except Exception as exc:  # pragma: no cover - platform-specific
+                warnings.warn(
+                    f"process executor unavailable ({exc}); running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                engine = None
+
+    expand_worker_seconds: list[float] | None = None
+    sc_worker_seconds: list[float] | None = None
+    try:
+        # ---- Phase 2: expand + propagation blocking ------------------------
+        # Chunked expansion bounds peak memory; each chunk's tuples are
+        # appended to per-bin segments (the global bins).  The parallel
+        # expand writes each chunk at its exact flop-prefix offset in
+        # shared memory, so the stream is bit-identical to the serial
+        # concatenation.
+        if engine is not None:
+            rows, cols, vals, expand_worker_seconds = engine.expand(
+                a_csc, b_csr, sym.flops_per_k, sr_token, cfg.chunk_flops
+            )
+        else:
+            chunks = list(
+                expand_chunks(a_csc, b_csr, chunk_flops=cfg.chunk_flops, semiring=sr)
+            )
+            rows = np.concatenate([c[0] for c in chunks])
+            cols = np.concatenate([c[1] for c in chunks])
+            vals = np.concatenate([c[2] for c in chunks])
+        b_rows, b_cols, b_vals, bin_starts = distribute_to_bins(layout, rows, cols, vals)
+        tuples_per_bin = np.diff(bin_starts)
+        phase_seconds["expand"] = time.perf_counter() - t0 - sum(phase_seconds.values())
+
+        local_stats = None
+        if collect_local_bin_stats and cfg.use_local_bins:
+            local_stats = simulate_local_bins(layout, rows, cfg.local_bin_tuples)
+        del rows, cols, vals
+        if engine is not None:
+            engine.free_arenas()  # binned copies are private; drop the shm views
+
+        # ---- Phases 3+4: per-bin sort and compress -------------------------
+        out_rows: list[np.ndarray] = []
+        out_cols: list[np.ndarray] = []
+        out_vals: list[np.ndarray] = []
+        passes = 0
+        if engine is not None:
+            groups, passes, sc_worker_seconds = engine.sort_compress(
+                layout, bin_starts, b_rows, b_cols, b_vals, sr_token, cfg
+            )
+            for crows, ccols, cvals in groups:
+                out_rows.append(crows)
+                out_cols.append(ccols)
+                out_vals.append(cvals)
+        else:
+            for b in range(layout.nbins):
+                lo, hi = int(bin_starts[b]), int(bin_starts[b + 1])
+                if lo == hi:
+                    continue
+                crows, ccols, cvals, p = _sort_and_compress_bin(
+                    layout, b, b_rows[lo:hi], b_cols[lo:hi], b_vals[lo:hi], sr, cfg
+                )
+                passes = max(passes, p)
+                out_rows.append(crows)
+                out_cols.append(ccols)
+                out_vals.append(cvals)
+        phase_seconds["sort_compress"] = (
+            time.perf_counter() - t0 - sum(phase_seconds.values())
         )
-        passes = max(passes, p)
-        out_rows.append(crows)
-        out_cols.append(ccols)
-        out_vals.append(cvals)
-    phase_seconds["sort_compress"] = (
-        time.perf_counter() - t0 - sum(phase_seconds.values())
-    )
+    finally:
+        if engine is not None:
+            engine.close()
 
     # ---- Phase 5: CSR conversion -------------------------------------------
     c_rows = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=INDEX_DTYPE)
@@ -185,6 +241,12 @@ def pb_spgemm_detailed(
     np.cumsum(counts, out=indptr[1:])
     c = CSRMatrix((m, n), indptr, cols_sorted, vals_sorted, validate=False)
     phase_seconds["convert"] = time.perf_counter() - t0 - sum(phase_seconds.values())
+    # Per-worker timings go in last: the scalar phase keys above are
+    # computed by subtracting the running sum of phase_seconds.values().
+    if expand_worker_seconds is not None:
+        phase_seconds["expand_workers"] = expand_worker_seconds
+    if sc_worker_seconds is not None:
+        phase_seconds["sort_compress_workers"] = sc_worker_seconds
 
     nnz_c = c.nnz
     return PBResult(
@@ -203,6 +265,7 @@ def pb_spgemm_detailed(
             "compressed": nnz_c,
         },
         phase_seconds=phase_seconds,
+        executor_used="process" if engine is not None else "serial",
     )
 
 

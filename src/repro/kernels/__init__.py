@@ -18,7 +18,7 @@ Outer-product algorithms:
 All kernels produce canonical CSR and accept any registered semiring.
 """
 
-from .outer_expand import expand_outer, expand_chunks, expand_column_major
+from .outer_expand import expand_outer, expand_chunks, expand_column_major, chunk_ranges
 from .radix import radix_sort_keys, radix_argsort, sort_tuples
 from .compress import compress_sorted, compress_keyed
 from .gustavson_spa import spa_spgemm
@@ -35,6 +35,7 @@ __all__ = [
     "expand_outer",
     "expand_chunks",
     "expand_column_major",
+    "chunk_ranges",
     "radix_sort_keys",
     "radix_argsort",
     "sort_tuples",

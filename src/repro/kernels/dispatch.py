@@ -13,7 +13,7 @@ from typing import Callable
 
 from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
-from ..semiring import PLUS_TIMES, Semiring
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
 
 
 @dataclass(frozen=True)
@@ -117,9 +117,14 @@ def spgemm(
         One of :func:`available_algorithms` (default the paper's
         ``"pb"``).
     semiring:
-        Value algebra; default plus-times.
+        Value algebra — a :class:`~repro.semiring.Semiring` or a
+        registered name like ``"min_plus"``; resolved here so every
+        kernel receives a Semiring instance.  Default plus-times.
     kwargs:
         Algorithm-specific options (e.g. ``config=`` for ``"pb"``).
+
+    See also :func:`repro.multiply`, the format-agnostic front door
+    that converts COO/CSR/CSC operands before dispatching here.
     """
     info = get_algorithm(algorithm)
-    return info.func(a_csc, b_csr, semiring=semiring, **kwargs)
+    return info.func(a_csc, b_csr, semiring=get_semiring(semiring), **kwargs)

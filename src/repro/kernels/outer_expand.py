@@ -92,29 +92,23 @@ def expand_outer(
     return rows, cols, vals
 
 
-def expand_chunks(
-    a_csc: CSCMatrix,
-    b_csr: CSRMatrix,
-    chunk_flops: int = 8_000_000,
-    semiring: Semiring | str = PLUS_TIMES,
-    with_values: bool = True,
-) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray | None]]:
-    """Expand in column chunks bounded by ~``chunk_flops`` tuples each.
+def chunk_ranges(
+    per_k: np.ndarray, chunk_flops: int
+) -> Iterator[tuple[int, int]]:
+    """Column ranges ``[k_lo, k_hi)`` holding ~``chunk_flops`` tuples each.
 
-    Chunk boundaries are chosen on the flop prefix sum, so chunks are
-    balanced by *work*, matching the paper's static flop-based schedule
-    of expand iterations across threads.
+    Boundaries are chosen on the flop prefix sum, so chunks are balanced
+    by *work*, matching the paper's static flop-based schedule of expand
+    iterations across threads.  All-empty ranges are skipped.  This is
+    the work decomposition shared by :func:`expand_chunks` and the
+    process executor's parallel expand.
     """
-    if a_csc.shape[1] != b_csr.shape[0]:
-        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
     if chunk_flops <= 0:
         raise ValueError(f"chunk_flops must be positive, got {chunk_flops}")
-    sr = get_semiring(semiring)
-    k = a_csc.shape[1]
-    per_k = (a_csc.col_nnz() * b_csr.row_nnz()).astype(np.int64)
+    per_k = np.asarray(per_k, dtype=np.int64)
+    k = len(per_k)
     prefix = np.concatenate([[0], np.cumsum(per_k)])
-    total = int(prefix[-1])
-    if total == 0:
+    if int(prefix[-1]) == 0:
         return
     k_lo = 0
     while k_lo < k:
@@ -123,8 +117,26 @@ def expand_chunks(
         k_hi = max(k_hi, k_lo + 1)
         k_hi = min(k_hi, k)
         if prefix[k_hi] > prefix[k_lo]:  # skip all-empty chunks
-            yield _expand_range(a_csc, b_csr, k_lo, k_hi, sr, with_values)
+            yield k_lo, k_hi
         k_lo = k_hi
+
+
+def expand_chunks(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    chunk_flops: int = 8_000_000,
+    semiring: Semiring | str = PLUS_TIMES,
+    with_values: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray | None]]:
+    """Expand in column chunks bounded by ~``chunk_flops`` tuples each
+    (see :func:`chunk_ranges` for the boundary rule).
+    """
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    sr = get_semiring(semiring)
+    per_k = (a_csc.col_nnz() * b_csr.row_nnz()).astype(np.int64)
+    for k_lo, k_hi in chunk_ranges(per_k, chunk_flops):
+        yield _expand_range(a_csc, b_csr, k_lo, k_hi, sr, with_values)
 
 
 def expand_column_major(

@@ -134,8 +134,10 @@ class COOMatrix:
         return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"
 
     def __matmul__(self, other):
-        from ..kernels.dispatch import spgemm
+        """``a @ b`` — delegates to :func:`repro.multiply` (the front
+        door converts both operands to the kernel-facing formats)."""
+        from ..api import multiply
 
         if self.shape[1] != getattr(other, "shape", (None, None))[0]:
             raise ShapeError(f"cannot multiply {self.shape} by {other.shape}")
-        return spgemm(self.to_csc(), other if not isinstance(other, COOMatrix) else other.to_csr())
+        return multiply(self, other)

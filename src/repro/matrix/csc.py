@@ -146,17 +146,15 @@ class CSCMatrix:
         )
 
     def __matmul__(self, other):
-        from ..kernels.dispatch import spgemm
+        """``a @ b`` — delegates to :func:`repro.multiply`, which
+        accepts any COO/CSR/CSC operand (the product is CSR)."""
+        from .coo import COOMatrix
         from .csr import CSRMatrix
 
-        if isinstance(other, CSRMatrix):
-            if self.shape[1] != other.shape[0]:
-                raise ShapeError(f"cannot multiply {self.shape} by {other.shape}")
-            return spgemm(self, other)
-        if isinstance(other, CSCMatrix):
-            if self.shape[1] != other.shape[0]:
-                raise ShapeError(f"cannot multiply {self.shape} by {other.shape}")
-            return spgemm(self, other.to_csr())
+        if isinstance(other, (CSRMatrix, CSCMatrix, COOMatrix)):
+            from ..api import multiply
+
+            return multiply(self, other)
         return NotImplemented
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

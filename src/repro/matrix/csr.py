@@ -157,17 +157,16 @@ class CSRMatrix:
 
     # -- algebra ---------------------------------------------------------------
     def __matmul__(self, other) -> "CSRMatrix":
-        from ..kernels.dispatch import spgemm
+        """``a @ b`` — sparse·sparse delegates to :func:`repro.multiply`
+        (default algorithm, any COO/CSR/CSC operand); sparse·dense is
+        the reference SpMV/SpMM."""
+        from .coo import COOMatrix
         from .csc import CSCMatrix
 
-        if isinstance(other, CSRMatrix):
-            if self.shape[1] != other.shape[0]:
-                raise ShapeError(f"cannot multiply {self.shape} by {other.shape}")
-            return spgemm(self.to_csc(), other)
-        if isinstance(other, CSCMatrix):
-            if self.shape[1] != other.shape[0]:
-                raise ShapeError(f"cannot multiply {self.shape} by {other.shape}")
-            return spgemm(self.to_csc(), other.to_csr())
+        if isinstance(other, (CSRMatrix, CSCMatrix, COOMatrix)):
+            from ..api import multiply
+
+            return multiply(self, other)
         if isinstance(other, np.ndarray):
             return self.dot_dense(other)
         return NotImplemented

@@ -1,0 +1,22 @@
+"""Real multi-core execution backend for PB-SpGEMM.
+
+The simulator (:mod:`repro.simulate`) *models* the paper's parallel
+phases; this package *runs* them: per-bin sort+compress and chunked
+expand fan out over a ``ProcessPoolExecutor``, with the large arrays
+passed zero-copy through POSIX shared memory.  Select it with
+``PBConfig(executor="process", nthreads=N)``.
+
+* :func:`process_backend_available` — platform capability probe.
+* :class:`ProcessEngine` — pool + shared-memory arenas for one multiply.
+* :mod:`repro.parallel.shm` — the shared-memory array transport.
+"""
+
+from .executor import ProcessEngine, process_backend_available, semiring_token
+from .shm import HAVE_SHARED_MEMORY
+
+__all__ = [
+    "ProcessEngine",
+    "process_backend_available",
+    "semiring_token",
+    "HAVE_SHARED_MEMORY",
+]

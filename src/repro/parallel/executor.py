@@ -1,0 +1,343 @@
+"""Process-pool execution backend for PB-SpGEMM.
+
+This is where ``PBConfig(executor="process")`` lands: a real
+``ProcessPoolExecutor`` running the two heavy phases of Algorithm 2
+concurrently, exploiting the same independence the simulator's
+virtual-thread schedules model:
+
+* **Expand** — outer products partition cleanly over column ranges of
+  A.  The symbolic phase knows each column's exact tuple count, so
+  every chunk owns a disjoint ``[o_lo, o_hi)`` slice of the output
+  stream and workers write their tuples straight into one shared-memory
+  allocation of ``flop`` tuples.  The result is *bit-identical* to the
+  serial concatenation no matter how the chunks are grouped.
+* **Sort + compress** — global bins cover disjoint row ranges, so each
+  bin sorts and compresses independently (the paper's ``parallel for``
+  over bins).  Workers map the binned tuple arrays from shared memory,
+  process a contiguous flop-balanced group of bins, and return the
+  (much smaller) compressed triples.
+
+Operand and tuple arrays travel through ``multiprocessing.shared_memory``
+(see :mod:`repro.parallel.shm`) — workers never deserialize the large
+arrays.  Worker tasks are plain module-level functions so both ``fork``
+and ``spawn`` start methods work; ``fork`` is preferred when available
+(cheap on Linux).
+
+Fallback contract (also documented on :class:`repro.core.PBConfig`):
+``executor="process"`` silently degrades to the serial path when
+``nthreads == 1``, when the platform lacks POSIX shared memory, or when
+the semiring is an unregistered object that cannot be pickled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..matrix.base import INDEX_DTYPE, VALUE_DTYPE
+from ..semiring import Semiring, get_semiring
+from .shm import HAVE_SHARED_MEMORY, ArraySpec, AttachedArrays, SharedArena
+
+__all__ = [
+    "process_backend_available",
+    "semiring_token",
+    "ProcessEngine",
+]
+
+
+def process_backend_available() -> bool:
+    """True when this platform can run the process executor at all."""
+    return HAVE_SHARED_MEMORY
+
+
+def semiring_token(semiring: Semiring):
+    """Pickle-cheap reference to a semiring, or ``None`` if impossible.
+
+    Registered semirings travel as their name (workers re-resolve via
+    :func:`repro.semiring.get_semiring`); unregistered ones travel by
+    value when picklable.  ``None`` tells the caller to fall back to
+    serial execution.
+    """
+    try:
+        if get_semiring(semiring.name) is semiring:
+            return semiring.name
+    except KeyError:
+        pass
+    try:
+        pickle.dumps(semiring)
+        return semiring
+    except Exception:
+        return None
+
+
+def _mp_context():
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context("spawn")
+
+
+def _worker_init() -> None:
+    """Pool initializer: record whether this worker forked off the
+    parent's resource tracker (see :mod:`repro.parallel.shm`)."""
+    from . import shm
+
+    try:
+        from multiprocessing import resource_tracker
+
+        inherited = getattr(resource_tracker._resource_tracker, "_fd", None) is not None
+    except Exception:  # pragma: no cover - CPython-internal layout change
+        inherited = False
+    shm.set_tracker_inherited(inherited)
+
+
+def _balanced_groups(weights: np.ndarray, parts: int) -> list[tuple[int, int]]:
+    """Cut ``len(weights)`` items into ≤ ``parts`` contiguous groups of
+    roughly equal total weight (same prefix-sum rule the balanced bin
+    mapping uses).  Returns non-empty ``(lo, hi)`` index ranges.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    parts = max(1, min(parts, n))
+    prefix = np.concatenate([[0.0], np.cumsum(np.asarray(weights, dtype=np.float64))])
+    total = prefix[-1]
+    if total <= 0:
+        edges = np.linspace(0, n, parts + 1).astype(np.int64)
+    else:
+        targets = total * np.arange(1, parts) / parts
+        cuts = np.searchsorted(prefix, targets, side="left")
+        edges = np.maximum.accumulate(
+            np.concatenate([[0], cuts, [n]]).astype(np.int64)
+        )
+    return [
+        (int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Worker tasks (module-level: must be picklable under spawn)
+# ---------------------------------------------------------------------------
+
+def _expand_task(payload) -> float:
+    """Expand a group of column ranges into the shared output slices."""
+    specs, a_shape, b_shape, sr_token, ranges = payload
+    from ..kernels.outer_expand import _expand_range
+    from ..matrix.csc import CSCMatrix
+    from ..matrix.csr import CSRMatrix
+
+    t0 = time.perf_counter()
+    with AttachedArrays(specs) as arr:
+        a = CSCMatrix(
+            a_shape, arr["a_indptr"], arr["a_indices"], arr["a_data"], validate=False
+        )
+        b = CSRMatrix(
+            b_shape, arr["b_indptr"], arr["b_indices"], arr["b_data"], validate=False
+        )
+        sr = get_semiring(sr_token)
+        for k_lo, k_hi, o_lo, o_hi in ranges:
+            rows, cols, vals = _expand_range(a, b, k_lo, k_hi, sr, with_values=True)
+            arr["out_rows"][o_lo:o_hi] = rows
+            arr["out_cols"][o_lo:o_hi] = cols
+            arr["out_vals"][o_lo:o_hi] = vals
+    return time.perf_counter() - t0
+
+
+def _sort_compress_task(payload):
+    """Sort+compress a contiguous group of bins.
+
+    The group's bins ascend, so concatenating their compressed triples
+    preserves bin order; returning one triple per *group* (instead of
+    per bin) keeps the result pickle small even with thousands of bins.
+    """
+    specs, layout, config, sr_token, bins = payload
+    from ..core.pb_spgemm import _sort_and_compress_bin
+
+    t0 = time.perf_counter()
+    out_rows, out_cols, out_vals = [], [], []
+    passes = 0
+    with AttachedArrays(specs) as arr:
+        sr = get_semiring(sr_token)
+        rows, cols, vals = arr["bin_rows"], arr["bin_cols"], arr["bin_vals"]
+        for binid, lo, hi in bins:
+            crows, ccols, cvals, p = _sort_and_compress_bin(
+                layout, binid, rows[lo:hi], cols[lo:hi], vals[lo:hi], sr, config
+            )
+            passes = max(passes, p)
+            out_rows.append(crows)
+            out_cols.append(ccols)
+            out_vals.append(cvals)
+    result = (
+        bins[0][0],  # first bin id: the parent's group sort key
+        np.concatenate(out_rows),
+        np.concatenate(out_cols),
+        np.concatenate(out_vals),
+        passes,
+    )
+    return result, time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+class ProcessEngine:
+    """One worker pool + shared-memory arenas for a single multiplication.
+
+    Use as a context manager; arenas stay alive until :meth:`close` so
+    the views returned by :meth:`expand` remain valid while the parent
+    distributes tuples to bins.
+    """
+
+    def __init__(self, nworkers: int):
+        if not process_backend_available():
+            raise RuntimeError("process executor unavailable on this platform")
+        self.nworkers = max(2, int(nworkers))
+        # Start the parent's tracker *before* workers exist, so forked
+        # workers reliably inherit it (the _worker_init probe keys on it).
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - CPython-internal
+            pass
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.nworkers,
+            mp_context=_mp_context(),
+            initializer=_worker_init,
+        )
+        self._arenas: list[SharedArena] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "ProcessEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for arena in self._arenas:
+            arena.close()
+        self._arenas.clear()
+        self._pool.shutdown(wait=True)
+
+    def free_arenas(self) -> None:
+        """Release shared memory early (invalidates expand views)."""
+        for arena in self._arenas:
+            arena.close()
+        self._arenas.clear()
+
+    # -- phase 2: expand ---------------------------------------------------
+    def expand(
+        self,
+        a_csc,
+        b_csr,
+        per_k: np.ndarray,
+        sr_token,
+        chunk_flops: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[float]]:
+        """Parallel outer-product expansion into shared memory.
+
+        Returns ``(rows, cols, vals, worker_seconds)``; the arrays are
+        views into an arena owned by this engine — copy or consume them
+        before :meth:`close`/:meth:`free_arenas`.
+        """
+        from ..kernels.outer_expand import chunk_ranges
+
+        prefix = np.concatenate([[0], np.cumsum(per_k, dtype=np.int64)])
+        flop = int(prefix[-1])
+        # Subdivide enough for every worker even when flop < chunk_flops;
+        # output offsets are fixed per column, so chunking never changes
+        # the result.
+        eff_chunk = max(1, min(int(chunk_flops), -(-flop // self.nworkers)))
+        ranges = [
+            (k_lo, k_hi, int(prefix[k_lo]), int(prefix[k_hi]))
+            for k_lo, k_hi in chunk_ranges(per_k, eff_chunk)
+        ]
+
+        arena = SharedArena()
+        self._arenas.append(arena)
+        arena.share("a_indptr", a_csc.indptr)
+        arena.share("a_indices", a_csc.indices)
+        arena.share("a_data", a_csc.data)
+        arena.share("b_indptr", b_csr.indptr)
+        arena.share("b_indices", b_csr.indices)
+        arena.share("b_data", b_csr.data)
+        out_rows = arena.allocate("out_rows", (flop,), INDEX_DTYPE)
+        out_cols = arena.allocate("out_cols", (flop,), INDEX_DTYPE)
+        out_vals = arena.allocate("out_vals", (flop,), VALUE_DTYPE)
+
+        specs = {
+            k: arena.spec(k)
+            for k in (
+                "a_indptr", "a_indices", "a_data",
+                "b_indptr", "b_indices", "b_data",
+                "out_rows", "out_cols", "out_vals",
+            )
+        }
+        weights = [o_hi - o_lo for _, _, o_lo, o_hi in ranges]
+        groups = _balanced_groups(np.asarray(weights), self.nworkers)
+        futures = [
+            self._pool.submit(
+                _expand_task,
+                (specs, a_csc.shape, b_csr.shape, sr_token, ranges[lo:hi]),
+            )
+            for lo, hi in groups
+        ]
+        times = [f.result() for f in futures]
+        return out_rows, out_cols, out_vals, times
+
+    # -- phases 3+4: per-bin sort + compress --------------------------------
+    def sort_compress(
+        self,
+        layout,
+        bin_starts: np.ndarray,
+        b_rows: np.ndarray,
+        b_cols: np.ndarray,
+        b_vals: np.ndarray,
+        sr_token,
+        config,
+    ) -> tuple[list[tuple], int, list[float]]:
+        """Fan non-empty bins out over the pool.
+
+        Returns ``(groups, passes, worker_seconds)`` where ``groups``
+        is a bin-order list of ``(crows, ccols, cvals)`` triples — one
+        per contiguous bin group — whose concatenation equals the
+        serial per-bin concatenation.
+        """
+        arena = SharedArena()
+        self._arenas.append(arena)
+        arena.share("bin_rows", b_rows)
+        arena.share("bin_cols", b_cols)
+        arena.share("bin_vals", b_vals)
+        specs = {k: arena.spec(k) for k in ("bin_rows", "bin_cols", "bin_vals")}
+
+        bins = [
+            (b, int(bin_starts[b]), int(bin_starts[b + 1]))
+            for b in range(len(bin_starts) - 1)
+            if bin_starts[b + 1] > bin_starts[b]
+        ]
+        weights = np.asarray([hi - lo for _, lo, hi in bins], dtype=np.float64)
+        # 2x oversubscription lets the pool's FIFO absorb skewed bins the
+        # way the simulator's LPT schedule does.
+        groups = _balanced_groups(weights, self.nworkers * 2)
+        futures = [
+            self._pool.submit(
+                _sort_compress_task, (specs, layout, config, sr_token, bins[lo:hi])
+            )
+            for lo, hi in groups
+        ]
+        collected = []
+        times: list[float] = []
+        for f in futures:
+            result, elapsed = f.result()
+            times.append(elapsed)
+            collected.append(result)
+        collected.sort(key=lambda r: r[0])  # bin order
+        passes = max((r[4] for r in collected), default=0)
+        groups = [(r[1], r[2], r[3]) for r in collected]
+        return groups, passes, times

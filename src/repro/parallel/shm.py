@@ -1,0 +1,195 @@
+"""Zero-copy array transport over POSIX shared memory.
+
+The process backend moves the large index/value arrays between the
+parent and its workers without serializing them: the parent copies each
+array once into a named ``multiprocessing.shared_memory`` segment, and
+workers map the same segment by name.  Two details matter:
+
+* **Ownership** is strictly parent-side.  Workers *attach* (map an
+  existing segment) and must never unlink it.  Python < 3.13 registers
+  every attach with the ``resource_tracker``; whether that registration
+  must be undone depends on the start method.  Under ``fork`` the
+  worker shares the parent's tracker, so its registration is a no-op
+  set-add and must be left alone (unregistering would race the parent's
+  own unlink bookkeeping).  Under ``spawn`` the worker runs its own
+  tracker, which would unlink the segment when the worker exits —
+  destroying it under the parent's feet — so there the registration is
+  removed.  The executor tells us which case we are in via
+  :func:`set_tracker_inherited` from its pool initializer; 3.13+ skips
+  registration natively (``track=False``).
+* **Zero-byte segments** are illegal at the OS level, so every segment
+  is at least one byte; the :class:`ArraySpec` carries the logical
+  shape and the view is trimmed to it.
+
+When the interpreter was built without ``_posixshmem`` (some minimal
+platforms), :data:`HAVE_SHARED_MEMORY` is ``False`` and the caller
+falls back to serial execution.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - import guard exercised only on exotic builds
+    from multiprocessing import shared_memory as _shm
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover
+    _shm = None
+    HAVE_SHARED_MEMORY = False
+
+#: Python >= 3.13 can skip resource-tracker registration natively.
+_HAVE_TRACK_KW = HAVE_SHARED_MEMORY and "track" in inspect.signature(
+    _shm.SharedMemory.__init__
+).parameters
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Pickle-cheap handle to one ndarray living in a shared segment."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+#: True when this (worker) process inherited the parent's resource
+#: tracker via fork — set by the executor's pool initializer.
+_TRACKER_INHERITED = False
+
+
+def set_tracker_inherited(flag: bool) -> None:
+    """Record whether this worker shares the parent's resource tracker."""
+    global _TRACKER_INHERITED
+    _TRACKER_INHERITED = bool(flag)
+
+
+def _untrack(segment) -> None:
+    """Undo the attach-side resource_tracker registration (see module doc)."""
+    try:  # pragma: no cover - defensive; tracker layout is CPython-internal
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def attach(spec: ArraySpec):
+    """Map an existing segment; returns ``(ndarray view, segment)``.
+
+    The caller must keep ``segment`` alive while the view is used and
+    ``segment.close()`` it afterwards (never ``unlink`` — the parent
+    owns the segment).
+    """
+    if _HAVE_TRACK_KW:  # pragma: no cover - 3.13+ only
+        seg = _shm.SharedMemory(name=spec.name, track=False)
+    else:
+        seg = _shm.SharedMemory(name=spec.name)
+        if not _TRACKER_INHERITED:
+            _untrack(seg)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
+    return view, seg
+
+
+class SharedArena:
+    """Parent-side bundle of named shared arrays for one pipeline phase.
+
+    ``share`` copies an existing array in; ``allocate`` creates a
+    writable output the workers fill in place.  ``specs()`` returns the
+    pickle-cheap handles a worker task needs; ``close`` unmaps and
+    unlinks everything (parent owns all segments).
+    """
+
+    def __init__(self):
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self._segments: dict[str, object] = {}
+        self._specs: dict[str, ArraySpec] = {}
+        self._closed = False
+
+    def allocate(self, key: str, shape, dtype) -> np.ndarray:
+        """Create a zeroed shared array and return the parent's view."""
+        if key in self._segments:
+            raise KeyError(f"arena already holds {key!r}")
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        seg = _shm.SharedMemory(create=True, size=max(1, nbytes))
+        self._segments[key] = seg
+        self._specs[key] = ArraySpec(seg.name, tuple(shape), dtype.str)
+        view = np.ndarray(tuple(shape), dtype=dtype, buffer=seg.buf)
+        view[...] = 0
+        return view
+
+    def share(self, key: str, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into a new shared segment; returns the view."""
+        array = np.ascontiguousarray(array)
+        view = self.allocate(key, array.shape, array.dtype)
+        view[...] = array
+        return view
+
+    def spec(self, key: str) -> ArraySpec:
+        return self._specs[key]
+
+    def specs(self, *keys: str) -> tuple[ArraySpec, ...]:
+        return tuple(self._specs[k] for k in keys)
+
+    def view(self, key: str) -> np.ndarray:
+        spec = self._specs[key]
+        return np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=self._segments[key].buf
+        )
+
+    def take(self, key: str) -> np.ndarray:
+        """Copy an array out of the arena (safe to use after close)."""
+        return self.view(key).copy()
+
+    def close(self) -> None:
+        """Unmap and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AttachedArrays:
+    """Worker-side context manager mapping a set of :class:`ArraySpec`."""
+
+    def __init__(self, specs: dict[str, ArraySpec]):
+        self._specs = specs
+        self._segments: list = []
+        self.arrays: dict[str, np.ndarray] = {}
+
+    def __enter__(self) -> dict[str, np.ndarray]:
+        for key, spec in self._specs.items():
+            view, seg = attach(spec)
+            self._segments.append(seg)
+            self.arrays[key] = view
+        return self.arrays
+
+    def __exit__(self, *exc) -> None:
+        self.arrays.clear()
+        for seg in self._segments:
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        self._segments.clear()

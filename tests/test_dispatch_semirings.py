@@ -1,0 +1,68 @@
+"""String semirings must work at every dispatch boundary.
+
+``repro.kernels.spgemm`` and ``repro.multiply`` both resolve semiring
+names via :func:`repro.semiring.get_semiring` before calling the
+kernel, so ``semiring="min_plus"`` (and every other registered name)
+must behave exactly like passing the ``Semiring`` object — for every
+registered algorithm, not just PB.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.kernels import spgemm
+from repro.kernels.dispatch import available_algorithms
+from repro.matrix.ops import allclose
+from repro.semiring import MIN_PLUS, available_semirings, get_semiring
+from tests.util import random_coo
+
+ALGS = sorted(available_algorithms())
+SEMIRINGS = sorted(available_semirings())
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(42)
+    a = random_coo(rng, 24, 18, 90, duplicates=True)
+    b = random_coo(rng, 18, 30, 90, duplicates=True)
+    return a.to_csc(), b.to_csr()
+
+
+class TestMinPlusEverywhere:
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_string_matches_object(self, operands, alg):
+        a_csc, b_csr = operands
+        by_name = spgemm(a_csc, b_csr, algorithm=alg, semiring="min_plus")
+        by_obj = spgemm(a_csc, b_csr, algorithm=alg, semiring=MIN_PLUS)
+        assert allclose(by_name, by_obj)
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_algorithms_agree(self, operands, alg):
+        a_csc, b_csr = operands
+        got = spgemm(a_csc, b_csr, algorithm=alg, semiring="min_plus")
+        ref = spgemm(a_csc, b_csr, algorithm="pb", semiring=MIN_PLUS)
+        assert allclose(got, ref)
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_through_multiply_front_door(self, operands, alg):
+        a_csc, b_csr = operands
+        got = repro.multiply(a_csc, b_csr, algorithm=alg, semiring="min_plus")
+        ref = spgemm(a_csc, b_csr, algorithm=alg, semiring=MIN_PLUS)
+        assert allclose(got, ref)
+
+
+class TestAllRegisteredNames:
+    @pytest.mark.parametrize("name", SEMIRINGS)
+    def test_every_name_resolves_for_pb(self, operands, name):
+        a_csc, b_csr = operands
+        by_name = spgemm(a_csc, b_csr, algorithm="pb", semiring=name)
+        by_obj = spgemm(a_csc, b_csr, algorithm="pb", semiring=get_semiring(name))
+        assert allclose(by_name, by_obj)
+
+    def test_unknown_name_lists_available(self, operands):
+        a_csc, b_csr = operands
+        with pytest.raises(KeyError, match="available"):
+            spgemm(a_csc, b_csr, semiring="tropical_typo")
+        with pytest.raises(KeyError, match="available"):
+            repro.multiply(a_csc, b_csr, semiring="tropical_typo")
