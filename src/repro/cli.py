@@ -72,11 +72,16 @@ def _cmd_multiply(args) -> int:
     from .matrix.io import write_matrix_market
 
     config = None
-    if args.executor != "serial" or args.nthreads != 1 or args.nbins is not None:
+    if (
+        args.executor != "serial"
+        or args.nthreads != 1
+        or args.nbins is not None
+        or args.sort_backend != "radix"
+    ):
         if args.algorithm != "pb":
             print(
-                "--executor/--nthreads/--nbins configure the PB pipeline; "
-                f"use --algorithm pb (got {args.algorithm!r})",
+                "--executor/--nthreads/--nbins/--sort-backend configure the "
+                f"PB pipeline; use --algorithm pb (got {args.algorithm!r})",
                 file=sys.stderr,
             )
             return 2
@@ -85,7 +90,10 @@ def _cmd_multiply(args) -> int:
 
         try:
             config = PBConfig(
-                nthreads=args.nthreads, executor=args.executor, nbins=args.nbins
+                nthreads=args.nthreads,
+                executor=args.executor,
+                nbins=args.nbins,
+                sort_backend=args.sort_backend,
             )
         except ConfigError as exc:
             print(f"invalid PB configuration: {exc}", file=sys.stderr)
@@ -246,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--nthreads", type=int, default=1, help="worker count for --executor process"
     )
     m.add_argument("--nbins", type=int, default=None, help="global bin count override")
+    m.add_argument(
+        "--sort-backend",
+        default="radix",
+        choices=("radix", "argsort", "mergesort"),
+        help="PB sort kernel: counting-scatter radix (default), the "
+        "pre-optimization byte-argsort ablation, or a comparison sort",
+    )
     m.set_defaults(func=_cmd_multiply)
 
     si = sub.add_parser("simulate", help="predicted performance on a machine model")

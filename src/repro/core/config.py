@@ -47,7 +47,19 @@ class PBConfig:
         Squeeze (local_row, col) into 32-bit keys when they fit
         (Sec. III-D); ``False`` forces 64-bit keys / 8 radix passes.
     sort_backend:
-        ``"radix"`` (paper) or ``"mergesort"`` (ablation).
+        ``"radix"`` — the counting-scatter LSD sort (paper, default);
+        ``"argsort"`` — the pre-optimization byte-argsort radix kept
+        as an ablation; ``"mergesort"`` — comparison-sort ablation.
+        All three produce bit-identical products.
+    distribute_backend:
+        ``"counting"`` (default) — bucket placement via narrow-dtype
+        counting sort; ``"argsort"`` — the pre-optimization stable
+        argsort placement (ablation).  Identical stable result.
+    expand_backend:
+        ``"arena"`` (default) — serial expand writes chunks straight
+        into one flop-sized arena at flop-prefix offsets;
+        ``"concat"`` — the pre-optimization list-of-chunks +
+        ``np.concatenate`` path (ablation).  Identical stream.
     use_local_bins:
         Model/trace the thread-private local-bin stage.  Turning this
         off does not change the numeric result (the executable path is
@@ -76,6 +88,8 @@ class PBConfig:
     bin_mapping: str = "range"
     pack_keys: bool = True
     sort_backend: str = "radix"
+    distribute_backend: str = "counting"
+    expand_backend: str = "arena"
     use_local_bins: bool = True
     chunk_flops: int = 8_000_000
     nthreads: int = 1
@@ -96,9 +110,20 @@ class PBConfig:
                 "bin_mapping must be 'range', 'modulo' or 'balanced', "
                 f"got {self.bin_mapping!r}"
             )
-        if self.sort_backend not in ("radix", "mergesort"):
+        if self.sort_backend not in ("radix", "argsort", "mergesort"):
             raise ConfigError(
-                f"sort_backend must be 'radix' or 'mergesort', got {self.sort_backend!r}"
+                "sort_backend must be 'radix', 'argsort' or 'mergesort', "
+                f"got {self.sort_backend!r}"
+            )
+        if self.distribute_backend not in ("counting", "argsort"):
+            raise ConfigError(
+                "distribute_backend must be 'counting' or 'argsort', "
+                f"got {self.distribute_backend!r}"
+            )
+        if self.expand_backend not in ("arena", "concat"):
+            raise ConfigError(
+                "expand_backend must be 'arena' or 'concat', "
+                f"got {self.expand_backend!r}"
             )
         if self.chunk_flops < 1:
             raise ConfigError(f"chunk_flops must be >= 1, got {self.chunk_flops}")

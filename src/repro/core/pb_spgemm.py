@@ -5,11 +5,12 @@ Phases (matching the paper's structure and instrumentation points):
 1. **Symbolic** (Alg. 3): flop count from pointer arrays, bin sizing,
    global-bin allocation.
 2. **Expand** (lines 5-14): outer products stream A (CSC) and B (CSR)
-   once; tuples are distributed to global bins (the executable path
-   uses one vectorized stable distribution; the local-bin protocol is
-   replayed separately for traffic accounting when requested).
-3. **Sort** (line 16): per bin, tuples are packed into narrow integer
-   keys (Sec. III-D) and radix-sorted in-bin.
+   once into a flop-sized arena; tuples are packed into narrow integer
+   keys (Sec. III-D) and bucket-placed into global bins in one fused
+   counting distribution (the local-bin protocol is replayed separately
+   for traffic accounting when requested).
+3. **Sort** (line 16): per bin, the already-packed keys are sorted by
+   the counting-scatter LSD radix (see :mod:`repro.kernels.radix`).
 4. **Compress** (line 17): per bin, the two-pointer merge collapses
    duplicate (row, col) keys.
 5. **CSR conversion** (line 9 of Alg. 1 / line 22): bins cover
@@ -36,9 +37,9 @@ from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
 from ..kernels.compress import compress_keyed
-from ..kernels.outer_expand import expand_chunks
+from ..kernels.outer_expand import expand_arena, expand_chunks
 from ..kernels.radix import sort_tuples
-from .binning import BinLayout, distribute_to_bins, pack_keys, plan_bins, simulate_local_bins, unpack_keys
+from .binning import BinLayout, distribute_packed, plan_bins, simulate_local_bins, unpack_keys
 from .config import PBConfig
 from .symbolic import SymbolicResult, symbolic_phase
 
@@ -59,7 +60,10 @@ class PBResult:
     local_bin_stats: dict | None = None
     phase_tuple_counts: dict = field(default_factory=dict)
     #: Wall-clock seconds of each executable phase (symbolic, expand,
-    #: sort_compress, convert).  Under ``executor="process"`` the keys
+    #: sort_compress, convert), each measured with its own explicit
+    #: start/stop timestamps (``expand`` includes the fused
+    #: distribute; the optional local-bin replay is instrumentation
+    #: and charged to no phase).  Under ``executor="process"`` the keys
     #: ``expand_workers`` and ``sort_compress_workers`` additionally
     #: hold the per-worker-task seconds of each parallel phase, so
     #: benchmarks can report measured numbers next to the simulator's
@@ -74,18 +78,21 @@ class PBResult:
 def _sort_and_compress_bin(
     layout: BinLayout,
     binid: int,
-    rows: np.ndarray,
-    cols: np.ndarray,
+    keys: np.ndarray,
     vals: np.ndarray,
     semiring: Semiring,
     config: PBConfig,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-    """Sort one bin's tuples by packed key and merge duplicates."""
-    keys = pack_keys(layout, rows, cols)
-    keys, svals, passes = sort_tuples(
+    """Sort one bin's already-packed tuples by key and merge duplicates.
+
+    Keys arrive packed from the fused distribute
+    (:func:`repro.core.binning.distribute_packed`), so the sort phase
+    starts immediately on the narrow key array.
+    """
+    skeys, svals, passes = sort_tuples(
         keys, vals, key_bits=layout.key_bits, backend=config.sort_backend
     )
-    ckeys, cvals = compress_keyed(keys, svals, semiring)
+    ckeys, cvals = compress_keyed(skeys, svals, semiring)
     crows, ccols = unpack_keys(layout, ckeys, binid)
     return crows, ccols, cvals, passes
 
@@ -103,8 +110,12 @@ def pb_spgemm_detailed(
     cfg = config or PBConfig()
     sr = get_semiring(semiring)
     m, n = a_csc.shape[0], b_csr.shape[1]
+    # Each phase gets its own explicit start/stop timestamp; scalar
+    # entries are never derived by subtracting other entries, so
+    # inserting extra keys (worker timings, future phases) can't skew
+    # the bookkeeping.
     phase_seconds: dict[str, float] = {}
-    t0 = time.perf_counter()
+    t_phase = time.perf_counter()
 
     # ---- Phase 1: symbolic -------------------------------------------------
     sym = symbolic_phase(a_csc, b_csr, cfg)
@@ -124,7 +135,7 @@ def pb_spgemm_detailed(
         )
     else:
         layout = plan_bins(m, n, sym.nbins, sym.rows_per_bin, cfg)
-    phase_seconds["symbolic"] = time.perf_counter() - t0
+    phase_seconds["symbolic"] = time.perf_counter() - t_phase
 
     if sym.flop == 0:
         empty = CSRMatrix.empty((m, n))
@@ -167,25 +178,38 @@ def pb_spgemm_detailed(
     sc_worker_seconds: list[float] | None = None
     try:
         # ---- Phase 2: expand + propagation blocking ------------------------
-        # Chunked expansion bounds peak memory; each chunk's tuples are
-        # appended to per-bin segments (the global bins).  The parallel
-        # expand writes each chunk at its exact flop-prefix offset in
-        # shared memory, so the stream is bit-identical to the serial
-        # concatenation.
+        # The expanded stream is written at flop-prefix offsets into one
+        # flop-sized arena (the symbolic phase knows the exact size) —
+        # in shared memory under the process executor, in a private
+        # allocation serially — so the stream is bit-identical no matter
+        # how chunks are grouped.  The fused distribute packs keys over
+        # the whole stream and bucket-places (key, value) pairs, handing
+        # the sort phase already-packed keys.
+        t_phase = time.perf_counter()
         if engine is not None:
             rows, cols, vals, expand_worker_seconds = engine.expand(
                 a_csc, b_csr, sym.flops_per_k, sr_token, cfg.chunk_flops
             )
-        else:
+        elif cfg.expand_backend == "arena":
+            rows, cols, vals = expand_arena(
+                a_csc,
+                b_csr,
+                chunk_flops=cfg.chunk_flops,
+                semiring=sr,
+                per_k=sym.flops_per_k,
+            )
+        else:  # "concat": pre-optimization list-of-chunks path (ablation)
             chunks = list(
                 expand_chunks(a_csc, b_csr, chunk_flops=cfg.chunk_flops, semiring=sr)
             )
             rows = np.concatenate([c[0] for c in chunks])
             cols = np.concatenate([c[1] for c in chunks])
             vals = np.concatenate([c[2] for c in chunks])
-        b_rows, b_cols, b_vals, bin_starts = distribute_to_bins(layout, rows, cols, vals)
+        b_keys, b_vals, bin_starts = distribute_packed(
+            layout, rows, cols, vals, method=cfg.distribute_backend
+        )
         tuples_per_bin = np.diff(bin_starts)
-        phase_seconds["expand"] = time.perf_counter() - t0 - sum(phase_seconds.values())
+        phase_seconds["expand"] = time.perf_counter() - t_phase
 
         local_stats = None
         if collect_local_bin_stats and cfg.use_local_bins:
@@ -195,13 +219,14 @@ def pb_spgemm_detailed(
             engine.free_arenas()  # binned copies are private; drop the shm views
 
         # ---- Phases 3+4: per-bin sort and compress -------------------------
+        t_phase = time.perf_counter()
         out_rows: list[np.ndarray] = []
         out_cols: list[np.ndarray] = []
         out_vals: list[np.ndarray] = []
         passes = 0
         if engine is not None:
             groups, passes, sc_worker_seconds = engine.sort_compress(
-                layout, bin_starts, b_rows, b_cols, b_vals, sr_token, cfg
+                layout, bin_starts, b_keys, b_vals, sr_token, cfg
             )
             for crows, ccols, cvals in groups:
                 out_rows.append(crows)
@@ -213,20 +238,19 @@ def pb_spgemm_detailed(
                 if lo == hi:
                     continue
                 crows, ccols, cvals, p = _sort_and_compress_bin(
-                    layout, b, b_rows[lo:hi], b_cols[lo:hi], b_vals[lo:hi], sr, cfg
+                    layout, b, b_keys[lo:hi], b_vals[lo:hi], sr, cfg
                 )
                 passes = max(passes, p)
                 out_rows.append(crows)
                 out_cols.append(ccols)
                 out_vals.append(cvals)
-        phase_seconds["sort_compress"] = (
-            time.perf_counter() - t0 - sum(phase_seconds.values())
-        )
+        phase_seconds["sort_compress"] = time.perf_counter() - t_phase
     finally:
         if engine is not None:
             engine.close()
 
     # ---- Phase 5: CSR conversion -------------------------------------------
+    t_phase = time.perf_counter()
     c_rows = np.concatenate(out_rows) if out_rows else np.empty(0, dtype=INDEX_DTYPE)
     c_cols = np.concatenate(out_cols) if out_cols else np.empty(0, dtype=INDEX_DTYPE)
     c_vals = np.concatenate(out_vals) if out_vals else np.empty(0)
@@ -240,9 +264,7 @@ def pb_spgemm_detailed(
     indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
     np.cumsum(counts, out=indptr[1:])
     c = CSRMatrix((m, n), indptr, cols_sorted, vals_sorted, validate=False)
-    phase_seconds["convert"] = time.perf_counter() - t0 - sum(phase_seconds.values())
-    # Per-worker timings go in last: the scalar phase keys above are
-    # computed by subtracting the running sum of phase_seconds.values().
+    phase_seconds["convert"] = time.perf_counter() - t_phase
     if expand_worker_seconds is not None:
         phase_seconds["expand_workers"] = expand_worker_seconds
     if sc_worker_seconds is not None:

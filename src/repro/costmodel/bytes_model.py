@@ -122,7 +122,10 @@ def pb_phase_costs(
 
     residency, spill = _bin_residency(flop, nbins, machine)
     key_bytes = 4 if (cfg.pack_keys and cfg.bin_mapping == "range") else 8
-    passes = key_bytes if cfg.sort_backend == "radix" else int(
+    # Both radix implementations ("radix" counting-scatter, "argsort"
+    # byte-argsort ablation) do byte-pass work; only the comparison
+    # backend is charged n log n passes.
+    passes = key_bytes if cfg.sort_backend in ("radix", "argsort") else int(
         np.ceil(np.log2(max(flop / max(nbins, 1), 2)))
     )
     sort_read = b * flop

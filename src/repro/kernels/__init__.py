@@ -18,8 +18,14 @@ Outer-product algorithms:
 All kernels produce canonical CSR and accept any registered semiring.
 """
 
-from .outer_expand import expand_outer, expand_chunks, expand_column_major, chunk_ranges
-from .radix import radix_sort_keys, radix_argsort, sort_tuples
+from .outer_expand import (
+    expand_outer,
+    expand_chunks,
+    expand_arena,
+    expand_column_major,
+    chunk_ranges,
+)
+from .radix import radix_sort_keys, radix_argsort, radix_sort_pairs, sort_tuples
 from .compress import compress_sorted, compress_keyed
 from .gustavson_spa import spa_spgemm
 from .heap_spgemm import heap_spgemm
@@ -34,10 +40,12 @@ from .dispatch import spgemm, available_algorithms, get_algorithm, ALGORITHMS
 __all__ = [
     "expand_outer",
     "expand_chunks",
+    "expand_arena",
     "expand_column_major",
     "chunk_ranges",
     "radix_sort_keys",
     "radix_argsort",
+    "radix_sort_pairs",
     "sort_tuples",
     "compress_sorted",
     "compress_keyed",

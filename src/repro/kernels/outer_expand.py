@@ -25,7 +25,7 @@ from typing import Iterator
 import numpy as np
 
 from ..errors import ShapeError
-from ..matrix.base import INDEX_DTYPE
+from ..matrix.base import INDEX_DTYPE, VALUE_DTYPE
 from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
@@ -137,6 +137,49 @@ def expand_chunks(
     per_k = (a_csc.col_nnz() * b_csr.row_nnz()).astype(np.int64)
     for k_lo, k_hi in chunk_ranges(per_k, chunk_flops):
         yield _expand_range(a_csc, b_csr, k_lo, k_hi, sr, with_values)
+
+
+def expand_arena(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    chunk_flops: int = 8_000_000,
+    semiring: Semiring | str = PLUS_TIMES,
+    per_k: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand the full tuple stream into one flop-sized arena.
+
+    The symbolic phase knows every column's exact tuple count, so each
+    chunk owns a fixed ``[o_lo, o_hi)`` slice of the output stream;
+    chunks are written straight at their flop-prefix offsets — the same
+    layout the process executor uses in shared memory.  The result is
+    bit-identical to concatenating :func:`expand_chunks`, without
+    holding the whole list of chunk arrays alive and re-copying them
+    through ``np.concatenate``: peak extra memory is one chunk, not the
+    full stream twice.
+
+    ``per_k`` (per-column flop counts) can be passed in when the caller
+    already ran the symbolic phase.  Values land in a
+    ``VALUE_DTYPE`` arena, matching the canonical matrix value dtype.
+    """
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    sr = get_semiring(semiring)
+    if per_k is None:
+        per_k = (a_csc.col_nnz() * b_csr.row_nnz()).astype(np.int64)
+    else:
+        per_k = np.asarray(per_k, dtype=np.int64)
+    prefix = np.concatenate([[0], np.cumsum(per_k)])
+    flop = int(prefix[-1])
+    rows = np.empty(flop, dtype=INDEX_DTYPE)
+    cols = np.empty(flop, dtype=INDEX_DTYPE)
+    vals = np.empty(flop, dtype=VALUE_DTYPE)
+    for k_lo, k_hi in chunk_ranges(per_k, chunk_flops):
+        o_lo, o_hi = int(prefix[k_lo]), int(prefix[k_hi])
+        r, c, v = _expand_range(a_csc, b_csr, k_lo, k_hi, sr, with_values=True)
+        rows[o_lo:o_hi] = r
+        cols[o_lo:o_hi] = c
+        vals[o_lo:o_hi] = v
+    return rows, cols, vals
 
 
 def expand_column_major(

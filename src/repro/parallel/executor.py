@@ -150,9 +150,12 @@ def _expand_task(payload) -> float:
 def _sort_compress_task(payload):
     """Sort+compress a contiguous group of bins.
 
-    The group's bins ascend, so concatenating their compressed triples
-    preserves bin order; returning one triple per *group* (instead of
-    per bin) keeps the result pickle small even with thousands of bins.
+    Bins arrive as already-packed (key, value) pairs from the parent's
+    fused distribute; each bin runs the counting-scatter radix sort
+    directly on its key slice.  The group's bins ascend, so
+    concatenating their compressed triples preserves bin order;
+    returning one triple per *group* (instead of per bin) keeps the
+    result pickle small even with thousands of bins.
     """
     specs, layout, config, sr_token, bins = payload
     from ..core.pb_spgemm import _sort_and_compress_bin
@@ -162,10 +165,10 @@ def _sort_compress_task(payload):
     passes = 0
     with AttachedArrays(specs) as arr:
         sr = get_semiring(sr_token)
-        rows, cols, vals = arr["bin_rows"], arr["bin_cols"], arr["bin_vals"]
+        keys, vals = arr["bin_keys"], arr["bin_vals"]
         for binid, lo, hi in bins:
             crows, ccols, cvals, p = _sort_and_compress_bin(
-                layout, binid, rows[lo:hi], cols[lo:hi], vals[lo:hi], sr, config
+                layout, binid, keys[lo:hi], vals[lo:hi], sr, config
             )
             passes = max(passes, p)
             out_rows.append(crows)
@@ -296,25 +299,26 @@ class ProcessEngine:
         self,
         layout,
         bin_starts: np.ndarray,
-        b_rows: np.ndarray,
-        b_cols: np.ndarray,
+        b_keys: np.ndarray,
         b_vals: np.ndarray,
         sr_token,
         config,
     ) -> tuple[list[tuple], int, list[float]]:
         """Fan non-empty bins out over the pool.
 
-        Returns ``(groups, passes, worker_seconds)`` where ``groups``
-        is a bin-order list of ``(crows, ccols, cvals)`` triples — one
-        per contiguous bin group — whose concatenation equals the
-        serial per-bin concatenation.
+        ``b_keys``/``b_vals`` are the packed per-bin (key, value) pairs
+        the fused distribute produced — half the transport bytes of the
+        old (rows, cols, vals) triple.  Returns
+        ``(groups, passes, worker_seconds)`` where ``groups`` is a
+        bin-order list of ``(crows, ccols, cvals)`` triples — one per
+        contiguous bin group — whose concatenation equals the serial
+        per-bin concatenation.
         """
         arena = SharedArena()
         self._arenas.append(arena)
-        arena.share("bin_rows", b_rows)
-        arena.share("bin_cols", b_cols)
+        arena.share("bin_keys", b_keys)
         arena.share("bin_vals", b_vals)
-        specs = {k: arena.spec(k) for k in ("bin_rows", "bin_cols", "bin_vals")}
+        specs = {k: arena.spec(k) for k in ("bin_keys", "bin_vals")}
 
         bins = [
             (b, int(bin_starts[b]), int(bin_starts[b + 1]))

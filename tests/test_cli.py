@@ -88,6 +88,34 @@ class TestMultiply:
     def test_two_operands(self, er_mtx, tmp_path, capsys):
         assert main(["multiply", str(er_mtx), str(er_mtx)]) == 0
 
+    @pytest.mark.parametrize("backend", ["radix", "argsort", "mergesort"])
+    def test_sort_backend(self, er_mtx, backend, capsys):
+        assert main(["multiply", str(er_mtx), "--sort-backend", backend]) == 0
+        assert "C = A*B" in capsys.readouterr().out
+
+    def test_sort_backend_identical_products(self, er_mtx, tmp_path):
+        outs = {}
+        for backend in ("radix", "argsort"):
+            out = tmp_path / f"c_{backend}.mtx"
+            rc = main(
+                ["multiply", str(er_mtx), "--sort-backend", backend,
+                 "--output", str(out)]
+            )
+            assert rc == 0
+            outs[backend] = read_matrix_market(out).to_csr()
+        import numpy as np
+
+        assert np.array_equal(outs["radix"].data, outs["argsort"].data)
+        assert np.array_equal(outs["radix"].indices, outs["argsort"].indices)
+
+    def test_sort_backend_requires_pb(self, er_mtx, capsys):
+        rc = main(
+            ["multiply", str(er_mtx), "--algorithm", "hash",
+             "--sort-backend", "argsort"]
+        )
+        assert rc == 2
+        assert "--sort-backend" in capsys.readouterr().err
+
 
 class TestSimulate:
     def test_default(self, er_mtx, capsys):

@@ -14,7 +14,11 @@ from repro.core import (
     symbolic_phase,
     unpack_keys,
 )
-from repro.core.binning import distribute_to_bins, simulate_local_bins
+from repro.core.binning import (
+    distribute_packed,
+    distribute_to_bins,
+    simulate_local_bins,
+)
 from repro.errors import ConfigError, ShapeError
 from repro.generators import erdos_renyi, rmat
 from repro.kernels import scipy_spgemm_oracle
@@ -43,6 +47,8 @@ class TestPBConfig:
             dict(l2_target_bytes=4),
             dict(bin_mapping="hash"),
             dict(sort_backend="quick"),
+            dict(distribute_backend="bucket"),
+            dict(expand_backend="inplace"),
             dict(chunk_flops=0),
             dict(nthreads=0),
             dict(bin_mapping="modulo", pack_keys=True),
@@ -51,6 +57,12 @@ class TestPBConfig:
     def test_invalid(self, kwargs):
         with pytest.raises(ConfigError):
             PBConfig(**kwargs)
+
+    def test_hot_path_defaults(self):
+        cfg = PBConfig()
+        assert cfg.sort_backend == "radix"
+        assert cfg.distribute_backend == "counting"
+        assert cfg.expand_backend == "arena"
 
 
 class TestSymbolic:
@@ -180,6 +192,44 @@ class TestBinning:
         with pytest.raises(ConfigError):
             simulate_local_bins(layout, np.array([0]), 0)
 
+    def test_counting_matches_argsort_placement(self, rng):
+        layout = plan_bins(60, 40, 6, 10)
+        rows = rng.integers(0, 60, size=400)
+        cols = rng.integers(0, 40, size=400)
+        vals = rng.normal(size=400)
+        ref = distribute_to_bins(layout, rows, cols, vals, method="argsort")
+        got = distribute_to_bins(layout, rows, cols, vals, method="counting")
+        for r, g in zip(ref, got):
+            assert np.array_equal(r, g)  # same stable placement, bit-exact
+
+    def test_distribute_packed_fuses_pack(self, rng):
+        layout = plan_bins(60, 40, 6, 10)
+        rows = rng.integers(0, 60, size=400)
+        cols = rng.integers(0, 40, size=400)
+        vals = rng.normal(size=400)
+        br, bc, bv, ref_starts = distribute_to_bins(layout, rows, cols, vals)
+        keys, bvals, starts = distribute_packed(layout, rows, cols, vals)
+        np.testing.assert_array_equal(starts, ref_starts)
+        assert np.array_equal(bvals, bv)
+        np.testing.assert_array_equal(keys, pack_keys(layout, br, bc))
+
+    def test_distribute_packed_empty(self):
+        layout = plan_bins(8, 8, 4, 2)
+        keys, bvals, starts = distribute_packed(
+            layout,
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([]),
+        )
+        assert len(keys) == len(bvals) == 0
+        assert starts.tolist() == [0] * (layout.nbins + 1)
+
+    def test_distribute_bad_method(self, rng):
+        layout = plan_bins(8, 8, 4, 2)
+        rows = rng.integers(0, 8, size=10)
+        with pytest.raises(ConfigError):
+            distribute_to_bins(layout, rows, rows, np.ones(10), method="hash")
+
 
 class TestPBSpGEMM:
     def test_matches_oracle(self, small_pair):
@@ -242,6 +292,46 @@ class TestPBSpGEMM:
         a, b = small_pair
         res = pb_spgemm_detailed(a, b)
         assert res.radix_passes == -(-res.layout.key_bits // 8)
+
+    def test_legacy_backends_bit_identical(self):
+        # The full pre-optimization configuration must reproduce the
+        # hot path's product exactly: indptr, indices and float values.
+        m = erdos_renyi(1 << 9, 8, seed=3, fmt="csr")
+        a = m.to_csc()
+        new = pb_spgemm(a, m)
+        legacy = pb_spgemm(
+            a,
+            m,
+            config=PBConfig(
+                sort_backend="argsort",
+                distribute_backend="argsort",
+                expand_backend="concat",
+            ),
+        )
+        assert np.array_equal(new.indptr, legacy.indptr)
+        assert np.array_equal(new.indices, legacy.indices)
+        assert np.array_equal(new.data, legacy.data)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sort_backend="argsort"),
+            dict(distribute_backend="argsort"),
+            dict(expand_backend="concat"),
+        ],
+    )
+    def test_single_ablation_matches_oracle(self, small_pair, kwargs):
+        a, b = small_pair
+        c = pb_spgemm(a, b, config=PBConfig(**kwargs))
+        assert allclose(c, scipy_spgemm_oracle(a, b))
+
+    def test_phase_seconds_are_independent_stopwatches(self, small_pair):
+        a, b = small_pair
+        res = pb_spgemm_detailed(a, b)
+        assert {"symbolic", "expand", "sort_compress", "convert"} <= set(
+            res.phase_seconds
+        )
+        assert all(v >= 0.0 for v in res.phase_seconds.values())
 
 
 class TestPartitioned:

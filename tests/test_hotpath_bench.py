@@ -1,0 +1,89 @@
+"""Smoke coverage for the hot-path perf harness (``@pytest.mark.perf``).
+
+Tier-1-safe: runs ``benchmarks/bench_hotpath.py --quick`` on small
+inputs and validates the JSON schema — of the fresh quick run and of
+the committed repo-root ``BENCH_hotpath.json`` artifact — so a schema
+drift or a silently-broken ablation backend fails fast without timing
+anything at full scale.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_hotpath", REPO_ROOT / "benchmarks" / "bench_hotpath.py"
+)
+bench_hotpath = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_hotpath)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("hotpath") / "BENCH_hotpath.json"
+    assert bench_hotpath.main(["--quick", "--reps", "1", "--output", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_quick_run_validates(quick_report):
+    data = bench_hotpath.validate_report(quick_report)
+    assert data["meta"]["quick"] is True
+    assert data["acceptance"]["identity_all"] is True
+    # Every ablation pair must have been exercised on every workload.
+    for w in data["workloads"]:
+        assert set(data["kernels"][w]) == {"stats", "expand", "distribute", "sort"}
+        assert set(data["identity"][w]) == {
+            "plus_times",
+            "min_plus",
+            "max_times",
+            "or_and",
+            "plus_pair",
+        }
+
+
+def test_quick_run_times_all_backends(quick_report):
+    for w in quick_report["workloads"]:
+        sort = quick_report["kernels"][w]["sort"]
+        for field in ("kernel_argsort_s", "kernel_radix_s", "kernel_mergesort_s"):
+            assert sort[field] > 0
+        phases = quick_report["end_to_end"][w]["new_phases"]
+        assert {"symbolic", "expand", "sort_compress", "convert"} <= set(phases)
+
+
+def test_committed_artifact_is_valid():
+    path = REPO_ROOT / "BENCH_hotpath.json"
+    assert path.exists(), "BENCH_hotpath.json must be committed at the repo root"
+    data = bench_hotpath.validate_report(json.loads(path.read_text()))
+    assert data["meta"]["quick"] is False, "the committed artifact is a full run"
+    acc = data["acceptance"]
+    # The PR's acceptance bars, pinned so a perf regression that slips
+    # into a refreshed artifact is caught at review time.
+    assert acc["sort_phase_speedup"] >= 1.5
+    assert acc["end_to_end_speedup"] >= 1.2
+    assert acc["identity_all"] is True
+
+
+def test_validate_report_rejects_bad_payloads(quick_report):
+    with pytest.raises(ValueError, match="schema_version"):
+        bench_hotpath.validate_report({**quick_report, "schema_version": 99})
+    with pytest.raises(ValueError, match="missing top-level"):
+        bench_hotpath.validate_report(
+            {k: v for k, v in quick_report.items() if k != "identity"}
+        )
+    broken = json.loads(json.dumps(quick_report))
+    w = broken["workloads"][0]
+    broken["identity"][w]["plus_times"] = False
+    with pytest.raises(ValueError, match="bit-exactness"):
+        bench_hotpath.validate_report(broken)
+    broken2 = json.loads(json.dumps(quick_report))
+    broken2["kernels"][w]["sort"]["kernel_radix_s"] = 0
+    with pytest.raises(ValueError, match="positive"):
+        bench_hotpath.validate_report(broken2)

@@ -5,8 +5,20 @@ import pytest
 
 from repro.errors import ShapeError
 from repro.kernels.compress import compress_keyed, compress_sorted
-from repro.kernels.outer_expand import expand_chunks, expand_column_major, expand_outer
-from repro.kernels.radix import passes_for_bits, radix_argsort, radix_sort_keys, sort_tuples
+from repro.kernels.outer_expand import (
+    expand_arena,
+    expand_chunks,
+    expand_column_major,
+    expand_outer,
+)
+from repro.kernels.radix import (
+    counting_passes,
+    passes_for_bits,
+    radix_argsort,
+    radix_sort_keys,
+    radix_sort_pairs,
+    sort_tuples,
+)
 from repro.matrix import CSCMatrix, CSRMatrix
 
 from tests.util import random_coo
@@ -176,6 +188,113 @@ class TestRadixSort:
     def test_sort_tuples_length_mismatch(self):
         with pytest.raises(ValueError):
             sort_tuples(np.array([1, 2], dtype=np.uint32), np.array([1.0]))
+
+
+class TestCountingScatter:
+    """The counting-scatter hot path and its degenerate bins."""
+
+    def test_counting_passes(self):
+        assert counting_passes(0) == 0
+        assert counting_passes(16) == 1
+        assert counting_passes(17) == 2
+        assert counting_passes(32) == 2
+        assert counting_passes(22, digit_bits=8) == 3
+        assert counting_passes(64) == 4
+
+    def test_empty_bin(self):
+        sk, sv, passes = radix_sort_pairs(
+            np.array([], dtype=np.uint32), np.array([], dtype=np.float64), key_bits=22
+        )
+        assert len(sk) == 0 and len(sv) == 0
+        assert passes == 3  # byte-pass accounting is size-independent
+
+    def test_single_tuple_bin(self):
+        sk, sv, _ = radix_sort_pairs(
+            np.array([41], dtype=np.uint32), np.array([2.5]), key_bits=22
+        )
+        assert sk.tolist() == [41] and sv.tolist() == [2.5]
+
+    def test_all_equal_keys_preserve_payload_order(self, rng):
+        keys = np.full(257, 9, dtype=np.uint32)
+        vals = rng.normal(size=257)
+        sk, sv, _ = radix_sort_pairs(keys, vals, key_bits=22)
+        np.testing.assert_array_equal(sk, keys)
+        np.testing.assert_allclose(sv, vals)  # stability: untouched order
+
+    def test_17_bit_keys_three_byte_passes(self, rng):
+        # key_bits not a multiple of 8: 17 bits → 3 byte passes charged,
+        # 2 counting passes performed (16 + a 1-bit uint8 tail digit).
+        keys = rng.integers(0, 1 << 17, size=400, dtype=np.uint32)
+        vals = rng.normal(size=400)
+        sk, sv, passes = radix_sort_pairs(keys, vals, key_bits=17)
+        assert passes == passes_for_bits(17) == 3
+        assert counting_passes(17) == 2
+        order = np.argsort(keys, kind="stable")
+        np.testing.assert_array_equal(sk, keys[order])
+        np.testing.assert_allclose(sv, vals[order])
+
+    @pytest.mark.parametrize("backend", ["radix", "argsort", "mergesort"])
+    def test_backends_bit_identical(self, rng, backend):
+        keys = rng.integers(0, 1 << 22, size=1000, dtype=np.uint32)
+        vals = rng.normal(size=1000)
+        ref_o = np.argsort(keys, kind="stable")
+        sk, sv, _ = sort_tuples(keys, vals, key_bits=22, backend=backend)
+        np.testing.assert_array_equal(sk, keys[ref_o])
+        # Bit-identical, not approximately equal: the same stable
+        # permutation must come out of every backend.
+        assert np.array_equal(sv, vals[ref_o])
+
+    def test_duplicate_heavy_keys_stable(self, rng):
+        keys = rng.integers(0, 7, size=800, dtype=np.uint32)
+        payload = np.arange(800, dtype=np.int64)
+        _, sp, _ = radix_sort_pairs(keys, payload, key_bits=3)
+        ref = np.argsort(keys, kind="stable")
+        np.testing.assert_array_equal(sp, ref)
+
+    def test_input_arrays_not_mutated(self, rng):
+        keys = rng.integers(0, 1 << 22, size=300, dtype=np.uint32)
+        vals = rng.normal(size=300)
+        keys_copy, vals_copy = keys.copy(), vals.copy()
+        radix_sort_pairs(keys, vals, key_bits=22)
+        np.testing.assert_array_equal(keys, keys_copy)
+        np.testing.assert_array_equal(vals, vals_copy)
+
+    def test_normalizes_once_no_upcast(self, rng):
+        # 22-bit keys handed over as int64 come back uint32: one cast up
+        # front, no per-pass casting churn and no signed upcasts.
+        keys = rng.integers(0, 1 << 22, size=100, dtype=np.int64)
+        sk, _, _ = radix_sort_pairs(keys, np.ones(100), key_bits=22)
+        assert sk.dtype == np.uint32
+        sk16, _, _ = radix_sort_pairs(
+            rng.integers(0, 1 << 9, size=50, dtype=np.int32), np.ones(50), key_bits=9
+        )
+        assert sk16.dtype == np.uint16
+
+    def test_digit_bits_8(self, rng):
+        keys = rng.integers(0, 1 << 22, size=500, dtype=np.uint32)
+        vals = rng.normal(size=500)
+        sk, sv, _ = radix_sort_pairs(keys, vals, key_bits=22, digit_bits=8)
+        order = np.argsort(keys, kind="stable")
+        np.testing.assert_array_equal(sk, keys[order])
+        assert np.array_equal(sv, vals[order])
+
+    def test_rejects_bad_digit_bits(self):
+        with pytest.raises(ValueError):
+            radix_sort_pairs(
+                np.array([1], dtype=np.uint32), np.array([1.0]), digit_bits=12
+            )
+
+    def test_arena_matches_chunk_concat(self, small_pair):
+        a, b = small_pair
+        rows, cols, vals = expand_arena(a, b, chunk_flops=500)
+        full = expand_outer(a, b)
+        np.testing.assert_array_equal(rows, full[0])
+        np.testing.assert_array_equal(cols, full[1])
+        assert np.array_equal(vals, full[2])  # bit-identical, same chunks
+
+    def test_arena_empty_operands(self):
+        rows, cols, vals = expand_arena(CSCMatrix.empty((5, 4)), CSRMatrix.empty((4, 6)))
+        assert len(rows) == len(cols) == len(vals) == 0
 
 
 class TestCompress:
