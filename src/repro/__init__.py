@@ -19,8 +19,10 @@ multi-core execution of the PB pipeline.
 
 from .errors import (
     ConfigError,
+    DispatchError,
     FormatError,
     MachineError,
+    PlannerError,
     ReproError,
     ShapeError,
     SimulationError,
@@ -62,6 +64,7 @@ from . import apps
 from .machine import MachineSpec, skylake_sp, power9, stream_bandwidth
 from .costmodel import roofline_mflops, spgemm_arithmetic_intensity
 from .simulate import simulate_spgemm, SimReport
+from .planner import MachineProfile, Plan, PlanCache, calibrate, plan
 
 __version__ = "1.0.0"
 
@@ -72,6 +75,8 @@ __all__ = [
     "ConfigError",
     "MachineError",
     "SimulationError",
+    "DispatchError",
+    "PlannerError",
     "Semiring",
     "PLUS_TIMES",
     "MIN_PLUS",
@@ -115,5 +120,10 @@ __all__ = [
     "spgemm_arithmetic_intensity",
     "simulate_spgemm",
     "SimReport",
+    "Plan",
+    "plan",
+    "PlanCache",
+    "MachineProfile",
+    "calibrate",
     "__version__",
 ]

@@ -47,9 +47,10 @@ def _coerce(operand, side: str, fmt: str):
 def multiply(
     a,
     b,
-    algorithm: str = "pb",
+    algorithm="pb",
     semiring: Semiring | str = PLUS_TIMES,
     config=None,
+    feedback: bool = False,
     **kwargs,
 ):
     """C = A · B over any registered algorithm and semiring.
@@ -71,28 +72,64 @@ def multiply(
         The operands, in any supported format.
     algorithm:
         One of :func:`repro.available_algorithms` (default the paper's
-        ``"pb"``).
+        ``"pb"``), the string ``"auto"`` — let :mod:`repro.planner`
+        choose the algorithm and its tuning from the cost model and the
+        plan cache — or an explicit :class:`repro.planner.Plan`.  The
+        auto path is bit-identical to invoking the chosen algorithm
+        directly.
     semiring:
         A :class:`~repro.semiring.Semiring` or a registered name such
         as ``"min_plus"``.
     config:
-        Optional :class:`~repro.core.PBConfig` (``algorithm="pb"``
-        only) — e.g. ``PBConfig(nthreads=4, executor="process")`` for
-        real multi-core execution.
+        Optional :class:`~repro.core.PBConfig`.  Applies to
+        ``algorithm="pb"`` directly; with ``"auto"`` it parameterizes
+        the planner (``plan_cache_dir``, ``calibration``, executor
+        request) and is forwarded to the kernel when PB is chosen.
+    feedback:
+        ``algorithm="auto"`` only: record the measured runtime into the
+        plan cache, so repeated shapes converge on the true winner even
+        where the model is wrong.
     kwargs:
         Forwarded to the kernel.
     """
-    info = get_algorithm(algorithm)
     sr = get_semiring(semiring)
     a_csc = _coerce(a, "A", "csc")
     b_csr = _coerce(b, "B", "csr")
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+
+    chosen_plan = None
+    if algorithm == "auto":
+        from .planner import plan as make_plan
+
+        chosen_plan = make_plan(a_csc, b_csr, semiring=sr, config=config)
+    elif hasattr(algorithm, "algorithm") and hasattr(algorithm, "config"):
+        chosen_plan = algorithm  # an explicit repro.planner.Plan
+
+    if chosen_plan is not None:
+        info = get_algorithm(chosen_plan.algorithm)
+        if info.supports_config and chosen_plan.config is not None:
+            kwargs.setdefault("config", chosen_plan.config)
+        if not feedback:
+            return info.func(a_csc, b_csr, semiring=sr, **kwargs)
+        import time
+
+        from .planner import default_cache, resolve_cache_dir
+
+        t0 = time.perf_counter()
+        result = info.func(a_csc, b_csr, semiring=sr, **kwargs)
+        elapsed = time.perf_counter() - t0
+        default_cache(resolve_cache_dir(config)).record_feedback(
+            chosen_plan.cache_key, chosen_plan.algorithm, elapsed
+        )
+        return result
+
+    info = get_algorithm(algorithm)
     if config is not None:
         if algorithm != "pb":
             raise ConfigError(
-                f"config= (PBConfig) only applies to algorithm='pb', "
-                f"got algorithm={algorithm!r}"
+                f"config= (PBConfig) only applies to algorithm='pb' or "
+                f"'auto', got algorithm={algorithm!r}"
             )
         kwargs["config"] = config
     return info.func(a_csc, b_csr, semiring=sr, **kwargs)
@@ -101,7 +138,7 @@ def multiply(
 def spgemm(
     a,
     b,
-    algorithm: str = "pb",
+    algorithm="pb",
     semiring: Semiring | str = PLUS_TIMES,
     config=None,
     **kwargs,

@@ -4,7 +4,10 @@ Subcommands mirror the library's main entry points:
 
 * ``generate``   — write an ER / R-MAT / surrogate matrix as MatrixMarket,
 * ``stats``      — matrix and multiplication statistics (Table VI row),
-* ``multiply``   — C = A · B with any algorithm, written as MatrixMarket,
+* ``multiply``   — C = A · B with any algorithm (or ``auto``), written
+  as MatrixMarket,
+* ``plan``       — explain what ``algorithm="auto"`` would choose and why,
+* ``calibrate``  — micro-benchmark this machine into a planner profile,
 * ``simulate``   — predicted performance on a machine model,
 * ``roofline``   — AI bounds and attainable FLOPS for a workload,
 * ``stream``     — the machine's STREAM table (Table V),
@@ -78,7 +81,7 @@ def _cmd_multiply(args) -> int:
         or args.nbins is not None
         or args.sort_backend != "radix"
     ):
-        if args.algorithm != "pb":
+        if args.algorithm not in ("pb", "auto"):
             print(
                 "--executor/--nthreads/--nbins/--sort-backend configure the "
                 f"PB pipeline; use --algorithm pb (got {args.algorithm!r})",
@@ -109,6 +112,64 @@ def _cmd_multiply(args) -> int:
     if args.output:
         write_matrix_market(c, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    import json as _json
+
+    from .core.config import PBConfig
+    from .planner import PlanCache, plan
+
+    config = PBConfig(
+        nthreads=args.nthreads,
+        executor=args.executor,
+        plan_cache_dir=args.cache_dir,
+        calibration="off" if args.no_calibration else "auto",
+    )
+    a = _load(args.a).to_csc()
+    b = _load(args.b).to_csr() if args.b else a.to_csr()
+    # A fresh cache keeps `repro plan` a pure explainer: it never
+    # pollutes (or is steered by) the persistent plan cache unless the
+    # user pointed --cache-dir at one.
+    cache = PlanCache(args.cache_dir) if args.cache_dir else PlanCache()
+    p = plan(a, b, semiring=args.semiring, config=config, cache=cache, seed=args.seed)
+    if args.json:
+        print(_json.dumps(p.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(p.explain())
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    import json as _json
+
+    from .planner import calibrate, save_profile
+
+    profile = calibrate(
+        quick=args.quick,
+        base_preset=args.base,
+        measure_pool=not args.no_pool,
+        seed=args.seed,
+    )
+    if args.json:
+        print(_json.dumps(profile.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"calibrated ({'quick' if profile.quick else 'full'}, "
+            f"geometry {profile.base_preset}):\n"
+            f"  copy      : {profile.copy_gbs:8.2f} GB/s\n"
+            f"  triad     : {profile.triad_gbs:8.2f} GB/s\n"
+            f"  scatter   : {profile.scatter_gbs:8.2f} GB/s\n"
+            f"  radix     : {profile.radix_mtuples_s:8.2f} Mtuples/s "
+            f"(effective clock {profile.effective_clock_ghz:.2f} GHz)\n"
+            f"  latency   : {profile.dram_latency_ns:8.1f} ns\n"
+            f"  pool spawn: {profile.pool_startup_s * 1e3:8.1f} ms\n"
+            f"  fingerprint {profile.fingerprint()}"
+        )
+    if args.cache_dir:
+        path = save_profile(profile, args.cache_dir)
+        print(f"saved {path}")
     return 0
 
 
@@ -262,6 +323,51 @@ def build_parser() -> argparse.ArgumentParser:
         "pre-optimization byte-argsort ablation, or a comparison sort",
     )
     m.set_defaults(func=_cmd_multiply)
+
+    p = sub.add_parser(
+        "plan", help="explain the auto-tuning planner's decision for A*B"
+    )
+    p.add_argument("a", help="first operand (.mtx)")
+    p.add_argument("b", nargs="?", help="second operand; default: A*A")
+    p.add_argument("--semiring", default="plus_times")
+    p.add_argument("--executor", default="serial", choices=("serial", "process"))
+    p.add_argument("--nthreads", type=int, default=1)
+    p.add_argument(
+        "--cache-dir",
+        help="planner state directory (profile + plan cache); default in-memory",
+    )
+    p.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="ignore any saved machine profile (preset model only)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="sketch sampling seed")
+    p.add_argument("--json", action="store_true", help="machine-readable dump")
+    p.set_defaults(func=_cmd_plan)
+
+    c = sub.add_parser(
+        "calibrate", help="micro-benchmark this machine into a planner profile"
+    )
+    c.add_argument(
+        "--quick", action="store_true", help="small working sets (finishes in seconds)"
+    )
+    c.add_argument(
+        "--base",
+        default="laptop",
+        choices=("laptop", "skylake", "power9"),
+        help="preset donating the cache/core geometry (default: laptop)",
+    )
+    c.add_argument(
+        "--cache-dir", help="also save the profile JSON here (what auto planning reads)"
+    )
+    c.add_argument(
+        "--no-pool",
+        action="store_true",
+        help="skip the process-pool spawn measurement",
+    )
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--json", action="store_true", help="machine-readable dump")
+    c.set_defaults(func=_cmd_calibrate)
 
     si = sub.add_parser("simulate", help="predicted performance on a machine model")
     si.add_argument("a", help="first operand (.mtx)")

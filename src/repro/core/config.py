@@ -72,6 +72,18 @@ class PBConfig:
         Worker count.  With ``executor="serial"`` it only feeds the
         simulator's per-thread work decompositions; with
         ``executor="process"`` it is the real process-pool size.
+    plan_cache_dir:
+        Directory for the planner's persistent state (machine profile
+        JSON + plan cache); ``None`` (default) falls back to the
+        ``REPRO_PLAN_CACHE_DIR`` environment variable, and to a
+        process-local in-memory cache when that is unset either.
+        Only consulted by ``algorithm="auto"`` / :mod:`repro.planner`.
+    calibration:
+        ``"auto"`` (default) — the planner uses a calibrated machine
+        profile from ``plan_cache_dir`` when one has been saved by
+        ``repro calibrate`` and falls back to the
+        :mod:`repro.machine.presets` model otherwise; ``"off"`` —
+        always use the preset model (fully deterministic planning).
     executor:
         ``"serial"`` (default) — single-process numpy pipeline;
         ``"process"`` — run expand and per-bin sort/compress on a
@@ -94,6 +106,8 @@ class PBConfig:
     chunk_flops: int = 8_000_000
     nthreads: int = 1
     executor: str = "serial"
+    plan_cache_dir: str | None = None
+    calibration: str = "auto"
 
     def __post_init__(self) -> None:
         if self.nbins is not None and self.nbins < 1:
@@ -138,6 +152,17 @@ class PBConfig:
                 "key packing requires contiguous bin ranges; use "
                 "bin_mapping='range' or pack_keys=False"
             )
+        if self.plan_cache_dir is not None and not isinstance(
+            self.plan_cache_dir, str
+        ):
+            raise ConfigError(
+                f"plan_cache_dir must be a str path or None, "
+                f"got {type(self.plan_cache_dir).__name__}"
+            )
+        if self.calibration not in ("auto", "off"):
+            raise ConfigError(
+                f"calibration must be 'auto' or 'off', got {self.calibration!r}"
+            )
 
     def with_(self, **changes) -> "PBConfig":
         """Functional update (dataclasses.replace with validation)."""
@@ -147,3 +172,30 @@ class PBConfig:
     def local_bin_tuples(self) -> int:
         """Tuples one local bin holds before flushing to its global bin."""
         return max(1, self.local_bin_bytes // TUPLE_BYTES)
+
+
+def resolve_nbins(flop: int, nrows: int, config: "PBConfig | None" = None) -> int:
+    """THE place ``nbins=None`` resolves to a concrete bin count.
+
+    Paper Alg. 3 line 6 + Sec. V-A: enough bins that one bin's tuples
+    fit the L2 budget (assuming tuples spread evenly), rounded up to a
+    power of two so bin ids come from cheap shifts, clamped to the
+    paper's practical [1K, 2K] band ("for most practical matrices, we
+    use 1K or 2K bins") and to the row count.  An explicit
+    ``config.nbins`` passes through (clamped to ``nrows``).
+
+    Every consumer — the executable symbolic phase
+    (:func:`repro.core.symbolic.symbolic_phase`, shared by the serial
+    and process executors), the analytic cost model
+    (:func:`repro.costmodel.bytes_model.pb_phase_costs`) and the
+    planner — calls this function, so the simulated, planned and
+    executed bin counts can never drift apart.
+    """
+    cfg = config or PBConfig()
+    m = max(int(nrows), 1)
+    if cfg.nbins is not None:
+        return min(cfg.nbins, m)
+    tuples_per_bin = max(1, cfg.l2_target_bytes // TUPLE_BYTES)
+    needed = max(1, -(-int(flop) // tuples_per_bin))
+    pow2 = 1 << max(0, (needed - 1)).bit_length()
+    return min(max(pow2, 1024), 2048, m)

@@ -17,11 +17,7 @@ import numpy as np
 from ..errors import ShapeError
 from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
-from .config import TUPLE_BYTES, PBConfig
-
-
-def _next_pow2(x: int) -> int:
-    return 1 << max(0, (x - 1)).bit_length()
+from .config import TUPLE_BYTES, PBConfig, resolve_nbins
 
 
 @dataclass(frozen=True)
@@ -63,20 +59,10 @@ def symbolic_phase(
     flop = int(per_k.sum())
     m = a_csc.shape[0]
 
-    if cfg.nbins is not None:
-        nbins = min(cfg.nbins, max(m, 1))
-    else:
-        # Alg. 3 line 6: enough bins that one bin's tuples fit the L2
-        # budget, assuming tuples spread evenly across bins.  Rounded to
-        # a power of two so bin ids come from cheap shifts, then clamped
-        # to the paper's practical band ("for most practical matrices,
-        # we use 1K or 2K bins", Sec. V-A): below 1K bins sorting loses
-        # parallelism; above 2K the thread-private local bins outgrow
-        # L2 and the expand phase pays for it.
-        tuples_per_bin = max(1, cfg.l2_target_bytes // TUPLE_BYTES)
-        needed = max(1, -(-flop // tuples_per_bin))
-        nbins = min(max(_next_pow2(needed), 1024), 2048)
-        nbins = min(nbins, max(m, 1))
+    # The Alg. 3 line 6 bin-count policy (and the handling of an
+    # explicit cfg.nbins) lives in exactly one place:
+    # repro.core.config.resolve_nbins.
+    nbins = resolve_nbins(flop, m, cfg)
 
     rows_per_bin = max(1, -(-m // nbins)) if m else 1
     # With range mapping the effective bin count is ceil(m / rows_per_bin).

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import TUPLE_BYTES, PBConfig
+from ..core.config import TUPLE_BYTES, PBConfig, resolve_nbins
 from ..machine.spec import MachineSpec
 from . import compute as C
 from .phases import PhaseCost, WorkloadStats
@@ -85,15 +85,9 @@ def pb_phase_costs(
     b = TUPLE_BYTES
     flop = stats.flop
     if nbins is None:
-        # Mirrors the policy of repro.core.symbolic.symbolic_phase.
-        if cfg.nbins is not None:
-            nbins = cfg.nbins
-        else:
-            tuples_per_bin = max(1, cfg.l2_target_bytes // b)
-            nbins = max(1, -(-flop // tuples_per_bin))
-            nbins = 1 << max(0, (nbins - 1)).bit_length()
-            nbins = min(max(nbins, 1024), 2048)
-            nbins = min(nbins, max(stats.n_rows, 1))
+        # Same resolution the executable symbolic phase uses — one
+        # documented policy, repro.core.config.resolve_nbins.
+        nbins = resolve_nbins(flop, stats.n_rows, cfg)
     bin_loads = stats.bin_loads(nbins).astype(np.float64)
 
     symbolic = PhaseCost(

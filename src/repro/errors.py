@@ -29,5 +29,17 @@ class MachineError(ReproError, ValueError):
     """A machine specification is inconsistent or incomplete."""
 
 
+class DispatchError(ReproError, KeyError):
+    """An algorithm lookup failed.
+
+    Subclasses :class:`KeyError` so legacy ``except KeyError`` callers
+    keep working; the message always lists the registered algorithms.
+    """
+
+
+class PlannerError(ReproError, RuntimeError):
+    """The auto-tuning planner could not produce an executable plan."""
+
+
 class SimulationError(ReproError, RuntimeError):
     """The simulation engine was asked to do something it cannot model."""

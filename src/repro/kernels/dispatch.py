@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..errors import DispatchError
 from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
@@ -25,6 +26,12 @@ class AlgorithmInfo:
     Table I.  ``reads_a`` is the number of times the algorithm streams
     the first operand in the ER model (Table II's "No of Accesses: A"
     column, with "d" meaning degree-many reads).
+
+    The three ``supports_*`` flags are capability metadata the planner
+    (:mod:`repro.planner`) consumes instead of hard-coding algorithm
+    names: whether the kernel accepts a ``config=`` PBConfig, whether it
+    can run on the process-pool executor, and whether a masked variant
+    exists (:func:`repro.kernels.masked.masked_spgemm`).
     """
 
     name: str
@@ -35,6 +42,9 @@ class AlgorithmInfo:
     reads_a: str  # "1" or "d"
     reads_chat: int  # accesses of the expanded matrix (0, or 2 for ESC)
     description: str
+    supports_config: bool = False  # accepts config=PBConfig
+    supports_process: bool = False  # can run on the process-pool executor
+    supports_masked: bool = False  # has a masked-output variant
 
 
 def _pb(a_csc, b_csr, semiring=PLUS_TIMES, **kwargs):
@@ -74,6 +84,9 @@ def _registry() -> dict[str, AlgorithmInfo]:
         AlgorithmInfo(
             "pb", _pb, "outer", "esc", "sort", "1", 2,
             "PB-SpGEMM: outer product + propagation blocking (this paper)",
+            supports_config=True,
+            supports_process=True,
+            supports_masked=True,
         ),
     ]
     return {i.name: i for i in infos}
@@ -91,18 +104,47 @@ def available_algorithms() -> tuple[str, ...]:
 
 
 def get_algorithm(name: str) -> AlgorithmInfo:
-    """Registry lookup with a helpful error."""
+    """Registry lookup; unknown names raise :class:`DispatchError`.
+
+    The error message always lists :func:`available_algorithms` so a
+    typo'd name is self-diagnosing.  ``DispatchError`` subclasses
+    ``KeyError``, so pre-existing ``except KeyError`` handlers keep
+    working.
+    """
     try:
         return ALGORITHMS[name]
-    except KeyError:
+    except (KeyError, TypeError):
         known = ", ".join(sorted(ALGORITHMS))
-        raise KeyError(f"unknown algorithm {name!r}; available: {known}") from None
+        raise DispatchError(
+            f"unknown algorithm {name!r}; available: {known}"
+        ) from None
+
+
+def algorithm_metadata() -> dict[str, dict]:
+    """Per-algorithm capability metadata (what the planner consumes).
+
+    Maps each registered name to its Table I classification plus the
+    ``supports_*`` capability flags, with the kernel callable omitted —
+    safe to serialize or display.
+    """
+    return {
+        info.name: {
+            "input_access": info.input_access,
+            "output_formation": info.output_formation,
+            "accumulator": info.accumulator,
+            "supports_config": info.supports_config,
+            "supports_process": info.supports_process,
+            "supports_masked": info.supports_masked,
+            "description": info.description,
+        }
+        for info in ALGORITHMS.values()
+    }
 
 
 def spgemm(
     a_csc: CSCMatrix,
     b_csr: CSRMatrix,
-    algorithm: str = "pb",
+    algorithm="pb",
     semiring: Semiring | str = PLUS_TIMES,
     **kwargs,
 ) -> CSRMatrix:
@@ -115,7 +157,8 @@ def spgemm(
         B row-major).  Other kernels convert internally as needed.
     algorithm:
         One of :func:`available_algorithms` (default the paper's
-        ``"pb"``).
+        ``"pb"``), or a :class:`repro.planner.Plan` — the plan's chosen
+        algorithm and resolved config are applied directly.
     semiring:
         Value algebra — a :class:`~repro.semiring.Semiring` or a
         registered name like ``"min_plus"``; resolved here so every
@@ -126,5 +169,12 @@ def spgemm(
     See also :func:`repro.multiply`, the format-agnostic front door
     that converts COO/CSR/CSC operands before dispatching here.
     """
+    # A Plan (repro.planner) carries its own algorithm + tuned config.
+    if hasattr(algorithm, "algorithm") and hasattr(algorithm, "config"):
+        plan = algorithm
+        info = get_algorithm(plan.algorithm)
+        if info.supports_config and plan.config is not None:
+            kwargs.setdefault("config", plan.config)
+        return info.func(a_csc, b_csr, semiring=get_semiring(semiring), **kwargs)
     info = get_algorithm(algorithm)
     return info.func(a_csc, b_csr, semiring=get_semiring(semiring), **kwargs)

@@ -1,0 +1,52 @@
+"""repro.planner — calibrated auto-tuning planner (DESIGN.md §10).
+
+Wires the pieces the library already had — the algorithm registry
+(:mod:`repro.kernels.dispatch`), the bytes/roofline cost model
+(:mod:`repro.costmodel`), sampled output estimation
+(:mod:`repro.matrix.stats`) and machine models (:mod:`repro.machine`) —
+into one decision procedure:
+
+* :mod:`sketch` — bounded-cost input summaries (cheap pointer-array
+  tier + lazily sampled compression factor),
+* :mod:`calibrate` — micro-benchmarked :class:`MachineProfile`,
+  persisted as JSON, preset fallback when unavailable,
+* :mod:`cost` — rank every registered algorithm with the existing
+  model; tune PB's ``nbins`` / ``local_bin_bytes`` from the cache model,
+* :mod:`cache` — LRU + on-disk plan cache with measured-runtime
+  feedback,
+* :mod:`plan` — the :func:`plan` front door producing inspectable
+  :class:`Plan` objects that ``repro.multiply(..., algorithm="auto")``
+  executes.
+"""
+
+from .cache import PlanCache, default_cache, plan_key
+from .calibrate import (
+    MachineProfile,
+    calibrate,
+    default_profile,
+    load_profile,
+    save_profile,
+)
+from .cost import CandidateScore, rank
+from .plan import Plan, plan, resolve_cache_dir, resolve_profile
+from .sketch import Sketch, deepen, sketch
+
+__all__ = [
+    "Plan",
+    "plan",
+    "PlanCache",
+    "default_cache",
+    "plan_key",
+    "MachineProfile",
+    "calibrate",
+    "default_profile",
+    "load_profile",
+    "save_profile",
+    "CandidateScore",
+    "rank",
+    "Sketch",
+    "sketch",
+    "deepen",
+    "resolve_cache_dir",
+    "resolve_profile",
+]

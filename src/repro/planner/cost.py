@@ -1,0 +1,219 @@
+"""Candidate ranking: sketch × profile → scored algorithm choices.
+
+This is where the paper's model becomes a decision procedure.  Every
+registered algorithm (``kernels.dispatch`` — heap / hash / hashvec /
+spa / esc_column / pb) is priced by plugging the workload's structural
+stats into the existing bytes/roofline machinery
+(:func:`repro.costmodel.bytes_model.algorithm_phase_costs` timed by
+:func:`repro.simulate.engine.simulate_phases`) against the calibrated
+:class:`~repro.planner.calibrate.MachineProfile`.
+
+PB additionally gets its two paper knobs tuned from the cache model
+(Fig. 6) instead of a static default: candidate ``nbins`` (powers of
+two around the L2-fit point) and ``local_bin_bytes`` widths are swept
+through :func:`~repro.costmodel.bytes_model.pb_phase_costs` and the
+cheapest pair becomes the plan's config override.
+
+Executor choice consumes the registry's ``supports_process`` metadata:
+algorithms that can run on the process pool are priced at the requested
+worker count plus the calibrated pool-startup overhead; the rest are
+priced single-threaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import DEFAULT_LOCAL_BIN_BYTES, PBConfig, resolve_nbins
+from ..costmodel.bytes_model import algorithm_phase_costs, pb_phase_costs
+from ..costmodel.phases import WorkloadStats, workload_stats
+from ..kernels.dispatch import ALGORITHMS
+from ..matrix.csc import CSCMatrix
+from ..matrix.csr import CSRMatrix
+from ..simulate.engine import simulate_phases
+from .calibrate import MachineProfile
+from .sketch import Sketch
+
+#: Local-bin widths swept for PB (Fig. 6a's x-axis, bracketing the
+#: paper's 512-byte default).
+LOCAL_BIN_SWEEP = (256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One priced (algorithm, executor) candidate.
+
+    ``reason`` is ``None`` for the winner; every loser carries a short
+    human-readable why-rejected string (the ``repro plan`` table).
+    """
+
+    algorithm: str
+    executor: str
+    nthreads: int
+    predicted_seconds: float
+    predicted_dram_bytes: float
+    phase_seconds: dict = field(default_factory=dict)
+    overrides: dict = field(default_factory=dict)
+    reason: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "executor": self.executor,
+            "nthreads": self.nthreads,
+            "predicted_seconds": self.predicted_seconds,
+            "predicted_dram_bytes": self.predicted_dram_bytes,
+            "phase_seconds": dict(self.phase_seconds),
+            "overrides": dict(self.overrides),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateScore":
+        return cls(
+            algorithm=data["algorithm"],
+            executor=data.get("executor", "serial"),
+            nthreads=int(data.get("nthreads", 1)),
+            predicted_seconds=float(data["predicted_seconds"]),
+            predicted_dram_bytes=float(data.get("predicted_dram_bytes", 0.0)),
+            phase_seconds=dict(data.get("phase_seconds", {})),
+            overrides=dict(data.get("overrides", {})),
+            reason=data.get("reason"),
+        )
+
+
+def _nbins_candidates(flop: int, nrows: int, config: PBConfig) -> list[int]:
+    """Powers of two bracketing the L2-fit resolution (Fig. 6b sweep)."""
+    center = resolve_nbins(flop, nrows, config)
+    cands = sorted(
+        {
+            max(1, min(c, max(nrows, 1)))
+            for c in (center // 4, center // 2, center, center * 2, center * 4)
+            if c >= 1
+        }
+    )
+    return cands
+
+
+def _tune_pb(
+    stats: WorkloadStats,
+    machine,
+    config: PBConfig,
+    nthreads: int,
+    sockets: int = 1,
+) -> tuple[float, float, dict, dict]:
+    """Sweep (nbins, local_bin_bytes) through the cache model; best pair.
+
+    Knobs the caller already pinned in ``config`` are honored (their
+    sweep collapses to the pinned value), so the returned overrides
+    only ever fill blanks.
+    """
+    nbins_cands = (
+        [min(config.nbins, max(stats.n_rows, 1))]
+        if config.nbins is not None
+        else _nbins_candidates(stats.flop, stats.n_rows, config)
+    )
+    lbb_cands = (
+        [config.local_bin_bytes]
+        if config.local_bin_bytes != DEFAULT_LOCAL_BIN_BYTES
+        else list(LOCAL_BIN_SWEEP)
+    )
+    best = None
+    for nbins in nbins_cands:
+        for lbb in lbb_cands:
+            cfg = config.with_(nbins=nbins, local_bin_bytes=lbb)
+            phases = pb_phase_costs(stats, machine, cfg, nbins=nbins)
+            reports = simulate_phases(phases, machine, nthreads, sockets)
+            total = sum(p.seconds for p in reports)
+            if best is None or total < best[0]:
+                dram = sum(p.dram_bytes for p in reports)
+                per_phase = {p.name: p.seconds for p in reports}
+                best = (total, dram, per_phase, {"nbins": nbins, "local_bin_bytes": lbb})
+    total, dram, per_phase, knobs = best
+    overrides = {}
+    if config.nbins is None:
+        overrides["nbins"] = knobs["nbins"]
+    if config.local_bin_bytes == DEFAULT_LOCAL_BIN_BYTES:
+        overrides["local_bin_bytes"] = knobs["local_bin_bytes"]
+    return total, dram, per_phase, overrides
+
+
+def rank(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    sk: Sketch,
+    profile: MachineProfile,
+    config: PBConfig | None = None,
+    process_ok: bool = False,
+) -> list[CandidateScore]:
+    """Price every registered algorithm; cheapest first.
+
+    ``process_ok`` says whether a process pool is actually an option
+    for this call (config asks for it *and* the platform supports it);
+    the registry's ``supports_process`` metadata then decides which
+    candidates may use it.
+    """
+    cfg = config or PBConfig()
+    stats = workload_stats(a_csc, b_csr, nnz_c=sk.nnz_c, seed=sk.seed)
+    machine = profile.machine_spec()
+    want_threads = max(1, cfg.nthreads)
+    scored: list[CandidateScore] = []
+    for name, info in sorted(ALGORITHMS.items()):
+        use_process = process_ok and info.supports_process and want_threads > 1
+        nthreads = min(want_threads, machine.total_cores) if use_process else 1
+        executor = "process" if use_process else "serial"
+        if name == "pb" and info.supports_config:
+            total, dram, per_phase, overrides = _tune_pb(
+                stats, machine, cfg, nthreads
+            )
+        else:
+            phases = algorithm_phase_costs(name, stats, machine, cfg)
+            reports = simulate_phases(phases, machine, nthreads)
+            total = sum(p.seconds for p in reports)
+            dram = sum(p.dram_bytes for p in reports)
+            per_phase = {p.name: p.seconds for p in reports}
+            overrides = {}
+        if use_process:
+            total += profile.pool_startup_s
+        scored.append(
+            CandidateScore(
+                algorithm=name,
+                executor=executor,
+                nthreads=nthreads,
+                predicted_seconds=total,
+                predicted_dram_bytes=dram,
+                phase_seconds=per_phase,
+                overrides=overrides,
+            )
+        )
+    scored.sort(key=lambda c: (c.predicted_seconds, c.algorithm))
+    winner = scored[0]
+    out = [winner]
+    for c in scored[1:]:
+        ratio = c.predicted_seconds / max(winner.predicted_seconds, 1e-12)
+        notes = []
+        if ratio >= 1.005:
+            notes.append(
+                f"predicted {ratio:.2f}x slower than {winner.algorithm}"
+            )
+        else:
+            notes.append(f"tied with {winner.algorithm}; loses the name tiebreak")
+        if (
+            cfg.executor == "process"
+            and want_threads > 1
+            and not ALGORITHMS[c.algorithm].supports_process
+        ):
+            notes.append("no process-executor support; priced serially")
+        out.append(
+            CandidateScore(
+                algorithm=c.algorithm,
+                executor=c.executor,
+                nthreads=c.nthreads,
+                predicted_seconds=c.predicted_seconds,
+                predicted_dram_bytes=c.predicted_dram_bytes,
+                phase_seconds=c.phase_seconds,
+                overrides=c.overrides,
+                reason="; ".join(notes),
+            )
+        )
+    return out

@@ -1,0 +1,229 @@
+"""The planner front door: ``plan(a, b, ...) -> Plan``.
+
+Dataflow (DESIGN.md §10)::
+
+    sketch (cheap tier) ──► cache key ──► hit?  ──► Plan(source=cache/feedback)
+                                            │miss
+    sketch (deep tier: sampled cf) ──► rank all algorithms against the
+    calibrated profile ──► tuned winner ──► cache.put ──► Plan(source=model)
+
+A :class:`Plan` is a fully inspectable record: the chosen algorithm,
+the resolved :class:`~repro.core.config.PBConfig` (with the tuned
+``nbins`` / ``local_bin_bytes`` overrides applied), the predicted
+per-phase seconds and DRAM bytes, and every candidate's score with a
+why-rejected reason.  ``repro.multiply(..., algorithm="auto")`` executes
+one; so does ``repro.kernels.spgemm(a, b, algorithm=plan)``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..core.config import PBConfig
+from ..errors import PlannerError
+from ..matrix.csc import CSCMatrix
+from ..matrix.csr import CSRMatrix
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .cache import PlanCache, default_cache, plan_key
+from .calibrate import MachineProfile, default_profile, load_profile
+from .cost import CandidateScore, rank
+from .sketch import Sketch, deepen, sketch
+
+#: Environment fallback for the planner's persistent state directory.
+CACHE_DIR_ENV = "REPRO_PLAN_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable, inspectable multiplication plan."""
+
+    algorithm: str
+    semiring: str
+    executor: str
+    nthreads: int
+    config: PBConfig | None  # resolved config (pb only), overrides applied
+    overrides: dict
+    predicted_seconds: float
+    predicted_dram_bytes: float
+    source: str  # "model" | "cache" | "feedback"
+    cache_key: str
+    profile_fingerprint: str
+    sketch: Sketch
+    candidates: tuple[CandidateScore, ...] = ()
+    phase_seconds: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-able dump (``repro plan --json``)."""
+        return {
+            "algorithm": self.algorithm,
+            "semiring": self.semiring,
+            "executor": self.executor,
+            "nthreads": self.nthreads,
+            "overrides": dict(self.overrides),
+            "predicted_seconds": self.predicted_seconds,
+            "predicted_dram_bytes": self.predicted_dram_bytes,
+            "phase_seconds": dict(self.phase_seconds),
+            "source": self.source,
+            "cache_key": self.cache_key,
+            "profile_fingerprint": self.profile_fingerprint,
+            "sketch": self.sketch.to_dict(),
+            "candidates": [c.to_dict() for c in self.candidates],
+        }
+
+    def explain(self) -> str:
+        """Human-readable decision table (what ``repro plan`` prints)."""
+        sk = self.sketch
+        lines = [
+            f"plan: {self.algorithm} ({self.executor}x{self.nthreads})  "
+            f"[source={self.source}]",
+            f"  input : {sk.m}x{sk.k} * {sk.k}x{sk.n}, "
+            f"nnz(A)={sk.nnz_a}, nnz(B)={sk.nnz_b}, flop={sk.flop}"
+            + (f", cf~{sk.cf:.2f}" if sk.cf is not None else "")
+            + f", skew={sk.skew:.1f}",
+            f"  pred  : {self.predicted_seconds * 1e3:.3f} ms, "
+            f"{self.predicted_dram_bytes / 1e6:.1f} MB DRAM traffic",
+        ]
+        if self.overrides:
+            knobs = ", ".join(f"{k}={v}" for k, v in sorted(self.overrides.items()))
+            lines.append(f"  knobs : {knobs}")
+        if self.candidates:
+            lines.append("  candidates:")
+            width = max(len(c.algorithm) for c in self.candidates)
+            for c in self.candidates:
+                note = c.reason or "chosen"
+                lines.append(
+                    f"    {c.algorithm:<{width}}  "
+                    f"{c.predicted_seconds * 1e3:10.3f} ms  "
+                    f"({c.executor}x{c.nthreads})  {note}"
+                )
+        return "\n".join(lines)
+
+
+def resolve_cache_dir(config: PBConfig | None) -> str | None:
+    """``config.plan_cache_dir`` → ``$REPRO_PLAN_CACHE_DIR`` → None."""
+    if config is not None and config.plan_cache_dir is not None:
+        return config.plan_cache_dir
+    return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def resolve_profile(
+    config: PBConfig | None, cache_dir: str | None
+) -> MachineProfile:
+    """Saved calibration if allowed and present, else the preset model."""
+    if config is None or config.calibration == "auto":
+        if cache_dir is not None:
+            prof = load_profile(cache_dir)
+            if prof is not None:
+                return prof
+    return default_profile()
+
+
+def _resolved_config(base: PBConfig | None, overrides: dict) -> PBConfig:
+    cfg = base or PBConfig()
+    valid = {k: v for k, v in overrides.items() if k in ("nbins", "local_bin_bytes")}
+    return cfg.with_(**valid) if valid else cfg
+
+
+def plan(
+    a,
+    b,
+    semiring: Semiring | str = PLUS_TIMES,
+    config: PBConfig | None = None,
+    profile: MachineProfile | None = None,
+    cache: PlanCache | None = None,
+    seed: int = 0,
+) -> Plan:
+    """Turn one multiply request into an executable :class:`Plan`.
+
+    Deterministic for fixed inputs: the sketch sampler is seeded
+    (``seed``), the preset profile is constant, and ranking breaks ties
+    by algorithm name.
+
+    Parameters mirror :func:`repro.multiply`; ``a`` / ``b`` accept
+    anything the front door accepts (CSC/CSR preferred — other formats
+    are converted here for sketching only).
+    """
+    a_csc = a if isinstance(a, CSCMatrix) else a.to_csc()
+    b_csr = b if isinstance(b, CSRMatrix) else b.to_csr()
+    sr = get_semiring(semiring)
+    cfg = config or PBConfig()
+    cache_dir = resolve_cache_dir(config)
+    if profile is None:
+        profile = resolve_profile(config, cache_dir)
+    if cache is None:
+        cache = default_cache(cache_dir)
+
+    from ..parallel import process_backend_available
+
+    process_ok = (
+        cfg.executor == "process"
+        and cfg.nthreads > 1
+        and process_backend_available()
+    )
+    executor_req = "process" if process_ok else "serial"
+
+    sk = sketch(a_csc, b_csr, seed=seed)
+    key = plan_key(sk, profile, sr.name, executor_req, cfg.nthreads)
+
+    rec = cache.get(key)
+    if rec is not None:
+        overrides = dict(rec.get("overrides", {}))
+        algorithm = rec["algorithm"]
+        return Plan(
+            algorithm=algorithm,
+            semiring=sr.name,
+            executor=rec.get("executor", executor_req),
+            nthreads=int(rec.get("nthreads", cfg.nthreads)),
+            config=_resolved_config(config, overrides) if algorithm == "pb" else None,
+            overrides=overrides,
+            predicted_seconds=float(rec.get("predicted_seconds", 0.0)),
+            predicted_dram_bytes=float(rec.get("predicted_dram_bytes", 0.0)),
+            source=rec.get("source", "cache"),
+            cache_key=key,
+            profile_fingerprint=profile.fingerprint(),
+            sketch=sk,
+            candidates=tuple(
+                CandidateScore.from_dict(c) for c in rec.get("candidates", [])
+            ),
+            phase_seconds=dict(rec.get("phase_seconds", {})),
+        )
+
+    # Cache miss: pay for the deep sketch (bounded sampling) + ranking.
+    sk = deepen(sk, a_csc, b_csr)
+    candidates = rank(a_csc, b_csr, sk, profile, cfg, process_ok=process_ok)
+    if not candidates:
+        raise PlannerError("no registered algorithms to plan over")
+    winner = candidates[0]
+    record = {
+        "algorithm": winner.algorithm,
+        "executor": winner.executor,
+        "nthreads": winner.nthreads,
+        "overrides": dict(winner.overrides),
+        "predicted_seconds": winner.predicted_seconds,
+        "predicted_dram_bytes": winner.predicted_dram_bytes,
+        "phase_seconds": dict(winner.phase_seconds),
+        "candidates": [c.to_dict() for c in candidates],
+        "sketch": sk.to_dict(),
+    }
+    cache.put(key, record)
+    return Plan(
+        algorithm=winner.algorithm,
+        semiring=sr.name,
+        executor=winner.executor,
+        nthreads=winner.nthreads,
+        config=(
+            _resolved_config(config, winner.overrides)
+            if winner.algorithm == "pb"
+            else None
+        ),
+        overrides=dict(winner.overrides),
+        predicted_seconds=winner.predicted_seconds,
+        predicted_dram_bytes=winner.predicted_dram_bytes,
+        source="model",
+        cache_key=key,
+        profile_fingerprint=profile.fingerprint(),
+        sketch=sk,
+        candidates=tuple(candidates),
+        phase_seconds=dict(winner.phase_seconds),
+    )

@@ -1,0 +1,155 @@
+"""Cheap input sketches: what the planner may compute on *every* call.
+
+Planning must cost a bounded, tiny fraction of the multiply it serves
+(the acceptance bar is ≤ 5% including the cached-plan lookup), so the
+sketch is split in two tiers:
+
+* the **cheap tier** — dims, nnz, the exact ``flop`` count and the
+  outer-product skew, all derived from the two *pointer arrays* alone
+  (paper Alg. 3, O(k) streamed work).  This is what the plan-cache key
+  buckets over, so a cache hit never samples anything.
+* the **deep tier** — the sampled compression factor
+  ``cf = flop / nnz(C)`` via :func:`repro.matrix.stats.multiply_stats`,
+  computed lazily (:func:`deepen`) only on a cache miss, with the
+  expansion bounded by ``exact_threshold`` tuples and the sampling by
+  ``sample_cols`` columns.
+
+Empty and degenerate inputs (``flop == 0``, 1×1 matrices) never reach
+the sampler: the cheap tier already fixes ``nnz_c = 0`` / ``cf = 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..matrix.csc import CSCMatrix
+from ..matrix.csr import CSRMatrix
+from ..matrix.stats import multiply_stats
+
+#: Expansion bound for the deep tier's exact nnz(C) path (tuples).
+DEFAULT_EXACT_THRESHOLD = 4_000_000
+#: Output-column sample size for the deep tier's estimator.
+DEFAULT_SAMPLE_COLS = 128
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """Structural summary of one multiplication C = A·B.
+
+    ``nnz_c`` / ``cf`` / ``cf_exact`` are ``None`` until :func:`deepen`
+    fills them (deep tier); everything else comes from the cheap tier.
+    ``skew`` is ``max_k flops_per_k / mean_k flops_per_k`` — the hub
+    outer-product ratio that predicts R-MAT-style load imbalance
+    (paper Sec. V-C); 1.0 for perfectly uniform work.
+    """
+
+    m: int
+    k: int
+    n: int
+    nnz_a: int
+    nnz_b: int
+    flop: int
+    skew: float
+    seed: int
+    nnz_c: int | None = None
+    cf: float | None = None
+    cf_exact: bool | None = None
+
+    @property
+    def deep(self) -> bool:
+        """True once the sampled compression factor has been computed."""
+        return self.cf is not None
+
+    def bucket(self) -> tuple:
+        """Coarse key the plan cache groups similar multiplications by.
+
+        Log₂ buckets of every size-like quantity plus a half-log bucket
+        of the skew: inputs landing in the same bucket get the same
+        plan.  Only cheap-tier fields participate, so a cache lookup
+        never triggers sampling.
+        """
+
+        def lg(x: int) -> int:
+            return int(x).bit_length()  # ~ceil(log2(x + 1)), 0 for 0
+
+        return (
+            lg(self.m),
+            lg(self.k),
+            lg(self.n),
+            lg(self.nnz_a),
+            lg(self.nnz_b),
+            lg(self.flop),
+            round(2.0 * math.log2(max(self.skew, 1.0))),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able summary (for ``repro plan --json`` and the cache)."""
+        return {
+            "m": self.m,
+            "k": self.k,
+            "n": self.n,
+            "nnz_a": self.nnz_a,
+            "nnz_b": self.nnz_b,
+            "flop": self.flop,
+            "skew": self.skew,
+            "nnz_c": self.nnz_c,
+            "cf": self.cf,
+            "cf_exact": self.cf_exact,
+            "bucket": list(self.bucket()),
+        }
+
+
+def sketch(a_csc: CSCMatrix, b_csr: CSRMatrix, seed: int = 0) -> Sketch:
+    """Cheap-tier sketch from the pointer arrays alone (O(k) work)."""
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    per_k = (a_csc.col_nnz() * b_csr.row_nnz()).astype(np.int64)
+    flop = int(per_k.sum())
+    if flop > 0:
+        mean = flop / max(len(per_k), 1)
+        skew = float(per_k.max()) / max(mean, 1e-12)
+    else:
+        skew = 1.0
+    sk = Sketch(
+        m=a_csc.shape[0],
+        k=a_csc.shape[1],
+        n=b_csr.shape[1],
+        nnz_a=a_csc.nnz,
+        nnz_b=b_csr.nnz,
+        flop=flop,
+        skew=skew,
+        seed=seed,
+    )
+    if flop == 0:
+        # Degenerate inputs plan without ever sampling.
+        sk = replace(sk, nnz_c=0, cf=1.0, cf_exact=True)
+    return sk
+
+
+def deepen(
+    sk: Sketch,
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+    sample_cols: int = DEFAULT_SAMPLE_COLS,
+) -> Sketch:
+    """Fill the deep tier (sampled nnz(C) / cf) with bounded cost.
+
+    Exact chunked counting when ``flop <= exact_threshold``; column
+    sampling above that.  Idempotent — a sketch that is already deep is
+    returned unchanged.
+    """
+    if sk.deep:
+        return sk
+    ms = multiply_stats(
+        a_csc,
+        b_csr,
+        exact_threshold=exact_threshold,
+        sample_cols=sample_cols,
+        seed=sk.seed,
+    )
+    return replace(sk, nnz_c=ms.nnz_c, cf=ms.cf, cf_exact=ms.exact)

@@ -1,0 +1,375 @@
+"""Planner subsystem coverage (``@pytest.mark.planner``).
+
+Exercises the real components end to end — no mocks: determinism of
+``plan()``, the two-tier sketch (cache hits never sample), corrupted
+on-disk state degrading with a warning instead of crashing, feedback
+overriding the model's pick, ``algorithm="auto"`` bit-identity against
+direct invocation for every semiring, the dispatch-registry metadata
+the planner consumes, the single-source ``nbins`` resolution rule, and
+a real ``calibrate(quick=True)`` run.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import PBConfig, resolve_nbins
+from repro.core.pb_spgemm import pb_spgemm_detailed
+from repro.core.symbolic import symbolic_phase
+from repro.errors import ConfigError, DispatchError, ReproError
+from repro.generators import erdos_renyi, rmat
+from repro.kernels.dispatch import algorithm_metadata, get_algorithm
+from repro.matrix.csr import CSRMatrix
+from repro.planner import (
+    MachineProfile,
+    PlanCache,
+    calibrate,
+    default_profile,
+    load_profile,
+    plan,
+    save_profile,
+    sketch,
+)
+from repro.planner.calibrate import PROFILE_FILENAME
+from repro.planner.cache import PLANS_FILENAME
+from repro.semiring import available_semirings
+
+pytestmark = pytest.mark.planner
+
+
+@pytest.fixture(scope="module")
+def operands():
+    b = erdos_renyi(1 << 9, 8, seed=3, fmt="csr")
+    return b.to_csc(), b
+
+
+# -- plan(): determinism, caching, degenerate inputs ------------------------
+
+
+def test_plan_is_deterministic(operands):
+    a, b = operands
+    plans = [
+        plan(a, b, profile=default_profile(), cache=PlanCache(), seed=7)
+        for _ in range(2)
+    ]
+    p0, p1 = plans
+    assert p0.algorithm == p1.algorithm
+    assert p0.cache_key == p1.cache_key
+    assert p0.overrides == p1.overrides
+    assert p0.predicted_seconds == p1.predicted_seconds
+    assert [c.to_dict() for c in p0.candidates] == [
+        c.to_dict() for c in p1.candidates
+    ]
+
+
+def test_plan_cache_hit_skips_sampling(operands):
+    a, b = operands
+    cache = PlanCache()
+    p0 = plan(a, b, profile=default_profile(), cache=cache)
+    assert p0.source == "model"
+    assert p0.sketch.deep  # the miss paid for the deep tier
+    p1 = plan(a, b, profile=default_profile(), cache=cache)
+    assert p1.source == "cache"
+    assert p1.algorithm == p0.algorithm
+    assert not p1.sketch.deep  # the hit never sampled
+    assert p1.cache_key == p0.cache_key
+
+
+def test_plan_records_all_candidates_with_reasons(operands):
+    a, b = operands
+    p = plan(a, b, profile=default_profile(), cache=PlanCache())
+    assert {c.algorithm for c in p.candidates} == set(repro.available_algorithms())
+    winner, losers = p.candidates[0], p.candidates[1:]
+    assert winner.algorithm == p.algorithm and winner.reason is None
+    assert all(c.reason for c in losers)  # every loser says why
+
+
+def test_empty_matrix_plans_without_sampling():
+    z = CSRMatrix.from_dense(np.zeros((8, 8)))
+    sk = sketch(z.to_csc(), z)
+    assert sk.flop == 0 and sk.deep and sk.nnz_c == 0  # cheap tier fixed it
+    p = plan(z.to_csc(), z, profile=default_profile(), cache=PlanCache())
+    c = repro.multiply(z, z, algorithm=p)
+    assert c.nnz == 0
+
+
+def test_one_by_one_matrix_plans_and_multiplies():
+    one = CSRMatrix.from_dense(np.array([[2.0]]))
+    p = plan(one.to_csc(), one, profile=default_profile(), cache=PlanCache())
+    assert p.sketch.flop == 1
+    c = repro.multiply(one, one, algorithm=p)
+    assert c.shape == (1, 1) and c.data[0] == 4.0
+
+
+# -- corrupted on-disk state: warn + regenerate, never crash ----------------
+
+
+def test_corrupt_profile_warns_and_regenerates(tmp_path, operands):
+    (tmp_path / PROFILE_FILENAME).write_text('{"schema_version": 1, "copy_')
+    with pytest.warns(RuntimeWarning, match="corrupt machine profile"):
+        assert load_profile(tmp_path) is None
+    a, b = operands
+    cfg = PBConfig(plan_cache_dir=str(tmp_path))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        c = repro.multiply(a.to_csr(), b, algorithm="auto", config=cfg)
+    assert c.nnz > 0  # the multiply itself never fails
+    prof = calibrate(quick=True, measure_pool=False)
+    save_profile(prof, tmp_path)  # regenerating overwrites the junk
+    loaded = load_profile(tmp_path)
+    assert loaded is not None and loaded.fingerprint() == prof.fingerprint()
+
+
+def test_wrong_schema_profile_is_rejected(tmp_path):
+    bad = default_profile().to_dict()
+    bad["schema_version"] = 99
+    (tmp_path / PROFILE_FILENAME).write_text(json.dumps(bad))
+    with pytest.warns(RuntimeWarning, match="schema_version"):
+        assert load_profile(tmp_path) is None
+
+
+def test_corrupt_plan_cache_warns_and_starts_empty(tmp_path, operands):
+    (tmp_path / PLANS_FILENAME).write_text("not json at all {{{")
+    with pytest.warns(RuntimeWarning, match="corrupt plan cache"):
+        cache = PlanCache(tmp_path)
+    assert len(cache) == 0
+    a, b = operands
+    p = plan(a, b, profile=default_profile(), cache=cache)  # still functional
+    assert p.source == "model" and len(cache) == 1
+    # ...and the rewritten file round-trips cleanly.
+    reloaded = PlanCache(tmp_path)
+    assert len(reloaded) == 1
+    assert plan(a, b, profile=default_profile(), cache=reloaded).source == "cache"
+
+
+def test_truncated_plan_cache_payload(tmp_path):
+    (tmp_path / PLANS_FILENAME).write_text('{"schema_version": 1}')
+    with pytest.warns(RuntimeWarning, match="corrupt plan cache"):
+        cache = PlanCache(tmp_path)
+    assert len(cache) == 0
+
+
+# -- feedback loop ----------------------------------------------------------
+
+
+def test_feedback_overrides_model_pick(operands):
+    a, b = operands
+    cache = PlanCache()
+    p0 = plan(a, b, profile=default_profile(), cache=cache)
+    other = next(
+        n for n in sorted(repro.available_algorithms()) if n != p0.algorithm
+    )
+    # Measurements say the model's pick is slow and `other` is fast.
+    cache.record_feedback(p0.cache_key, p0.algorithm, 2.0)
+    cache.record_feedback(p0.cache_key, other, 0.010)
+    p1 = plan(a, b, profile=default_profile(), cache=cache)
+    assert p1.source == "feedback"
+    assert p1.algorithm == other
+    # Running mean: a second, slower sample moves but keeps the winner.
+    cache.record_feedback(p0.cache_key, other, 0.030)
+    rec = cache.get(p0.cache_key)
+    assert rec["feedback"][other]["count"] == 2
+    assert rec["feedback"][other]["mean_s"] == pytest.approx(0.020)
+
+
+def test_feedback_rejects_garbage(operands):
+    a, b = operands
+    cache = PlanCache()
+    p = plan(a, b, profile=default_profile(), cache=cache)
+    for junk in (0.0, -1.0, float("nan"), float("inf")):
+        cache.record_feedback(p.cache_key, p.algorithm, junk)
+    assert cache.get(p.cache_key)["feedback"] == {}
+
+
+# -- algorithm="auto" bit-identity ------------------------------------------
+
+
+def test_auto_is_bit_identical_to_direct(operands):
+    a, b = operands
+    for name in available_semirings():
+        auto = repro.multiply(a.to_csr(), b, algorithm="auto", semiring=name)
+        p = plan(a, b, semiring=name)
+        direct = repro.multiply(
+            a.to_csr(), b, algorithm=p.algorithm, semiring=name
+        )
+        assert np.array_equal(auto.indptr, direct.indptr), name
+        assert np.array_equal(auto.indices, direct.indices), name
+        assert np.array_equal(auto.data, direct.data), name
+
+
+def test_explicit_plan_is_executable(operands):
+    a, b = operands
+    p = plan(a, b, profile=default_profile(), cache=PlanCache())
+    via_plan = repro.multiply(a.to_csr(), b, algorithm=p)
+    direct = repro.multiply(a.to_csr(), b, algorithm=p.algorithm)
+    assert np.array_equal(via_plan.indptr, direct.indptr)
+    assert np.array_equal(via_plan.data, direct.data)
+
+
+# -- dispatch registry ------------------------------------------------------
+
+
+def test_dispatch_error_lists_algorithms():
+    with pytest.raises(DispatchError, match="available") as exc_info:
+        get_algorithm("nonsense")
+    msg = str(exc_info.value)
+    for name in repro.available_algorithms():
+        assert name in msg
+    # Legacy handlers catch KeyError; library handlers catch ReproError.
+    assert isinstance(exc_info.value, KeyError)
+    assert isinstance(exc_info.value, ReproError)
+
+
+def test_algorithm_metadata_exposes_planner_fields():
+    meta = algorithm_metadata()
+    assert set(meta) == set(repro.available_algorithms())
+    for name, m in meta.items():
+        assert {"supports_config", "supports_process", "supports_masked"} <= set(m)
+    assert meta["pb"]["supports_process"] is True
+    assert meta["pb"]["supports_config"] is True
+    assert meta["heap"]["supports_process"] is False
+
+
+# -- PBConfig fields + single-source nbins ----------------------------------
+
+
+def test_config_validates_planner_fields():
+    cfg = PBConfig(plan_cache_dir="/tmp/x", calibration="off")
+    assert cfg.plan_cache_dir == "/tmp/x" and cfg.calibration == "off"
+    with pytest.raises(ConfigError, match="calibration"):
+        PBConfig(calibration="sometimes")
+    with pytest.raises(ConfigError, match="plan_cache_dir"):
+        PBConfig(plan_cache_dir=123)
+
+
+def test_symbolic_nbins_comes_from_resolve_nbins():
+    b = rmat(9, 8, seed=2).to_csr()
+    a = b.to_csc()
+    for cfg in (PBConfig(), PBConfig(nbins=64), PBConfig(l2_target_bytes=1 << 16)):
+        sym = symbolic_phase(a, b, cfg)
+        resolved = resolve_nbins(sym.flop, a.shape[0], cfg)
+        # symbolic_phase only snaps the resolved count to the effective
+        # number of contiguous row ranges — never re-derives policy.
+        rows_per_bin = max(1, -(-a.shape[0] // resolved))
+        assert sym.nbins == max(1, -(-a.shape[0] // rows_per_bin))
+
+
+def test_resolve_nbins_policy():
+    assert resolve_nbins(10**9, 1 << 20) == 2048  # upper clamp
+    assert resolve_nbins(1, 1 << 20) == 1024  # lower clamp
+    assert resolve_nbins(10**9, 100) == 100  # never exceeds nrows
+    assert resolve_nbins(0, 0) == 1
+    assert resolve_nbins(10**6, 1 << 20, PBConfig(nbins=4096)) == 4096
+
+
+@pytest.mark.parallel
+def test_serial_and_process_executors_resolve_identical_nbins():
+    if not repro.process_backend_available():
+        pytest.skip("process backend unavailable")
+    b = erdos_renyi(1 << 9, 8, seed=5, fmt="csr")
+    a = b.to_csc()
+    serial = pb_spgemm_detailed(a, b, config=PBConfig())
+    proc = pb_spgemm_detailed(
+        a, b, config=PBConfig(executor="process", nthreads=2)
+    )
+    assert proc.executor_used == "process"
+    assert serial.symbolic.nbins == proc.symbolic.nbins
+    assert serial.layout.nbins == proc.layout.nbins
+    assert np.array_equal(serial.c.indptr, proc.c.indptr)
+    assert np.array_equal(serial.c.data, proc.c.data)
+
+
+# -- calibration ------------------------------------------------------------
+
+
+def test_quick_calibration_is_fast_and_sane():
+    import time
+
+    t0 = time.perf_counter()
+    prof = calibrate(quick=True, measure_pool=False)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 10.0, f"quick calibration took {elapsed:.1f}s"
+    assert prof.source == "calibrated" and prof.quick is True
+    for f in (
+        prof.copy_gbs,
+        prof.triad_gbs,
+        prof.scatter_gbs,
+        prof.radix_mtuples_s,
+        prof.effective_clock_ghz,
+        prof.dram_latency_ns,
+    ):
+        assert f > 0
+    assert len(prof.fingerprint()) == 12
+
+
+def test_profile_roundtrip_and_fingerprint_stability(tmp_path):
+    prof = default_profile()
+    save_profile(prof, tmp_path)
+    loaded = load_profile(tmp_path)
+    assert loaded == prof
+    # created_unix must not participate in the fingerprint.
+    import dataclasses
+
+    resaved = dataclasses.replace(prof, created_unix=12345.0)
+    assert resaved.fingerprint() == prof.fingerprint()
+
+
+def test_calibrated_profile_feeds_machine_spec():
+    prof = calibrate(quick=True, measure_pool=False)
+    spec = prof.machine_spec()
+    assert spec.stream_single.copy == pytest.approx(prof.copy_gbs)
+    assert spec.clock_ghz == pytest.approx(prof.effective_clock_ghz)
+    assert spec.dram_latency_ns == pytest.approx(prof.dram_latency_ns)
+    # Preset profiles hand back the preset untouched.
+    from repro.machine.presets import get_machine
+
+    assert default_profile("laptop").machine_spec() == get_machine("laptop")
+
+
+# -- CLI smoke --------------------------------------------------------------
+
+
+@pytest.fixture()
+def mtx_path(tmp_path):
+    from repro.matrix.io import write_matrix_market
+
+    path = tmp_path / "a.mtx"
+    write_matrix_market(erdos_renyi(128, 4, seed=1, fmt="csr"), path)
+    return str(path)
+
+
+def test_cli_plan_smoke(mtx_path, capsys):
+    from repro.cli import main
+
+    assert main(["plan", mtx_path]) == 0
+    out = capsys.readouterr().out
+    assert "plan:" in out and "candidates:" in out
+    assert main(["plan", mtx_path, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["algorithm"] in repro.available_algorithms()
+    assert payload["sketch"]["flop"] > 0
+
+
+def test_cli_calibrate_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    cache_dir = tmp_path / "state"
+    rc = main(
+        ["calibrate", "--quick", "--no-pool", "--cache-dir", str(cache_dir)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fingerprint" in out and "saved" in out
+    assert load_profile(cache_dir) is not None
+
+
+def test_cli_multiply_auto_smoke(mtx_path, capsys):
+    from repro.cli import main
+
+    assert main(["multiply", mtx_path, "--algorithm", "auto"]) == 0
+    assert "algorithm=auto" in capsys.readouterr().out

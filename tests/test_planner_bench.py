@@ -1,0 +1,92 @@
+"""Smoke coverage for the planner regret harness (``@pytest.mark.perf``).
+
+Tier-1-safe: runs ``benchmarks/bench_planner_regret.py --quick`` on
+small inputs and validates the JSON schema — of the fresh quick run and
+of the committed repo-root ``BENCH_planner.json`` artifact — so a
+schema drift or a silently-broken planner path fails fast without
+timing anything at full scale.  The committed full-run artifact is also
+held to the PR's acceptance bars: mean feedback regret ≤ 1.25× the
+oracle-best and warm planner overhead ≤ 5% of the multiply.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_planner_regret", REPO_ROOT / "benchmarks" / "bench_planner_regret.py"
+)
+bench_planner = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_planner)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("planner") / "BENCH_planner.json"
+    assert bench_planner.main(["--quick", "--reps", "1", "--output", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_quick_run_validates(quick_report):
+    data = bench_planner.validate_report(quick_report)
+    assert data["meta"]["quick"] is True
+    assert len(data["workloads"]) == 3  # ER, R-MAT, surrogate
+    for w in data["workloads"]:
+        r = data["results"][w]
+        # With every measured runtime recorded, the re-plan must pick
+        # the measured winner: feedback regret is exactly 1.0.
+        assert r["feedback_pick"] == r["oracle_algorithm"]
+        assert r["feedback_regret"] == pytest.approx(1.0)
+        assert r["feedback_source"] == "feedback"
+
+
+def test_quick_run_times_every_algorithm(quick_report):
+    import repro
+
+    for w in quick_report["workloads"]:
+        alg_s = quick_report["results"][w]["algorithm_s"]
+        assert set(alg_s) == set(repro.available_algorithms())
+        assert all(v > 0 for v in alg_s.values())
+
+
+def test_committed_artifact_is_valid():
+    path = REPO_ROOT / "BENCH_planner.json"
+    assert path.exists(), "BENCH_planner.json must be committed at the repo root"
+    data = bench_planner.validate_report(json.loads(path.read_text()))
+    assert data["meta"]["quick"] is False, "the committed artifact is a full run"
+    acc = data["acceptance"]
+    # The PR's acceptance bars, pinned so a planner regression that
+    # slips into a refreshed artifact is caught at review time.
+    assert acc["mean_feedback_regret"] <= 1.25
+    assert acc["max_overhead_fraction"] <= 0.05
+    assert acc["feedback_converged"] is True
+
+
+def test_validate_report_rejects_bad_payloads(quick_report):
+    with pytest.raises(ValueError, match="schema_version"):
+        bench_planner.validate_report({**quick_report, "schema_version": 99})
+    with pytest.raises(ValueError, match="missing top-level"):
+        bench_planner.validate_report(
+            {k: v for k, v in quick_report.items() if k != "acceptance"}
+        )
+    broken = json.loads(json.dumps(quick_report))
+    w = broken["workloads"][0]
+    broken["results"][w]["oracle_s"] = 0
+    with pytest.raises(ValueError, match="positive"):
+        bench_planner.validate_report(broken)
+    broken2 = json.loads(json.dumps(quick_report))
+    broken2["results"][w]["model_pick"] = "nonsense"
+    with pytest.raises(ValueError, match="registered"):
+        bench_planner.validate_report(broken2)
+    broken3 = json.loads(json.dumps(quick_report))
+    del broken3["results"][w]["algorithm_s"]["pb"]
+    with pytest.raises(ValueError, match="every registered"):
+        bench_planner.validate_report(broken3)
