@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from .errors import ConfigError, FormatError, ShapeError
-from .kernels.dispatch import get_algorithm
+from .kernels.dispatch import ALGORITHMS, get_algorithm
 from .semiring import PLUS_TIMES, Semiring, get_semiring
 
 
@@ -81,10 +81,14 @@ def multiply(
         A :class:`~repro.semiring.Semiring` or a registered name such
         as ``"min_plus"``.
     config:
-        Optional :class:`~repro.core.PBConfig`.  Applies to
-        ``algorithm="pb"`` directly; with ``"auto"`` it parameterizes
-        the planner (``plan_cache_dir``, ``calibration``, executor
-        request) and is forwarded to the kernel when PB is chosen.
+        Optional :class:`~repro.core.PBConfig`.  Applies to any
+        config-aware algorithm: ``"pb"`` consumes the full pipeline
+        tuning; the column kernels (heap / hash / hashvec / spa)
+        honour ``column_backend`` / ``panel_tuples``; ``esc_column``
+        honours ``sort_backend`` / ``expand_backend``.  With
+        ``"auto"`` it parameterizes the planner (``plan_cache_dir``,
+        ``calibration``, executor request) and is forwarded to the
+        chosen kernel.
     feedback:
         ``algorithm="auto"`` only: record the measured runtime into the
         plan cache, so repeated shapes converge on the true winner even
@@ -126,10 +130,13 @@ def multiply(
 
     info = get_algorithm(algorithm)
     if config is not None:
-        if algorithm != "pb":
+        if not info.supports_config:
             raise ConfigError(
-                f"config= (PBConfig) only applies to algorithm='pb' or "
-                f"'auto', got algorithm={algorithm!r}"
+                f"config= (PBConfig) does not apply to "
+                f"algorithm={algorithm!r}; config-aware algorithms: "
+                + ", ".join(sorted(n for n, i in ALGORITHMS.items()
+                                   if i.supports_config))
+                + ", or 'auto'"
             )
         kwargs["config"] = config
     return info.func(a_csc, b_csr, semiring=sr, **kwargs)

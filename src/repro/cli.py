@@ -75,19 +75,32 @@ def _cmd_multiply(args) -> int:
     from .matrix.io import write_matrix_market
 
     config = None
-    if (
+    pb_flags = (
         args.executor != "serial"
         or args.nthreads != 1
         or args.nbins is not None
         or args.sort_backend != "radix"
-    ):
-        if args.algorithm not in ("pb", "auto"):
-            print(
-                "--executor/--nthreads/--nbins/--sort-backend configure the "
-                f"PB pipeline; use --algorithm pb (got {args.algorithm!r})",
-                file=sys.stderr,
-            )
-            return 2
+    )
+    column_flags = (
+        args.column_backend != "panel" or args.panel_tuples is not None
+    )
+    if pb_flags and args.algorithm not in ("pb", "auto"):
+        print(
+            "--executor/--nthreads/--nbins/--sort-backend configure the "
+            f"PB pipeline; use --algorithm pb (got {args.algorithm!r})",
+            file=sys.stderr,
+        )
+        return 2
+    _column_algs = ("heap", "hash", "hashvec", "spa")
+    if column_flags and args.algorithm not in _column_algs + ("auto",):
+        print(
+            "--column-backend/--panel-tuples configure the column kernels; "
+            f"use --algorithm {'/'.join(_column_algs)} "
+            f"(got {args.algorithm!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if pb_flags or column_flags:
         from .core.config import PBConfig
         from .errors import ConfigError
 
@@ -97,14 +110,20 @@ def _cmd_multiply(args) -> int:
                 executor=args.executor,
                 nbins=args.nbins,
                 sort_backend=args.sort_backend,
+                column_backend=args.column_backend,
+                panel_tuples=args.panel_tuples,
             )
         except ConfigError as exc:
-            print(f"invalid PB configuration: {exc}", file=sys.stderr)
+            print(f"invalid configuration: {exc}", file=sys.stderr)
             return 2
     a = _load(args.a)
     b = _load(args.b) if args.b else a
     c = multiply(a, b, algorithm=args.algorithm, semiring=args.semiring, config=config)
-    backend = f", executor={args.executor}x{args.nthreads}" if config else ""
+    backend = ""
+    if config and pb_flags:
+        backend = f", executor={args.executor}x{args.nthreads}"
+    elif config:
+        backend = f", column_backend={args.column_backend}"
     print(
         f"C = A*B: {c.shape[0]}x{c.shape[1]}, nnz={c.nnz} "
         f"(algorithm={args.algorithm}{backend})"
@@ -321,6 +340,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("radix", "argsort", "mergesort"),
         help="PB sort kernel: counting-scatter radix (default), the "
         "pre-optimization byte-argsort ablation, or a comparison sort",
+    )
+    m.add_argument(
+        "--column-backend",
+        default="panel",
+        choices=("panel", "loop"),
+        help="column-kernel strategy (heap/hash/hashvec/spa): "
+        "panel-vectorized gather + segmented reduction (default), or the "
+        "faithful per-column loop accumulators (ablation)",
+    )
+    m.add_argument(
+        "--panel-tuples",
+        type=int,
+        default=None,
+        help="panel working-set budget in tuples for --column-backend panel",
     )
     m.set_defaults(func=_cmd_multiply)
 

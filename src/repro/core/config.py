@@ -59,7 +59,20 @@ class PBConfig:
         ``"arena"`` (default) — serial expand writes chunks straight
         into one flop-sized arena at flop-prefix offsets;
         ``"concat"`` — the pre-optimization list-of-chunks +
-        ``np.concatenate`` path (ablation).  Identical stream.
+        ``np.concatenate`` path (ablation).  Identical stream.  Also
+        consumed by ``esc_column`` (chunked column-major arena vs. the
+        one-shot whole-stream expand).
+    column_backend:
+        Execution strategy of the column kernels (heap / hash /
+        hashvec / spa): ``"panel"`` (default) — panel-vectorized gather
+        + segmented semiring reduction
+        (:mod:`repro.kernels.column_panel`); ``"loop"`` — the faithful
+        per-output-column Python accumulators (ablation).  Bit-identical
+        products.
+    panel_tuples:
+        Panel working-set budget in tuples for
+        ``column_backend="panel"``; ``None`` (default) uses
+        :data:`repro.kernels.column_panel.DEFAULT_PANEL_TUPLES`.
     use_local_bins:
         Model/trace the thread-private local-bin stage.  Turning this
         off does not change the numeric result (the executable path is
@@ -102,6 +115,8 @@ class PBConfig:
     sort_backend: str = "radix"
     distribute_backend: str = "counting"
     expand_backend: str = "arena"
+    column_backend: str = "panel"
+    panel_tuples: int | None = None
     use_local_bins: bool = True
     chunk_flops: int = 8_000_000
     nthreads: int = 1
@@ -138,6 +153,15 @@ class PBConfig:
             raise ConfigError(
                 "expand_backend must be 'arena' or 'concat', "
                 f"got {self.expand_backend!r}"
+            )
+        if self.column_backend not in ("panel", "loop"):
+            raise ConfigError(
+                "column_backend must be 'panel' or 'loop', "
+                f"got {self.column_backend!r}"
+            )
+        if self.panel_tuples is not None and self.panel_tuples < 1:
+            raise ConfigError(
+                f"panel_tuples must be >= 1 or None, got {self.panel_tuples}"
             )
         if self.chunk_flops < 1:
             raise ConfigError(f"chunk_flops must be >= 1, got {self.chunk_flops}")

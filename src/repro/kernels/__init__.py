@@ -23,7 +23,16 @@ from .outer_expand import (
     expand_chunks,
     expand_arena,
     expand_column_major,
+    expand_cols_range,
+    column_flops,
+    iter_expand_columns,
     chunk_ranges,
+)
+from .column_panel import (
+    panel_spgemm,
+    resolve_column_backend,
+    COLUMN_BACKENDS,
+    DEFAULT_PANEL_TUPLES,
 )
 from .radix import radix_sort_keys, radix_argsort, radix_sort_pairs, sort_tuples
 from .compress import compress_sorted, compress_keyed
@@ -42,7 +51,14 @@ __all__ = [
     "expand_chunks",
     "expand_arena",
     "expand_column_major",
+    "expand_cols_range",
+    "column_flops",
+    "iter_expand_columns",
     "chunk_ranges",
+    "panel_spgemm",
+    "resolve_column_backend",
+    "COLUMN_BACKENDS",
+    "DEFAULT_PANEL_TUPLES",
     "radix_sort_keys",
     "radix_argsort",
     "radix_sort_pairs",

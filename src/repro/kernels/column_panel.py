@@ -1,0 +1,242 @@
+"""Panel-vectorized column SpGEMM (the shared fast path of the four
+column baselines).
+
+The per-output-column loop backends (``dict`` hash table, ``heapq``
+merge, dense SPA scatter, batched open-addressing probes) are faithful
+algorithm transcriptions, but at paper scale their runtimes measure the
+Python interpreter, not the memory system the paper's Table II models.
+This module is the vectorized execution strategy all four share:
+
+1. **Panelize** — group output columns into *panels* sized by a tuple
+   budget (``chunk_ranges`` over the per-output-column flop counts), so
+   one panel's gathered tuples bound the working set.
+2. **Gather** — expand each panel's tuples with one fancy-index pass
+   over the CSC pointer arrays (:func:`~.outer_expand.expand_cols_range`
+   — the same column-major access pattern the loop backends perform one
+   column at a time, so the Table II byte accounting is unchanged).
+3. **Sort** — stably sort the panel by row id alone (numpy's C radix
+   for narrow integer keys); the gathered stream is column-major, so
+   ties keep ascending-column order and the panel lands in full
+   (row, col) order without packed keys.
+4. **Reduce** — detect duplicate (row, col) runs by adjacent
+   comparison and ⊕-fold them with the segmented semiring reduction
+   (:meth:`repro.semiring.Semiring.fold_runs_masked`, the fold half of
+   :meth:`~repro.semiring.Semiring.segment_reduce`), whose plus-path
+   is a sequential left fold in k-ascending stream order —
+   bit-identical to the loop accumulators' insertion order.
+
+The four kernels keep their loop implementations reachable as
+``column_backend="loop"`` (ablation + ground truth for the
+cross-backend property suite), mirroring PR 2's ``sort_backend``
+ablation switches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..matrix.base import INDEX_DTYPE
+from ..matrix.csc import CSCMatrix
+from ..matrix.csr import CSRMatrix
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .outer_expand import chunk_ranges, column_flops, expand_cols_range
+
+#: Default panel budget in tuples (≈ 8 MB of gathered (row, col, val)
+#: working set): large enough to amortize numpy call overhead across
+#: panels, small enough that the per-panel permutation gathers stay
+#: cache-resident — measured fastest in the 125K–500K range on the
+#: ER scale-16 acceptance workload, and well below the full flop
+#: stream on paper-scale inputs.
+DEFAULT_PANEL_TUPLES = 250_000
+
+#: Values ``column_backend`` may take, shared by the four kernels,
+#: :class:`repro.core.PBConfig` validation, and the CLI.
+COLUMN_BACKENDS = ("panel", "loop")
+
+
+def resolve_column_backend(config, column_backend, panel_tuples):
+    """Resolve the (backend, panel budget) pair for one kernel call.
+
+    Explicit keyword arguments win; otherwise the ``PBConfig`` fields
+    (``column_backend`` / ``panel_tuples``) apply; otherwise the
+    defaults (``"panel"``, :data:`DEFAULT_PANEL_TUPLES`).
+    """
+    if column_backend is None and config is not None:
+        column_backend = getattr(config, "column_backend", None)
+    if column_backend is None:
+        column_backend = "panel"
+    if column_backend not in COLUMN_BACKENDS:
+        raise ConfigError(
+            f"column_backend must be one of {COLUMN_BACKENDS}, "
+            f"got {column_backend!r}"
+        )
+    if panel_tuples is None and config is not None:
+        panel_tuples = getattr(config, "panel_tuples", None)
+    if panel_tuples is None:
+        panel_tuples = DEFAULT_PANEL_TUPLES
+    if panel_tuples < 1:
+        raise ConfigError(f"panel_tuples must be >= 1, got {panel_tuples}")
+    return column_backend, int(panel_tuples)
+
+
+def stack_column_stream(m, n, out_rows, out_cols, out_vals) -> CSRMatrix:
+    """Canonical CSR from per-column/per-panel fragments.
+
+    Fragments arrive output-column-major with rows ascending inside each
+    column and no duplicates — exactly what every column backend (loop
+    and panel) emits — so the stream is already sorted by (col, row) and
+    one *stable* sort on the row key alone yields canonical CSR order
+    (ties keep stream order, i.e. ascending col).  Rows are cast to the
+    narrowest unsigned dtype so ``np.argsort(kind="stable")`` takes
+    numpy's C radix-sort path (≤ 16-bit integers) instead of timsort —
+    on the near-duplicate-free products column algorithms are built
+    for, this final placement otherwise dominates the whole assembly
+    (a 64-bit lexsort of ~nnz(C) tuples).  Shared by all four kernels'
+    ``column_backend="loop"`` paths (the panel path scatters panels
+    into the final CSR directly); either assembly of the same fragment
+    stream is bit-identical.
+    """
+    if not out_rows:
+        return CSRMatrix.empty((m, n))
+    rows = np.concatenate(out_rows)
+    cols = np.concatenate(out_cols)
+    vals = np.concatenate(out_vals)
+    if m <= 1 << 8:
+        sort_keys = rows.astype(np.uint8)
+    elif m <= 1 << 16:
+        sort_keys = rows.astype(np.uint16)
+    else:
+        sort_keys = rows
+    order = np.argsort(sort_keys, kind="stable")
+    counts = np.bincount(rows, minlength=m)
+    indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix((m, n), indptr, cols[order], vals[order], validate=False)
+
+
+def panel_spgemm(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    semiring: Semiring | str = PLUS_TIMES,
+    panel_tuples: int = DEFAULT_PANEL_TUPLES,
+) -> CSRMatrix:
+    """C = A · B via panel gather + segmented semiring reduction.
+
+    Produces the same canonical CSR — bit-for-bit, for every shipped
+    semiring — as the per-column loop accumulators, because the panel
+    gather preserves their k-ascending accumulation order and
+    ``segment_reduce`` folds duplicates sequentially in that order.
+
+    The panel stream is column-major, so one *stable* sort on the row
+    id alone puts a panel in full (row, col) order: ties keep stream
+    order, which is ascending col.  Rows are cast to the narrowest
+    unsigned dtype so ``np.argsort(kind="stable")`` takes numpy's C
+    radix path (≤ 16-bit integers); duplicate runs are then detected by
+    comparing adjacent (row, col) pairs directly — no packed keys — and
+    ⊕-folded through :meth:`repro.semiring.Semiring.fold_runs_masked`,
+    the same fold :meth:`~repro.semiring.Semiring.segment_reduce` uses
+    (run heads selected by the boolean mask, never a materialized
+    start-index array).
+    Each panel's reduced output is therefore already in CSR order for
+    its column range, and panels scatter straight into the final
+    ``indices``/``data`` arrays at offsets computed from per-panel row
+    histograms (one vectorized counting placement, ascending
+    addresses), skipping the global concatenate-and-re-sort a
+    column-major stream would need.
+    """
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    sr = get_semiring(semiring)
+    m, n = a_csc.shape[0], b_csr.shape[1]
+    b_csc = b_csr.to_csc()
+    per_col = column_flops(a_csc, b_csc)
+    if int(per_col.sum()) == 0:
+        return CSRMatrix.empty((m, n))
+
+    if m <= 1 << 8:
+        a_rows = a_csc.indices.astype(np.uint8)
+    elif m <= 1 << 16:
+        a_rows = a_csc.indices.astype(np.uint16)
+    else:
+        a_rows = a_csc.indices
+    if n <= 1 << 16:
+        col_dtype = np.uint16
+    elif n <= 1 << 32:
+        col_dtype = np.uint32
+    else:
+        col_dtype = INDEX_DTYPE
+    panel_rows: list[np.ndarray] = []
+    panel_cols: list[np.ndarray] = []
+    panel_vals: list[np.ndarray] = []
+    panel_counts: list[np.ndarray] = []
+    for j_lo, j_hi in chunk_ranges(per_col, panel_tuples):
+        rows, _, vals = expand_cols_range(
+            a_csc, b_csc, j_lo, j_hi, sr, row_indices=a_rows, with_cols=False
+        )
+        if len(rows) == 0:
+            continue
+        # Rebuild output-column ids from the symbolic per-column tuple
+        # counts in a narrow dtype (absolute ids — n fits the dtype).
+        cols = np.repeat(
+            np.arange(j_lo, j_hi, dtype=col_dtype), per_col[j_lo:j_hi]
+        )
+        order = np.argsort(rows, kind="stable")
+        # np.take over fancy indexing: same gather, ~25% less per-call
+        # overhead on these cache-resident panel arrays.
+        rows_s = np.take(rows, order)
+        cols_s = np.take(cols, order)
+        run_start = np.empty(len(rows_s), dtype=bool)
+        run_start[0] = True
+        np.not_equal(rows_s[1:], rows_s[:-1], out=run_start[1:])
+        np.logical_or(
+            run_start[1:], cols_s[1:] != cols_s[:-1], out=run_start[1:]
+        )
+        reduced = sr.fold_runs_masked(run_start, np.take(vals, order))
+        # One explicit widening to the platform index dtype: bincount
+        # and the assembly's base-offset gather would otherwise each
+        # re-cast the narrow row ids internally, once per panel.
+        rows_p = rows_s[run_start].astype(np.intp)
+        panel_rows.append(rows_p)
+        panel_cols.append(cols_s[run_start])
+        panel_vals.append(reduced)
+        panel_counts.append(np.bincount(rows_p, minlength=m))
+
+    if not panel_rows:
+        return CSRMatrix.empty((m, n))
+    total = np.zeros(m, dtype=INDEX_DTYPE)
+    for cnt in panel_counts:
+        total += cnt
+    indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
+    np.cumsum(total, out=indptr[1:])
+    nnz = int(indptr[-1])
+    # Scatter columns into an arena of the *panel* column dtype and
+    # widen to the canonical index dtype once at the end: each panel's
+    # writes touch most of the arena's cache lines sparsely (a few
+    # entries per row), so narrowing the scattered element shrinks the
+    # write-allocate traffic of every panel pass; the final widening is
+    # one sequential copy.
+    ind_narrow = np.empty(nnz, dtype=panel_cols[0].dtype)
+    data = np.empty(nnz, dtype=panel_vals[0].dtype)
+    # Counting placement: panel p's entries of row r land at
+    # indptr[r] + (rows r emitted by panels < p) + local rank.  Each
+    # panel is row-sorted, so "local rank" is just the element's offset
+    # from its row's first slot in the panel — base[r] folds all three
+    # terms into one m-length vector and the scatter writes ascend.
+    prior = np.zeros(m, dtype=INDEX_DTYPE)
+    start = np.zeros(m, dtype=INDEX_DTYPE)  # start[0] stays 0 throughout
+    base = np.empty(m, dtype=INDEX_DTYPE)
+    ramp = np.arange(max(len(r) for r in panel_rows), dtype=INDEX_DTYPE)
+    for rows_p, cols_p, vals_p, cnt in zip(
+        panel_rows, panel_cols, panel_vals, panel_counts
+    ):
+        np.cumsum(cnt[:-1], out=start[1:])
+        np.subtract(indptr[:-1], start, out=base)
+        base += prior
+        dest = np.take(base, rows_p)
+        dest += ramp[: len(rows_p)]
+        ind_narrow[dest] = cols_p
+        data[dest] = vals_p
+        prior += cnt
+    indices = ind_narrow.astype(INDEX_DTYPE, copy=False)
+    return CSRMatrix((m, n), indptr, indices, data, validate=False)

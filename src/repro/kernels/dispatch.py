@@ -32,6 +32,11 @@ class AlgorithmInfo:
     names: whether the kernel accepts a ``config=`` PBConfig, whether it
     can run on the process-pool executor, and whether a masked variant
     exists (:func:`repro.kernels.masked.masked_spgemm`).
+
+    ``column_backends`` lists the execution strategies a column kernel
+    can run under (``("panel", "loop")`` for the four accumulator
+    algorithms — see :mod:`repro.kernels.column_panel`); empty for
+    algorithms without the switch.
     """
 
     name: str
@@ -45,6 +50,7 @@ class AlgorithmInfo:
     supports_config: bool = False  # accepts config=PBConfig
     supports_process: bool = False  # can run on the process-pool executor
     supports_masked: bool = False  # has a masked-output variant
+    column_backends: tuple = ()  # column execution strategies, if any
 
 
 def _pb(a_csc, b_csr, semiring=PLUS_TIMES, **kwargs):
@@ -64,22 +70,31 @@ def _registry() -> dict[str, AlgorithmInfo]:
         AlgorithmInfo(
             "heap", heap_spgemm, "column", "accumulator", "heap", "d", 0,
             "Column SpGEMM, per-column heap merge (Azad et al. 2016)",
+            supports_config=True,
+            column_backends=("panel", "loop"),
         ),
         AlgorithmInfo(
             "hash", hash_spgemm, "column", "accumulator", "hash", "d", 0,
             "Column SpGEMM, per-column hash table (Nagasaka et al. 2019)",
+            supports_config=True,
+            column_backends=("panel", "loop"),
         ),
         AlgorithmInfo(
             "hashvec", hashvec_spgemm, "column", "accumulator", "hash", "d", 0,
             "Column SpGEMM, batched open-addressing probing (HashVec)",
+            supports_config=True,
+            column_backends=("panel", "loop"),
         ),
         AlgorithmInfo(
             "spa", spa_spgemm, "column", "accumulator", "spa", "d", 0,
             "Column SpGEMM, dense sparse-accumulator (Gilbert et al. 1992)",
+            supports_config=True,
+            column_backends=("panel", "loop"),
         ),
         AlgorithmInfo(
             "esc_column", esc_column_spgemm, "column", "esc", "sort", "d", 2,
             "Column-wise expand-sort-compress (Dalton et al. 2015)",
+            supports_config=True,
         ),
         AlgorithmInfo(
             "pb", _pb, "outer", "esc", "sort", "1", 2,
@@ -135,6 +150,7 @@ def algorithm_metadata() -> dict[str, dict]:
             "supports_config": info.supports_config,
             "supports_process": info.supports_process,
             "supports_masked": info.supports_masked,
+            "column_backends": list(info.column_backends),
             "description": info.description,
         }
         for info in ALGORITHMS.values()

@@ -7,6 +7,14 @@ are harvested in sorted order.  This is Gustavson's algorithm with the
 simplest possible merger; its data-access pattern is the "Column
 SpGEMM" row of the paper's Table II (irregular reads of A, streamed B
 and C).
+
+``column_backend="panel"`` (default) runs the shared panel-vectorized
+path (:mod:`repro.kernels.column_panel`) — the SPA's dense-array cost
+story lives in :mod:`repro.costmodel` and is unchanged.  The loop
+backend's ``ufunc.at`` scatters accumulate sequentially in k order,
+matching the panel reduction's left fold, so both backends are
+bit-identical.  ``column_backend="loop"`` keeps the per-column dense
+scatter for ablation.
 """
 
 from __future__ import annotations
@@ -19,17 +27,25 @@ from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
 from .._util import sorted_unique
+from .column_panel import panel_spgemm, resolve_column_backend, stack_column_stream
 
 
 def spa_spgemm(
     a_csc: CSCMatrix,
     b_csr: CSRMatrix,
     semiring: Semiring | str = PLUS_TIMES,
+    column_backend: str | None = None,
+    panel_tuples: int | None = None,
+    config=None,
 ) -> CSRMatrix:
     """C = A · B column by column with a dense accumulator; canonical CSR."""
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    backend, budget = resolve_column_backend(config, column_backend, panel_tuples)
     sr = get_semiring(semiring)
+    if backend == "panel":
+        return panel_spgemm(a_csc, b_csr, sr, panel_tuples=budget)
+
     m, n = a_csc.shape[0], b_csr.shape[1]
     b_csc = b_csr.to_csc()
 
@@ -66,14 +82,4 @@ def spa_spgemm(
         spa[idx] = sr.add_identity
         occupied[idx] = False
 
-    if not out_rows:
-        return CSRMatrix.empty((m, n))
-    rows = np.concatenate(out_rows)
-    cols = np.concatenate(out_cols)
-    vals = np.concatenate(out_vals)
-    # Stream is column-major sorted and duplicate-free; build CSR directly.
-    order = np.lexsort((cols, rows))
-    counts = np.bincount(rows, minlength=m)
-    indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
-    np.cumsum(counts, out=indptr[1:])
-    return CSRMatrix((m, n), indptr, cols[order], vals[order], validate=False)
+    return stack_column_stream(m, n, out_rows, out_cols, out_vals)

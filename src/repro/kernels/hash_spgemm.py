@@ -6,8 +6,20 @@ and sorted to emit the column.  Complexity O(flop) for ER matrices
 (assuming few collisions) — no log factor, which is why the paper's
 conclusion names Hash the best performer for compression factors > 4.
 
-The accumulator here is a Python ``dict`` (a genuine open-addressing
-hash table); per-column work batches the scatter through it.
+Two executable backends share the algorithm's access pattern (and byte
+accounting — Table II row 1 is computed in :mod:`repro.costmodel`, not
+here):
+
+* ``column_backend="panel"`` (default) — the panel-vectorized path
+  (:mod:`repro.kernels.column_panel`): gather a panel of output columns
+  in one fancy-index pass, stably radix-sort it by row id, and collapse
+  duplicate (row, col) runs with the segmented semiring reduction.  The
+  reduction's plus-path is a sequential left fold in the same
+  k-ascending order the hash table accumulates, so results are
+  bit-identical to the loop backend.
+* ``column_backend="loop"`` — the faithful per-column transcription: a
+  Python ``dict`` (a genuine open-addressing hash table) per output
+  column, kept for ablation and as the property-suite ground truth.
 """
 
 from __future__ import annotations
@@ -19,26 +31,38 @@ from ..matrix.base import INDEX_DTYPE, VALUE_DTYPE
 from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .column_panel import panel_spgemm, resolve_column_backend, stack_column_stream
 
 
 def hash_spgemm(
     a_csc: CSCMatrix,
     b_csr: CSRMatrix,
     semiring: Semiring | str = PLUS_TIMES,
+    column_backend: str | None = None,
+    panel_tuples: int | None = None,
+    config=None,
 ) -> CSRMatrix:
-    """C = A · B with per-column hash accumulation; canonical CSR output."""
+    """C = A · B with per-column hash accumulation; canonical CSR output.
+
+    ``column_backend`` / ``panel_tuples`` override the corresponding
+    :class:`~repro.core.PBConfig` fields when given; ``config`` supplies
+    them otherwise (threaded through :func:`repro.kernels.spgemm` and
+    the planner).
+    """
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    backend, budget = resolve_column_backend(config, column_backend, panel_tuples)
     sr = get_semiring(semiring)
-    add = sr.add
+    if backend == "panel":
+        return panel_spgemm(a_csc, b_csr, sr, panel_tuples=budget)
+
+    add_scalar = sr.add_scalar
     m, n = a_csc.shape[0], b_csr.shape[1]
     b_csc = b_csr.to_csc()
 
     out_rows: list[np.ndarray] = []
     out_cols: list[np.ndarray] = []
     out_vals: list[np.ndarray] = []
-    one = np.empty(1, dtype=VALUE_DTYPE)
-    two = np.empty(1, dtype=VALUE_DTYPE)
     for j in range(n):
         ks, bvals = b_csc.col(j)
         if len(ks) == 0:
@@ -51,9 +75,7 @@ def hash_spgemm(
             prods = sr.multiply(avals_k, np.broadcast_to(bval, avals_k.shape))
             for r, v in zip(rows_k.tolist(), prods.tolist()):
                 if r in table:
-                    one[0] = table[r]
-                    two[0] = v
-                    table[r] = float(add(one, two)[0])
+                    table[r] = add_scalar(table[r], v)
                 else:
                     table[r] = v
         if not table:
@@ -65,13 +87,4 @@ def hash_spgemm(
         out_cols.append(np.full(len(rows_j), j, dtype=INDEX_DTYPE))
         out_vals.append(vals_j[order])
 
-    if not out_rows:
-        return CSRMatrix.empty((m, n))
-    rows = np.concatenate(out_rows)
-    cols = np.concatenate(out_cols)
-    vals = np.concatenate(out_vals)
-    order = np.lexsort((cols, rows))
-    counts = np.bincount(rows, minlength=m)
-    indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
-    np.cumsum(counts, out=indptr[1:])
-    return CSRMatrix((m, n), indptr, cols[order], vals[order], validate=False)
+    return stack_column_stream(m, n, out_rows, out_cols, out_vals)

@@ -8,6 +8,12 @@ pending entry computes its slot, collision-free entries land in one
 vectorized scatter, colliding entries advance to the next probe
 distance and retry.  All per-round work is whole-array numpy — the
 vector-register structure of the original, at array granularity.
+
+``column_backend="panel"`` (default) runs the shared panel-vectorized
+path (:mod:`repro.kernels.column_panel`); the per-column probing above
+is retained as ``column_backend="loop"`` for ablation.  Both produce
+bit-identical canonical CSR (the loop backend pre-merges each batch
+with the same stable reduction and folds across batches in k order).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from ..matrix.base import INDEX_DTYPE, VALUE_DTYPE
 from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .column_panel import panel_spgemm, resolve_column_backend, stack_column_stream
 
 _EMPTY = np.int64(-1)
 #: Multiplier of the classic Fibonacci/multiplicative hash used by the
@@ -27,11 +34,16 @@ _HASH_SCALE = np.uint64(107)
 
 
 def _table_size(upper: int) -> int:
-    """Smallest power of two >= 2 * upper (load factor <= 0.5)."""
-    size = 2
-    while size < 2 * max(upper, 1):
-        size *= 2
-    return size
+    """Smallest power of two >= 2 * upper (load factor <= 0.5); 0 if no work.
+
+    ``upper`` is the column's flop upper bound on nnz(C(:, j)).  A
+    non-positive bound means the column generates no tuples; returning 0
+    tells the caller to skip the column outright instead of allocating
+    (and draining) a table that can only stay empty.
+    """
+    if upper <= 0:
+        return 0
+    return 1 << max(1, (2 * int(upper) - 1).bit_length())
 
 
 def _probe_insert(keys, vals, table_keys, table_vals, sr):
@@ -85,11 +97,18 @@ def hashvec_spgemm(
     a_csc: CSCMatrix,
     b_csr: CSRMatrix,
     semiring: Semiring | str = PLUS_TIMES,
+    column_backend: str | None = None,
+    panel_tuples: int | None = None,
+    config=None,
 ) -> CSRMatrix:
     """C = A · B with batched open-addressing hash probing; canonical CSR."""
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    backend, budget = resolve_column_backend(config, column_backend, panel_tuples)
     sr = get_semiring(semiring)
+    if backend == "panel":
+        return panel_spgemm(a_csc, b_csr, sr, panel_tuples=budget)
+
     m, n = a_csc.shape[0], b_csr.shape[1]
     b_csc = b_csr.to_csc()
     a_colnnz = a_csc.col_nnz()
@@ -102,9 +121,9 @@ def hashvec_spgemm(
         if len(ks) == 0:
             continue
         upper = int(a_colnnz[ks].sum())  # flop upper bound on nnz(C(:,j))
-        if upper == 0:
-            continue
         size = _table_size(upper)
+        if size == 0:
+            continue
         table_keys = np.full(size, _EMPTY, dtype=INDEX_DTYPE)
         table_vals = np.full(size, sr.add_identity, dtype=VALUE_DTYPE)
         for k, bval in zip(ks, bvals):
@@ -121,13 +140,4 @@ def hashvec_spgemm(
         out_cols.append(np.full(len(rows_j), j, dtype=INDEX_DTYPE))
         out_vals.append(vals_j[order])
 
-    if not out_rows:
-        return CSRMatrix.empty((m, n))
-    rows = np.concatenate(out_rows)
-    cols = np.concatenate(out_cols)
-    vals = np.concatenate(out_vals)
-    order = np.lexsort((cols, rows))
-    counts = np.bincount(rows, minlength=m)
-    indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
-    np.cumsum(counts, out=indptr[1:])
-    return CSRMatrix((m, n), indptr, cols[order], vals[order], validate=False)
+    return stack_column_stream(m, n, out_rows, out_cols, out_vals)

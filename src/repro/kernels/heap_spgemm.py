@@ -6,6 +6,15 @@ heap keyed on row index, accumulating values of equal rows as they pop
 out adjacent.  Complexity O(flop · log d) for ER matrices — the log d
 heap factor the paper cites — and the output emerges already sorted, so
 no post-sort is needed.
+
+``column_backend="panel"`` (default) runs the shared panel-vectorized
+path (:mod:`repro.kernels.column_panel`); the heap's modeled cost —
+Table II's access pattern plus the log d sift factor — stays in
+:mod:`repro.costmodel`, untouched by the execution strategy.  The heap
+pops equal rows in source (k-ascending) order, the same order the
+panel's stable segmented reduction folds duplicates, so both backends
+are bit-identical.  ``column_backend="loop"`` keeps the faithful
+``heapq`` transcription for ablation.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from ..matrix.base import INDEX_DTYPE, VALUE_DTYPE
 from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
 from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .column_panel import panel_spgemm, resolve_column_backend, stack_column_stream
 
 
 def _merge_column(a_csc, ks, bvals, sr):
@@ -34,6 +44,7 @@ def _merge_column(a_csc, ks, bvals, sr):
             heap.append((int(rows_k[0]), src))
     heapq.heapify(heap)
 
+    add_scalar = sr.add_scalar
     out_rows: list[int] = []
     out_vals: list[float] = []
     while heap:
@@ -41,7 +52,7 @@ def _merge_column(a_csc, ks, bvals, sr):
         rows_k, avals_k, pos, bval = ptrs[src]
         val = sr.multiply(avals_k[pos : pos + 1], np.asarray([bval]))[0]
         if out_rows and out_rows[-1] == row:
-            out_vals[-1] = sr.add(np.asarray([out_vals[-1]]), np.asarray([val]))[0]
+            out_vals[-1] = add_scalar(out_vals[-1], val)
         else:
             out_rows.append(row)
             out_vals.append(val)
@@ -56,11 +67,18 @@ def heap_spgemm(
     a_csc: CSCMatrix,
     b_csr: CSRMatrix,
     semiring: Semiring | str = PLUS_TIMES,
+    column_backend: str | None = None,
+    panel_tuples: int | None = None,
+    config=None,
 ) -> CSRMatrix:
     """C = A · B with per-column heap merging; canonical CSR output."""
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    backend, budget = resolve_column_backend(config, column_backend, panel_tuples)
     sr = get_semiring(semiring)
+    if backend == "panel":
+        return panel_spgemm(a_csc, b_csr, sr, panel_tuples=budget)
+
     m, n = a_csc.shape[0], b_csr.shape[1]
     b_csc = b_csr.to_csc()
 
@@ -77,13 +95,4 @@ def heap_spgemm(
             out_cols.append(np.full(len(rows_j), j, dtype=INDEX_DTYPE))
             out_vals.append(np.asarray(vals_j, dtype=VALUE_DTYPE))
 
-    if not out_rows:
-        return CSRMatrix.empty((m, n))
-    rows = np.concatenate(out_rows)
-    cols = np.concatenate(out_cols)
-    vals = np.concatenate(out_vals)
-    order = np.lexsort((cols, rows))
-    counts = np.bincount(rows, minlength=m)
-    indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
-    np.cumsum(counts, out=indptr[1:])
-    return CSRMatrix((m, n), indptr, cols[order], vals[order], validate=False)
+    return stack_column_stream(m, n, out_rows, out_cols, out_vals)

@@ -182,40 +182,134 @@ def expand_arena(
     return rows, cols, vals
 
 
-def expand_column_major(
+def expand_cols_range(
+    a_csc: CSCMatrix,
+    b_csc,
+    j_lo: int,
+    j_hi: int,
+    semiring: Semiring,
+    row_indices: np.ndarray | None = None,
+    with_cols: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+    """Column-major expansion of output columns ``[j_lo, j_hi)``.
+
+    The tuple multiset of :math:`\\hat{C}(:, j_lo:j_hi)` in output-
+    column-major order: for each B entry (k, j), j-major then k
+    ascending, the whole column A(:, k) scaled by B(k, j) — a segmented
+    gather vectorized by materializing each tuple's A-entry offset as
+    ``repeat(a_start - run_start, reps) + arange`` (one repeat, one
+    ramp — no per-tuple group ids).  This is the shared gather of the
+    panel-vectorized column kernels and the column-wise ESC expand;
+    ``b_csc`` is B already converted to CSC.
+
+    ``row_indices`` substitutes the array row ids are gathered from
+    (default ``a_csc.indices``); the panel kernels pass A's row ids
+    pre-cast to the narrowest unsigned dtype so the whole row stream —
+    gather, sort keys, run detection — moves 2 bytes per element
+    instead of 8.  ``with_cols=False`` skips materializing the output
+    column ids (``cols`` is returned as ``None``) for callers that
+    rebuild them from per-column tuple counts in a narrower dtype.
+    """
+    b_ptr = b_csc.indptr
+    e_lo, e_hi = int(b_ptr[j_lo]), int(b_ptr[j_hi])
+    ks = b_csc.indices[e_lo:e_hi]  # k of each B entry, column-major order
+    a_ptr = a_csc.indptr
+    a_lo = a_ptr[ks]
+    reps = a_ptr[ks + 1] - a_lo  # nnz(A(:,k)) per B entry
+    total = int(reps.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=INDEX_DTYPE)
+        return empty, (empty if with_cols else None), np.empty(0)
+    # The per-tuple A-entry offsets: int32 halves the index-math traffic
+    # whenever both the offsets (< nnz(A)) and the intra-range ramp
+    # (< total) fit, which they do at every feasible in-memory scale.
+    # The finished offsets are widened to the platform index dtype in
+    # ONE cast — numpy re-casts a narrow index array to intp inside
+    # every fancy-indexing call, so gathering twice through an int32
+    # array would pay the conversion twice.
+    if total <= np.iinfo(np.int32).max and int(a_ptr[-1]) <= np.iinfo(np.int32).max:
+        idx_dtype = np.int32
+        a_lo = a_lo.astype(np.int32)
+        reps = reps.astype(np.int32)
+    else:
+        idx_dtype = INDEX_DTYPE
+        reps = reps.astype(INDEX_DTYPE)
+    starts = np.zeros(len(ks), dtype=idx_dtype)
+    np.cumsum(reps[:-1], out=starts[1:])
+    a_idx = np.repeat(a_lo - starts, reps)
+    a_idx += np.arange(total, dtype=idx_dtype)
+    a_idx = a_idx.astype(np.intp, copy=False)
+    rows = np.take(a_csc.indices if row_indices is None else row_indices, a_idx)
+    if with_cols:
+        b_colnnz = (
+            b_ptr[j_lo + 1 : j_hi + 1] - b_ptr[j_lo:j_hi]
+        ).astype(INDEX_DTYPE)
+        b_cols = np.repeat(np.arange(j_lo, j_hi, dtype=INDEX_DTYPE), b_colnnz)
+        cols = np.repeat(b_cols, reps)
+    else:
+        cols = None
+    vals = semiring.multiply(
+        np.take(a_csc.data, a_idx), np.repeat(b_csc.data[e_lo:e_hi], reps)
+    )
+    return rows, cols, vals
+
+
+def column_flops(a_csc: CSCMatrix, b_csc) -> np.ndarray:
+    """Tuples generated per *output* column: ``Σ_{k∈B(:,j)} nnz(A(:,k))``.
+
+    The column-major analogue of the symbolic phase's per-k flop counts;
+    drives panel sizing and the arena offsets of the column-major expand.
+    """
+    contrib = a_csc.col_nnz()[b_csc.indices].astype(np.int64)
+    prefix = np.concatenate([[0], np.cumsum(contrib)])
+    return prefix[b_csc.indptr[1:]] - prefix[b_csc.indptr[:-1]]
+
+
+def iter_expand_columns(
     a_csc: CSCMatrix,
     b_csr: CSRMatrix,
     semiring: Semiring | str = PLUS_TIMES,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Expand :math:`\\hat{C}` in *output-column-major* order.
+    chunk_flops: int = 8_000_000,
+    per_col: np.ndarray | None = None,
+):
+    """Chunked column-major expansion: yields ``(o_lo, o_hi, rows, cols, vals)``.
 
-    The column-wise ESC algorithm (Dalton et al.) generates
-    :math:`\\hat{C}(:, j)` from B(:, j): the same tuple multiset as
-    :func:`expand_outer` but grouped by output column j.  For each B
-    entry (k, j) in column-major order we emit the whole column A(:, k)
-    scaled by B(k, j) — a segmented gather, vectorized with the grouped
-    div/mod trick.
+    Chunk boundaries come from :func:`chunk_ranges` on the per-output-
+    column tuple counts, so each chunk holds ~``chunk_flops`` tuples and
+    owns the fixed slice ``[o_lo, o_hi)`` of the column-major stream —
+    callers can write chunks straight into flop-sized arenas (the
+    column-major mirror of :func:`expand_arena`).
     """
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
     sr = get_semiring(semiring)
     b_csc = b_csr.to_csc()
-    ks = b_csc.indices  # k of each B entry, column-major order
-    b_cols = np.repeat(
-        np.arange(b_csc.shape[1], dtype=INDEX_DTYPE), b_csc.col_nnz()
-    )
-    a_ptr = a_csc.indptr
-    reps = (a_ptr[ks + 1] - a_ptr[ks]).astype(INDEX_DTYPE)  # nnz(A(:,k)) per B entry
-    total = int(reps.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=INDEX_DTYPE)
-        return empty, empty, np.empty(0)
-    group = np.repeat(np.arange(len(ks), dtype=INDEX_DTYPE), reps)
-    starts = np.zeros(len(ks), dtype=INDEX_DTYPE)
-    np.cumsum(reps[:-1], out=starts[1:])
-    within = np.arange(total, dtype=INDEX_DTYPE) - starts[group]
-    a_idx = a_ptr[ks[group]] + within
-    rows = a_csc.indices[a_idx]
-    cols = np.repeat(b_cols, reps)
-    vals = sr.multiply(a_csc.data[a_idx], np.repeat(b_csc.data, reps))
-    return rows, cols, vals
+    if per_col is None:
+        per_col = column_flops(a_csc, b_csc)
+    else:
+        per_col = np.asarray(per_col, dtype=np.int64)
+    prefix = np.concatenate([[0], np.cumsum(per_col)])
+    for j_lo, j_hi in chunk_ranges(per_col, chunk_flops):
+        rows, cols, vals = expand_cols_range(a_csc, b_csc, j_lo, j_hi, sr)
+        yield int(prefix[j_lo]), int(prefix[j_hi]), rows, cols, vals
+
+
+def expand_column_major(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    semiring: Semiring | str = PLUS_TIMES,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand :math:`\\hat{C}` in *output-column-major* order, one shot.
+
+    The column-wise ESC algorithm (Dalton et al.) generates
+    :math:`\\hat{C}(:, j)` from B(:, j): the same tuple multiset as
+    :func:`expand_outer` but grouped by output column j.  The whole
+    stream is materialized at once (peak memory ≈ 2× the stream for the
+    gather temporaries); :func:`iter_expand_columns` is the chunked
+    arena-friendly variant the ESC kernel uses by default.
+    """
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    sr = get_semiring(semiring)
+    b_csc = b_csr.to_csc()
+    return expand_cols_range(a_csc, b_csc, 0, b_csc.shape[1], sr)

@@ -13,6 +13,13 @@ four effective rates with short numpy micro-benchmarks:
   (:func:`repro.kernels.radix.radix_sort_pairs`), from which an
   *effective clock* is derived so the model's cycle constants
   (:mod:`repro.costmodel.compute`) translate to seconds on this core,
+* **column-kernel throughput** — tuples/s of the real panel-vectorized
+  column kernel (:func:`repro.kernels.hash_spgemm` on a small ER
+  product), from which :meth:`MachineProfile.column_compute_scale`
+  rescales the accumulator cycle constants — the hand-tuned per-tuple
+  constants describe a compiled hash loop, not this numpy panel path,
+  so without this measurement the planner systematically misprices
+  column algorithms against PB,
 * **process-pool startup** — the fixed price of
   ``PBConfig(executor="process")`` spawning its worker pool per
   multiply, charged to process-executor candidates.
@@ -41,7 +48,9 @@ from ..machine.presets import get_machine
 from ..machine.spec import MachineSpec, StreamTable
 
 PROFILE_FILENAME = "profile.json"
-PROFILE_SCHEMA_VERSION = 1
+#: v2 added ``column_mtuples_s`` (measured panel column-kernel rate);
+#: v1 profiles are rejected on load and silently re-calibrated.
+PROFILE_SCHEMA_VERSION = 2
 
 #: Sanity clamps: a wildly off micro-benchmark (noisy CI container,
 #: throttled laptop) must not poison every subsequent ranking.
@@ -61,11 +70,29 @@ class MachineProfile:
     triad_gbs: float
     scatter_gbs: float
     radix_mtuples_s: float
+    column_mtuples_s: float
     effective_clock_ghz: float
     dram_latency_ns: float
     pool_startup_s: float
     created_unix: float
     schema_version: int = PROFILE_SCHEMA_VERSION
+
+    def column_compute_scale(self) -> float:
+        """Multiplier mapping the model's accumulator cycle constants to
+        this machine's *measured* column-kernel throughput.
+
+        The cost model charges ``HASH_CYCLES_PER_FLOP`` cycles per tuple
+        (:func:`repro.costmodel.bytes_model.column_phase_costs`); the
+        measured panel kernel processes ``column_mtuples_s`` Mtuples/s at
+        ``effective_clock_ghz``, i.e. ``clock * 1e3 / rate`` cycles per
+        tuple.  The ratio rescales every accumulator constant at ranking
+        time.  Preset profiles derive ``column_mtuples_s`` so this is
+        exactly 1.0 (the untouched paper model).
+        """
+        measured_cycles = (
+            self.effective_clock_ghz * 1e3 / max(self.column_mtuples_s, 1e-9)
+        )
+        return measured_cycles / C.HASH_CYCLES_PER_FLOP
 
     def fingerprint(self) -> str:
         """Stable short hash identifying this profile in plan-cache keys.
@@ -131,6 +158,7 @@ class MachineProfile:
             "triad_gbs": (int, float),
             "scatter_gbs": (int, float),
             "radix_mtuples_s": (int, float),
+            "column_mtuples_s": (int, float),
             "effective_clock_ghz": (int, float),
             "dram_latency_ns": (int, float),
             "pool_startup_s": (int, float),
@@ -225,6 +253,20 @@ def calibrate(
         model_cycles * ns / t_radix / 1e9, _CLOCK_BOUNDS_GHZ
     )
 
+    # Column-kernel throughput on the real panel hash kernel: a small
+    # ER product, priced in tuples (flop) per second.
+    from ..generators import erdos_renyi
+    from ..kernels.hash_spgemm import hash_spgemm
+    from ..kernels.outer_expand import column_flops
+
+    g = erdos_renyi(1 << (10 if quick else 12), 8, seed=seed, fmt="csr")
+    ca, cb = g.to_csc(), g
+    col_flop = int(column_flops(ca, cb.to_csc()).sum())
+    t_col = _best_of(
+        lambda: hash_spgemm(ca, cb, column_backend="panel"), reps
+    )
+    column_mtuples_s = max(col_flop, 1) / t_col / 1e6
+
     pool_startup_s = _measure_pool_startup() if measure_pool else 0.5
 
     return MachineProfile(
@@ -235,6 +277,7 @@ def calibrate(
         triad_gbs=triad_gbs,
         scatter_gbs=scatter_gbs,
         radix_mtuples_s=radix_mtuples_s,
+        column_mtuples_s=column_mtuples_s,
         effective_clock_ghz=effective_clock_ghz,
         dram_latency_ns=dram_latency_ns,
         pool_startup_s=pool_startup_s,
@@ -252,6 +295,9 @@ def default_profile(base_preset: str = "laptop") -> MachineProfile:
         * 1e3
         / (C.PB_SORT_CYCLES_PER_FLOP_PER_PASS * passes_for_bits(32))
     )
+    # Derived so column_compute_scale() is exactly 1.0 — the preset
+    # profile prices column kernels with the untouched paper constants.
+    column_mtuples_s = base.clock_ghz * 1e3 / C.HASH_CYCLES_PER_FLOP
     return MachineProfile(
         base_preset=base_preset,
         source="preset",
@@ -260,6 +306,7 @@ def default_profile(base_preset: str = "laptop") -> MachineProfile:
         triad_gbs=base.stream_single.triad,
         scatter_gbs=base.line_bytes * base.mlp / base.dram_latency_ns,
         radix_mtuples_s=radix_mtuples_s,
+        column_mtuples_s=column_mtuples_s,
         effective_clock_ghz=base.clock_ghz,
         dram_latency_ns=base.dram_latency_ns,
         pool_startup_s=0.5,

@@ -156,6 +156,12 @@ def rank(
     cfg = config or PBConfig()
     stats = workload_stats(a_csc, b_csr, nnz_c=sk.nnz_c, seed=sk.seed)
     machine = profile.machine_spec()
+    column_scale = profile.column_compute_scale()
+    # Price the backend dispatch will actually run (panel unless the
+    # config pins the loop ablation) — the loop's Table II model
+    # (latency-bound A bursts, accumulator spill) mis-prices the
+    # streaming panel path by several-fold.
+    column_backend = cfg.column_backend or "panel"
     want_threads = max(1, cfg.nthreads)
     scored: list[CandidateScore] = []
     for name, info in sorted(ALGORITHMS.items()):
@@ -167,7 +173,14 @@ def rank(
                 stats, machine, cfg, nthreads
             )
         else:
-            phases = algorithm_phase_costs(name, stats, machine, cfg)
+            phases = algorithm_phase_costs(
+                name,
+                stats,
+                machine,
+                cfg,
+                column_compute_scale=column_scale,
+                column_backend=column_backend,
+            )
             reports = simulate_phases(phases, machine, nthreads)
             total = sum(p.seconds for p in reports)
             dram = sum(p.dram_bytes for p in reports)

@@ -15,7 +15,11 @@ pipeline needs:
 * ``reduceat(values, starts)`` — segmented reduction of sorted runs of
   duplicate (row, col) values (the "compress" step),
 * ``add(a, b)`` — pairwise reduction (used by accumulator-based
-  column kernels: heap / hash / SPA).
+  column kernels: heap / hash / SPA),
+* ``add_scalar(a, b)`` — the scalar ⊕ for per-collision accumulation in
+  the retained loop backends (no 1-element array round trip),
+* ``segment_reduce(keys, vals)`` — whole-stream duplicate reduction for
+  the panel-vectorized column kernels: sort by key, reduce each run.
 
 All operations are vectorized numpy ufunc applications, so kernels stay
 loop-free regardless of the semiring.
@@ -69,6 +73,160 @@ class Semiring:
         boolean ufuncs like logical_or would otherwise return bool)."""
         out = self.add_ufunc(a, b)
         return np.asarray(out).astype(np.result_type(a, b), copy=False)
+
+    def add_scalar(self, a, b):
+        """Scalar ⊕ of two Python/numpy scalars.
+
+        The retained ``column_backend="loop"`` accumulators apply ⊕ once
+        per hash collision; boxing each operand into a 1-element array
+        to call :meth:`add` costs two allocations and a ufunc dispatch
+        per collision.  This resolves the scalar operation once — a
+        plain Python arithmetic op where one exists, the ufunc on
+        scalars otherwise — and returns a Python float.
+        """
+        if self.add_ufunc is np.add:
+            # Plain float '+' is IEEE-identical to np.add on scalars.
+            return float(a) + float(b)
+        return float(self.add_ufunc(a, b))
+
+    def segment_reduce(
+        self, keys: np.ndarray, vals: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """⊕-reduce duplicate keys: ``(unique_keys_sorted, reduced_vals)``.
+
+        The panel-vectorized column kernels form one packed integer key
+        per generated tuple and hand the whole stream here.  The stream
+        is stably sorted by key, run boundaries are located, and each
+        run is ⊕-reduced:
+
+        * **plus-like semirings** (``add_ufunc is np.add``, float
+          values) reduce through :func:`np.bincount` on the run ids —
+          a *sequential left fold in stream order*, which is exactly
+          the accumulation order of the loop backends' dict / SPA /
+          heap accumulators, so results are bit-identical to
+          ``column_backend="loop"``.  (``np.add.reduceat`` is pairwise
+          on floats and would diverge in the last ulps for runs ≥ 8.)
+        * **other ufunc ⊕** (min / max / logical_or) use
+          ``add_ufunc.reduceat`` — numpy only applies pairwise
+          reassociation to add/multiply, so these are the same exact
+          left fold.
+        * **non-ufunc ⊕** (a custom Semiring carrying a plain callable)
+          fall back to a stable lexsort of (key, position) plus a
+          per-run Python fold — slow but correct for any ⊕.
+
+        Ties within a run keep stream order (stable sort), preserving
+        the loop backends' k-ascending accumulation order.
+        """
+        keys = np.asarray(keys)
+        vals = np.asarray(vals)
+        if len(keys) != len(vals):
+            raise ValueError(
+                f"keys and vals must align, got {len(keys)} vs {len(vals)}"
+            )
+        if len(keys) == 0:
+            return keys[:0], vals[:0]
+        if isinstance(self.add_ufunc, np.ufunc):
+            order = np.argsort(keys, kind="stable")
+        else:
+            # Fallback ordering: lexsort on (position, key) — positions
+            # break ties, making the sort stable for any key dtype.
+            order = np.lexsort((np.arange(len(keys)), keys))
+        sk = keys[order]
+        sv = vals[order]
+        run_start = np.empty(len(sk), dtype=bool)
+        run_start[0] = True
+        np.not_equal(sk[1:], sk[:-1], out=run_start[1:])
+        starts, reduced = self.fold_runs(run_start, sv)
+        return sk[starts], reduced
+
+    def fold_runs(
+        self, run_start: np.ndarray, sorted_vals: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """⊕-fold runs of an already-sorted value stream.
+
+        The fold half of :meth:`segment_reduce`: ``run_start`` is a
+        boolean mask marking the first element of every run of equal
+        keys (``run_start[0]`` must be True for non-empty input) and
+        ``sorted_vals`` holds the values in run order.  Returns
+        ``(starts, reduced)`` with ``starts = flatnonzero(run_start)``.
+
+        Exposed so callers that can establish the sorted order cheaper
+        than a generic key sort — the panel column kernels stably sort
+        by row id alone (numpy's C radix for ≤ 16-bit keys) and detect
+        runs by comparing adjacent (row, col) pairs — reduce through
+        the *same* fold and stay bit-identical to
+        :meth:`segment_reduce`:
+
+        * when duplicates are rare (< 1/8 of the stream — compression
+          factors near 1, the regime column algorithms target), the
+          run-start values are copied out and each duplicate is ⊕-ed
+          into its run with ``add_ufunc.at`` — unbuffered, applied in
+          ascending stream position, i.e. the same sequential left
+          fold, without materializing per-element run ids;
+        * otherwise plus-like ⊕ fold through ``np.bincount`` — a
+          sequential left fold in stream order (never pairwise);
+        * other ufunc ⊕ use ``add_ufunc.reduceat`` (exact for
+          min / max / logical_or);
+        * non-ufunc ⊕ fold each run in a Python loop.
+        """
+        sv = sorted_vals
+        starts = np.flatnonzero(run_start)
+        n_dup = sv.size - starts.size
+        if isinstance(self.add_ufunc, np.ufunc) and n_dup * 8 < sv.size:
+            out = sv[starts]
+            if n_dup:
+                dup_pos = np.flatnonzero(~run_start)
+                run_idx = np.searchsorted(starts, dup_pos, side="right") - 1
+                self.add_ufunc.at(out, run_idx, sv[dup_pos])
+            return starts, out
+        if (
+            self.add_ufunc is np.add
+            and np.issubdtype(sv.dtype, np.floating)
+        ):
+            run_ids = np.cumsum(run_start) - 1
+            out = np.bincount(run_ids, weights=sv, minlength=len(starts))
+            return starts, out.astype(sv.dtype, copy=False)
+        if isinstance(self.add_ufunc, np.ufunc):
+            return starts, self.reduceat(sv, starts)
+        bounds = np.append(starts, len(sv))
+        out = np.empty(len(starts), dtype=sv.dtype)
+        for i in range(len(starts)):
+            acc = sv[bounds[i]]
+            for j in range(bounds[i] + 1, bounds[i + 1]):
+                acc = self.add_ufunc(acc, sv[j])
+            out[i] = acc
+        return starts, out
+
+    def fold_runs_masked(
+        self, run_start: np.ndarray, sorted_vals: np.ndarray
+    ) -> np.ndarray:
+        """⊕-fold runs, returning only the reduced values.
+
+        Same contract and bit-exact results as :meth:`fold_runs`, for
+        callers that select run heads with the boolean ``run_start``
+        mask directly (``x[run_start]``) and never need the integer
+        ``starts`` array.  In the rare-duplicate regime this skips
+        materializing ``flatnonzero(run_start)`` — nearly one int64
+        index per element when compression is ≈ 1 — and finds each
+        duplicate's run by counting: the run containing stream position
+        ``p`` with ``j`` duplicates at or before it is run ``p - j - 1``
+        (positions ``0..p`` hold ``p+1-(j+1)`` run heads), an
+        O(duplicates) closed form replacing the searchsorted over
+        ``starts``.  ``add_ufunc.at`` applies the duplicates unbuffered
+        in ascending stream position — the same sequential left fold.
+        Dup-heavy and non-ufunc inputs fall back to :meth:`fold_runs`.
+        """
+        sv = sorted_vals
+        if isinstance(self.add_ufunc, np.ufunc):
+            dup_pos = np.flatnonzero(~run_start)
+            n_dup = dup_pos.size
+            if n_dup * 8 < sv.size:
+                out = sv[run_start]
+                if n_dup:
+                    run_idx = dup_pos - np.arange(n_dup, dtype=dup_pos.dtype) - 1
+                    self.add_ufunc.at(out, run_idx, sv[dup_pos])
+                return out
+        return self.fold_runs(run_start, sv)[1]
 
     def reduceat(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
         """Segmented ⊕-reduction: reduce ``values[starts[i]:starts[i+1]]``.

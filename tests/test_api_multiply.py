@@ -113,10 +113,27 @@ class TestRouting:
         c = repro.multiply(a, b, config=PBConfig(nbins=4, chunk_flops=32))
         assert allclose(c, reference)
 
-    def test_config_rejected_for_non_pb(self, pair):
+    def test_config_reaches_column_kernels(self, pair, reference):
+        # Since the panel rewrite the column kernels are config-aware:
+        # column_backend / panel_tuples select their execution strategy.
         a, b = pair
-        with pytest.raises(ConfigError, match="algorithm='pb'"):
-            repro.multiply(a, b, algorithm="hash", config=PBConfig(nbins=4))
+        cfg = PBConfig(column_backend="loop")
+        assert allclose(repro.multiply(a, b, algorithm="hash", config=cfg),
+                        reference)
+
+    def test_config_rejected_for_config_blind_algorithm(self, pair, monkeypatch):
+        # Every registered algorithm is config-aware today; stub in a
+        # config-blind one to keep the guard covered.
+        from repro.kernels import dispatch
+
+        a, b = pair
+        dummy = dispatch.AlgorithmInfo(
+            "dummy", lambda a, b, semiring: None, "column", "accumulator",
+            "hash", "d", 0, "test-only config-blind stub",
+        )
+        monkeypatch.setitem(dispatch.ALGORITHMS, "dummy", dummy)
+        with pytest.raises(ConfigError, match="does not apply"):
+            repro.multiply(a, b, algorithm="dummy", config=PBConfig(nbins=4))
 
     def test_string_semiring(self, pair):
         a, b = pair

@@ -1,0 +1,89 @@
+"""Smoke coverage for the column-backend perf harness (``perf`` marker).
+
+Tier-1-safe: runs ``benchmarks/bench_column.py --quick`` on small
+inputs and validates the JSON schema — of the fresh quick run and of
+the committed repo-root ``BENCH_column.json`` artifact — so a schema
+drift or a silently-broken backend fails fast without timing anything
+at full scale.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_column", REPO_ROOT / "benchmarks" / "bench_column.py"
+)
+bench_column = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_column)
+
+pytestmark = [pytest.mark.perf, pytest.mark.column]
+
+SEMIRINGS = {"plus_times", "min_plus", "max_times", "or_and", "plus_pair"}
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("column") / "BENCH_column.json"
+    assert bench_column.main(["--quick", "--reps", "1", "--output", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_quick_run_validates(quick_report):
+    data = bench_column.validate_report(quick_report)
+    assert data["meta"]["quick"] is True
+    assert data["acceptance"]["identity_all"] is True
+    for w in data["workloads"]:
+        assert set(data["kernels"][w]) == {"hash", "heap", "hashvec", "spa"}
+        assert set(data["identity"][w]) == SEMIRINGS
+        # The planner comparison must price the whole registry and
+        # measure pb/esc_column alongside the panel column kernels.
+        assert {"pb", "esc_column"} <= set(data["planner"][w]["measured_s"])
+        assert set(data["planner"][w]["predicted_s"]) >= {
+            "pb", "esc_column", "hash", "heap", "hashvec", "spa",
+        }
+
+
+def test_committed_artifact_is_valid():
+    path = REPO_ROOT / "BENCH_column.json"
+    assert path.exists(), "BENCH_column.json must be committed at the repo root"
+    data = bench_column.validate_report(json.loads(path.read_text()))
+    assert data["meta"]["quick"] is False, "the committed artifact is a full run"
+    acc = data["acceptance"]
+    # The PR's acceptance bars, pinned so a perf regression that slips
+    # into a refreshed artifact is caught at review time.
+    assert acc["workload"] == "er_s16_ef16"
+    assert acc["hash_speedup"] >= 10.0
+    assert acc["spa_speedup"] >= 10.0
+    assert acc["identity_all"] is True
+    assert acc["planner_match"] is True
+
+
+def test_validate_report_rejects_bad_payloads(quick_report):
+    with pytest.raises(ValueError, match="schema_version"):
+        bench_column.validate_report({**quick_report, "schema_version": 99})
+    with pytest.raises(ValueError, match="missing top-level"):
+        bench_column.validate_report(
+            {k: v for k, v in quick_report.items() if k != "planner"}
+        )
+    broken = json.loads(json.dumps(quick_report))
+    w = broken["workloads"][0]
+    broken["identity"][w]["plus_times"] = False
+    with pytest.raises(ValueError, match="bit-exactness"):
+        bench_column.validate_report(broken)
+    broken2 = json.loads(json.dumps(quick_report))
+    broken2["kernels"][w]["hash"]["panel_s"] = 0
+    with pytest.raises(ValueError, match="positive"):
+        bench_column.validate_report(broken2)
+    # A full-run payload must clear the speedup floor and planner match.
+    full = json.loads(json.dumps(quick_report))
+    full["meta"]["quick"] = False
+    full["acceptance"]["spa_speedup"] = 2.0
+    with pytest.raises(ValueError, match="floor"):
+        bench_column.validate_report(full)

@@ -42,10 +42,13 @@ def test_quick_run_validates(quick_report):
     for w in data["workloads"]:
         r = data["results"][w]
         # With every measured runtime recorded, the re-plan must pick
-        # the measured winner: feedback regret is exactly 1.0.
+        # the measured winner: feedback regret is exactly 1.0.  The
+        # plan source is "feedback" when the measurements overturned
+        # the model's pick and "cache" when the model already agreed
+        # with the oracle (feedback only overrides a *wrong* answer).
         assert r["feedback_pick"] == r["oracle_algorithm"]
         assert r["feedback_regret"] == pytest.approx(1.0)
-        assert r["feedback_source"] == "feedback"
+        assert r["feedback_source"] in ("feedback", "cache")
 
 
 def test_quick_run_times_every_algorithm(quick_report):
