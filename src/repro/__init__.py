@@ -14,7 +14,13 @@ Quickstart::
 :func:`multiply` accepts COO/CSR/CSC (or scipy/dense) operands in
 either position and converts to each kernel's expected formats; pass
 ``config=PBConfig(nthreads=4, executor="process")`` for real
-multi-core execution of the PB pipeline.
+multi-core execution of the PB pipeline.  For many multiplies in a
+loop, open a :class:`Session` — the worker pool and shared-memory
+arenas persist across calls instead of being rebuilt per multiply::
+
+    with repro.Session(repro.PBConfig(executor="process", nthreads=4)) as s:
+        c = s.multiply(a, a)          # spawns the pool once
+        c2 = s.multiply(c, a)         # reuses it, recycled arenas
 """
 
 from .errors import (
@@ -60,6 +66,7 @@ from .kernels import (
 from .api import multiply, spgemm
 from .core import PBConfig, pb_spgemm, pb_spgemm_detailed, partitioned_pb_spgemm
 from .parallel import process_backend_available
+from .session import Session, SessionStats
 from . import apps
 from .machine import MachineSpec, skylake_sp, power9, stream_bandwidth
 from .costmodel import roofline_mflops, spgemm_arithmetic_intensity
@@ -98,6 +105,8 @@ __all__ = [
     "SURROGATE_SPECS",
     "multiply",
     "spgemm",
+    "Session",
+    "SessionStats",
     "available_algorithms",
     "process_backend_available",
     "masked_spgemm",

@@ -44,6 +44,22 @@ def _coerce(operand, side: str, fmt: str):
     )
 
 
+def _attach_session_engine(info, session, cfg, kwargs) -> None:
+    """Route a session's warm engine into a session-capable kernel.
+
+    No-op unless a :class:`repro.session.Session` was passed and the
+    resolved algorithm advertises ``supports_session``; the session may
+    still return no engine (serial config, platform without shm), in
+    which case the kernel runs exactly as it would without a session.
+    """
+    if session is None or not getattr(info, "supports_session", False):
+        return
+    engine = session.engine_for(cfg)
+    if engine is not None:
+        kwargs["engine"] = engine
+        session._note_engine_multiply()
+
+
 def multiply(
     a,
     b,
@@ -51,6 +67,7 @@ def multiply(
     semiring: Semiring | str = PLUS_TIMES,
     config=None,
     feedback: bool = False,
+    session=None,
     **kwargs,
 ):
     """C = A · B over any registered algorithm and semiring.
@@ -93,6 +110,16 @@ def multiply(
         ``algorithm="auto"`` only: record the measured runtime into the
         plan cache, so repeated shapes converge on the true winner even
         where the model is wrong.
+    session:
+        Optional :class:`repro.session.Session`.  Session-capable
+        algorithms (``supports_session`` in
+        :func:`repro.kernels.algorithm_metadata`) run on the session's
+        warm process pool and recycled shared-memory arenas instead of
+        spawning per call; ``algorithm="auto"`` prices process
+        candidates at warm-dispatch latency when the pool is already
+        running.  When ``config`` is omitted the session's default
+        config applies.  Results are unchanged — bit-identical to the
+        session-less call.
     kwargs:
         Forwarded to the kernel.
     """
@@ -102,11 +129,20 @@ def multiply(
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
 
+    if session is not None and config is None:
+        config = session.config
+
     chosen_plan = None
     if algorithm == "auto":
         from .planner import plan as make_plan
 
-        chosen_plan = make_plan(a_csc, b_csr, semiring=sr, config=config)
+        chosen_plan = make_plan(
+            a_csc,
+            b_csr,
+            semiring=sr,
+            config=config,
+            warm_pool=session.is_warm() if session is not None else False,
+        )
     elif hasattr(algorithm, "algorithm") and hasattr(algorithm, "config"):
         chosen_plan = algorithm  # an explicit repro.planner.Plan
 
@@ -114,6 +150,7 @@ def multiply(
         info = get_algorithm(chosen_plan.algorithm)
         if info.supports_config and chosen_plan.config is not None:
             kwargs.setdefault("config", chosen_plan.config)
+        _attach_session_engine(info, session, kwargs.get("config"), kwargs)
         if not feedback:
             return info.func(a_csc, b_csr, semiring=sr, **kwargs)
         import time
@@ -139,6 +176,7 @@ def multiply(
                 + ", or 'auto'"
             )
         kwargs["config"] = config
+    _attach_session_engine(info, session, config, kwargs)
     return info.func(a_csc, b_csr, semiring=sr, **kwargs)
 
 
@@ -148,6 +186,7 @@ def spgemm(
     algorithm="pb",
     semiring: Semiring | str = PLUS_TIMES,
     config=None,
+    session=None,
     **kwargs,
 ):
     """Thin alias of :func:`multiply` under the paper-facing name.
@@ -159,5 +198,11 @@ def spgemm(
     that skips conversion lives at :func:`repro.kernels.spgemm`.
     """
     return multiply(
-        a, b, algorithm=algorithm, semiring=semiring, config=config, **kwargs
+        a,
+        b,
+        algorithm=algorithm,
+        semiring=semiring,
+        config=config,
+        session=session,
+        **kwargs,
     )

@@ -1,0 +1,60 @@
+"""Session plumbing shared by the looping apps.
+
+Every app in this package calls SpGEMM in a loop (MCL expansion, matrix
+powers, AMG triple products...), which is exactly the workload
+:class:`repro.session.Session` exists for: under
+``PBConfig(executor="process")`` a session spawns the worker pool once
+and recycles shared-memory arenas across all iterations, instead of
+paying pool startup and arena setup per multiply.
+
+:func:`spgemm_session` is the one policy point: apps call it with their
+``config`` / ``session`` keyword pair and get back the session their
+loop should multiply on (or ``None`` for the plain dispatch path).  A
+caller-provided session is used as-is and left open; an internal one is
+created only when the config asks for the process executor, and closed
+when the loop finishes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def spgemm_session(config=None, session=None):
+    """Yield the session an app loop should run its SpGEMMs on.
+
+    * ``session`` given — yielded unchanged; the caller owns its
+      lifetime (several app invocations can share one warm pool).
+    * ``config.executor == "process"`` — a fresh internal
+      :class:`repro.session.Session` is opened for the duration of the
+      loop and closed (pool down, arenas unlinked) on exit, even on
+      error.
+    * otherwise — ``None``: the loop uses plain per-call dispatch.
+    """
+    if session is not None:
+        yield session
+        return
+    if config is not None and config.executor == "process":
+        from ..session import Session
+
+        with Session(config) as s:
+            yield s
+        return
+    yield None
+
+
+def loop_multiply(sess, a_csc, b_csr, algorithm, config, **kwargs):
+    """One SpGEMM inside an app loop, on the session when there is one.
+
+    Falls back to :func:`repro.kernels.dispatch.spgemm` (the historical
+    app path) when no session is active, forwarding ``config`` only
+    when the caller actually set one.
+    """
+    if sess is not None:
+        return sess.multiply(a_csc, b_csr, algorithm=algorithm, config=config, **kwargs)
+    from ..kernels.dispatch import spgemm
+
+    if config is not None:
+        kwargs["config"] = config
+    return spgemm(a_csc, b_csr, algorithm=algorithm, **kwargs)

@@ -14,11 +14,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ShapeError
-from ..kernels.dispatch import spgemm
 from ..matrix.base import VALUE_DTYPE
 from ..matrix.coo import COOMatrix
 from ..matrix.csr import CSRMatrix
 from ..matrix.ops import add, prune
+from ._session import loop_multiply, spgemm_session
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,8 @@ def markov_clustering(
     tol: float = 1e-8,
     algorithm: str = "pb",
     add_self_loops: bool = True,
+    config=None,
+    session=None,
 ) -> MCLResult:
     """Cluster the undirected graph of ``adj`` with MCL.
 
@@ -70,6 +72,15 @@ def markov_clustering(
         SpGEMM kernel used for expansion.
     add_self_loops:
         Add the identity before normalizing (standard MCL practice).
+    config:
+        Optional :class:`~repro.core.PBConfig` for the expansion
+        SpGEMMs.  With ``executor="process"`` the whole MCL loop runs
+        on one internal :class:`repro.session.Session` — the worker
+        pool spawns once and shared-memory arenas are recycled across
+        iterations instead of being rebuilt per expansion.
+    session:
+        An existing :class:`repro.session.Session` to run on (left
+        open; overrides the internal one).
     """
     if adj.shape[0] != adj.shape[1]:
         raise ShapeError(f"adjacency matrix must be square, got {adj.shape}")
@@ -86,14 +97,17 @@ def markov_clustering(
 
     converged = False
     it = 0
-    for it in range(1, max_iter + 1):
-        expanded = spgemm(m.to_csc(), m.to_csr(), algorithm=algorithm)
-        nxt = _inflate(prune(expanded, prune_threshold), inflation)
-        delta = _max_abs_difference(m, nxt)
-        m = nxt
-        if delta < tol:
-            converged = True
-            break
+    with spgemm_session(config, session) as sess:
+        for it in range(1, max_iter + 1):
+            expanded = loop_multiply(
+                sess, m.to_csc(), m.to_csr(), algorithm, config
+            )
+            nxt = _inflate(prune(expanded, prune_threshold), inflation)
+            delta = _max_abs_difference(m, nxt)
+            m = nxt
+            if delta < tol:
+                converged = True
+                break
 
     # Attractor of each column = its maximal entry's row (scatter in
     # ascending value order so the last write per column is its max).

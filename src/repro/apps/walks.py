@@ -13,17 +13,27 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeError
-from ..kernels.dispatch import spgemm
 from ..matrix.base import INDEX_DTYPE
 from ..matrix.coo import COOMatrix
 from ..matrix.csr import CSRMatrix
+from ._session import loop_multiply, spgemm_session
 
 
-def count_walks(adj: CSRMatrix, length: int, algorithm: str = "pb") -> CSRMatrix:
+def count_walks(
+    adj: CSRMatrix,
+    length: int,
+    algorithm: str = "pb",
+    config=None,
+    session=None,
+) -> CSRMatrix:
     """Matrix whose (i, j) entry counts length-``length`` walks i→j.
 
     Computed as the plus-times matrix power A^length by repeated
-    squaring (O(log k) SpGEMMs).
+    squaring (O(log k) SpGEMMs).  With
+    ``config=PBConfig(executor="process")`` (or an explicit
+    ``session``) every squaring runs on one warm
+    :class:`repro.session.Session` instead of spawning a pool per
+    multiply.
     """
     if adj.shape[0] != adj.shape[1]:
         raise ShapeError(f"adjacency matrix must be square, got {adj.shape}")
@@ -33,12 +43,17 @@ def count_walks(adj: CSRMatrix, length: int, algorithm: str = "pb") -> CSRMatrix
     result = CSRMatrix.identity(n)
     base = adj
     k = length
-    while k:
-        if k & 1:
-            result = spgemm(result.to_csc(), base.to_csr(), algorithm=algorithm)
-        k >>= 1
-        if k:
-            base = spgemm(base.to_csc(), base.to_csr(), algorithm=algorithm)
+    with spgemm_session(config, session) as sess:
+        while k:
+            if k & 1:
+                result = loop_multiply(
+                    sess, result.to_csc(), base.to_csr(), algorithm, config
+                )
+            k >>= 1
+            if k:
+                base = loop_multiply(
+                    sess, base.to_csc(), base.to_csr(), algorithm, config
+                )
     return result
 
 
@@ -46,13 +61,16 @@ def bounded_hop_distances(
     adj: CSRMatrix,
     max_hops: int,
     algorithm: str = "pb",
+    config=None,
+    session=None,
 ) -> CSRMatrix:
     """Shortest weighted distances using at most ``max_hops`` edges.
 
     Min-plus iteration: D₁ = A (with an implicit 0 diagonal folded in),
     D_{k+1} = min(D_k, D_k ⊗ A).  Entry (i, j) of the result is the
     least-cost path of ≤ max_hops edges; absent entries are unreachable
-    within the budget.
+    within the budget.  ``config`` / ``session`` behave as in
+    :func:`count_walks` (one warm session for the whole iteration).
     """
     if adj.shape[0] != adj.shape[1]:
         raise ShapeError(f"adjacency matrix must be square, got {adj.shape}")
@@ -62,9 +80,17 @@ def bounded_hop_distances(
         raise ValueError("min-plus distances require non-negative weights")
 
     dist = adj
-    for _ in range(max_hops - 1):
-        step = spgemm(dist.to_csc(), adj.to_csr(), algorithm=algorithm, semiring="min_plus")
-        dist = _entrywise_min(dist, step)
+    with spgemm_session(config, session) as sess:
+        for _ in range(max_hops - 1):
+            step = loop_multiply(
+                sess,
+                dist.to_csc(),
+                adj.to_csr(),
+                algorithm,
+                config,
+                semiring="min_plus",
+            )
+            dist = _entrywise_min(dist, step)
     return dist
 
 

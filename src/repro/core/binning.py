@@ -218,6 +218,30 @@ def distribute_to_bins(
     return rows[order], cols[order], vals[order], starts
 
 
+def distribute_plan(
+    layout: BinLayout,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    method: str = "counting",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Packed keys + stable placement permutation, *without* applying it.
+
+    Returns ``(keys, order, bin_starts)`` — everything
+    :func:`distribute_packed` needs short of the final gather.  The
+    pipelined process executor
+    (:meth:`repro.parallel.executor.ProcessEngine.pipelined_sort_compress`)
+    consumes the plan directly: it applies ``order`` slice-by-slice into
+    shared bin arrays so each bin group's sort task can be submitted the
+    moment that group is placed, instead of barriering on the whole
+    gather.
+    """
+    binid = layout.bin_of_rows(rows)
+    keys = pack_keys(layout, rows, cols, binid=binid)
+    order = _bin_order(binid, layout.nbins, method)
+    starts = _bin_starts(binid, layout.nbins)
+    return keys, order, starts
+
+
 def distribute_packed(
     layout: BinLayout,
     rows: np.ndarray,
@@ -237,10 +261,7 @@ def distribute_packed(
     per-bin key/value streams are bit-identical to packing after the
     unfused distribute.
     """
-    binid = layout.bin_of_rows(rows)
-    keys = pack_keys(layout, rows, cols, binid=binid)
-    order = _bin_order(binid, layout.nbins, method)
-    starts = _bin_starts(binid, layout.nbins)
+    keys, order, starts = distribute_plan(layout, rows, cols, method=method)
     return keys[order], vals[order], starts
 
 

@@ -105,6 +105,17 @@ class PBConfig:
         back to serial when ``nthreads == 1``, when the platform lacks
         POSIX shared memory, or when the semiring is an unregistered
         object that cannot be pickled.
+    pipeline:
+        Bin-processing schedule under the process executor:
+        ``"auto"`` (default) — pipelined when a process engine runs
+        (each bin group's sort/compress task is submitted as soon as
+        its slice of the distribute placement lands in shared memory,
+        overlapping placement with worker sorting); ``"pipelined"`` —
+        require the pipelined schedule (rejected with
+        ``executor="serial"``, which has no overlap to exploit);
+        ``"barrier"`` — the phase-barriered schedule (distribute
+        completes before any sort task is submitted; the ablation).
+        All schedules are bit-identical.
     """
 
     nbins: int | None = None
@@ -121,6 +132,7 @@ class PBConfig:
     chunk_flops: int = 8_000_000
     nthreads: int = 1
     executor: str = "serial"
+    pipeline: str = "auto"
     plan_cache_dir: str | None = None
     calibration: str = "auto"
 
@@ -171,6 +183,17 @@ class PBConfig:
             raise ConfigError(
                 f"executor must be 'serial' or 'process', got {self.executor!r}"
             )
+        if self.pipeline not in ("auto", "pipelined", "barrier"):
+            raise ConfigError(
+                "pipeline must be 'auto', 'pipelined' or 'barrier', "
+                f"got {self.pipeline!r}"
+            )
+        if self.pipeline == "pipelined" and self.executor != "process":
+            raise ConfigError(
+                "pipeline='pipelined' requires executor='process' "
+                "(the serial pipeline has no phases to overlap); use "
+                "pipeline='auto' to pipeline only when a process engine runs"
+            )
         if self.bin_mapping == "modulo" and self.pack_keys:
             raise ConfigError(
                 "key packing requires contiguous bin ranges; use "
@@ -191,6 +214,29 @@ class PBConfig:
     def with_(self, **changes) -> "PBConfig":
         """Functional update (dataclasses.replace with validation)."""
         return replace(self, **changes)
+
+    def validate_session(self) -> "PBConfig":
+        """Session-aware validation (:class:`repro.session.Session`).
+
+        A session exists to amortize process-pool spawn and recycle
+        shared-memory arenas, so config combinations that silently
+        defeat that purpose are rejected here rather than degraded:
+
+        * ``executor="process"`` with ``nthreads == 1`` would fall back
+          to serial on *every* multiply — the warm pool would never be
+          used — so it is an error in a session (outside a session the
+          documented silent fallback stands).
+
+        Returns ``self`` so construction sites can chain it.
+        """
+        if self.executor == "process" and self.nthreads < 2:
+            raise ConfigError(
+                "a session with executor='process' needs nthreads >= 2; "
+                f"got nthreads={self.nthreads} (which would silently fall "
+                "back to serial on every multiply, never touching the "
+                "warm pool)"
+            )
+        return self
 
     @property
     def local_bin_tuples(self) -> int:

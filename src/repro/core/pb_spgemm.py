@@ -39,7 +39,14 @@ from ..semiring import PLUS_TIMES, Semiring, get_semiring
 from ..kernels.compress import compress_keyed
 from ..kernels.outer_expand import expand_arena, expand_chunks
 from ..kernels.radix import sort_tuples
-from .binning import BinLayout, distribute_packed, plan_bins, simulate_local_bins, unpack_keys
+from .binning import (
+    BinLayout,
+    distribute_packed,
+    distribute_plan,
+    plan_bins,
+    simulate_local_bins,
+    unpack_keys,
+)
 from .config import PBConfig
 from .symbolic import SymbolicResult, symbolic_phase
 
@@ -103,8 +110,19 @@ def pb_spgemm_detailed(
     semiring: Semiring | str = PLUS_TIMES,
     config: PBConfig | None = None,
     collect_local_bin_stats: bool = False,
+    engine=None,
 ) -> PBResult:
-    """Run PB-SpGEMM and return the product with full instrumentation."""
+    """Run PB-SpGEMM and return the product with full instrumentation.
+
+    ``engine`` — an already-warm
+    :class:`~repro.parallel.executor.ProcessEngine`, normally supplied
+    by a :class:`repro.session.Session`.  When given (and the semiring
+    can travel to workers), the process path runs on it *without* the
+    per-call pool spawn, and only its arenas are released afterwards —
+    the pool stays warm for the session's next multiply.  Without it,
+    ``executor="process"`` spawns and tears down a private engine as
+    before.
+    """
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
     cfg = config or PBConfig()
@@ -154,18 +172,23 @@ def pb_spgemm_detailed(
     # ---- Executor selection ------------------------------------------------
     # The process backend runs expand and per-bin sort/compress on a
     # worker pool (repro.parallel); every fallback condition documented
-    # on PBConfig.executor degrades to the serial path below.
-    engine = None
+    # on PBConfig.executor degrades to the serial path below.  A
+    # session-provided warm engine is used as-is (and left running);
+    # otherwise a private engine is spawned for this call.
+    owns_engine = False
     sr_token = None
     if cfg.executor == "process" and cfg.nthreads > 1:
         from ..parallel import process_backend_available, semiring_token
 
         sr_token = semiring_token(sr)
-        if process_backend_available() and sr_token is not None:
+        if not (process_backend_available() and sr_token is not None):
+            engine = None
+        elif engine is None:
             from ..parallel.executor import ProcessEngine
 
             try:
                 engine = ProcessEngine(cfg.nthreads)
+                owns_engine = True
             except Exception as exc:  # pragma: no cover - platform-specific
                 warnings.warn(
                     f"process executor unavailable ({exc}); running serially",
@@ -173,6 +196,11 @@ def pb_spgemm_detailed(
                     stacklevel=2,
                 )
                 engine = None
+    else:
+        engine = None
+    # Pipelined bin processing needs a process engine; "auto" turns it
+    # on whenever one runs, "barrier" keeps the phase-barriered ablation.
+    use_pipeline = engine is not None and cfg.pipeline in ("auto", "pipelined")
 
     expand_worker_seconds: list[float] | None = None
     sc_worker_seconds: list[float] | None = None
@@ -205,18 +233,33 @@ def pb_spgemm_detailed(
             rows = np.concatenate([c[0] for c in chunks])
             cols = np.concatenate([c[1] for c in chunks])
             vals = np.concatenate([c[2] for c in chunks])
-        b_keys, b_vals, bin_starts = distribute_packed(
-            layout, rows, cols, vals, method=cfg.distribute_backend
-        )
+
+        if use_pipeline:
+            # Pipelined: compute only the placement *plan* here; the
+            # gather itself interleaves with sort-task submission below,
+            # so "expand" ends at the plan and "sort_compress" covers
+            # the overlapped placement + sorting.
+            keys, order, bin_starts = distribute_plan(
+                layout, rows, cols, method=cfg.distribute_backend
+            )
+        else:
+            b_keys, b_vals, bin_starts = distribute_packed(
+                layout, rows, cols, vals, method=cfg.distribute_backend
+            )
         tuples_per_bin = np.diff(bin_starts)
         phase_seconds["expand"] = time.perf_counter() - t_phase
 
         local_stats = None
         if collect_local_bin_stats and cfg.use_local_bins:
             local_stats = simulate_local_bins(layout, rows, cfg.local_bin_tuples)
-        del rows, cols, vals
-        if engine is not None:
-            engine.free_arenas()  # binned copies are private; drop the shm views
+        if use_pipeline:
+            # ``vals`` stays alive: it is the expand arena's shm view,
+            # read group by group during the pipelined placement.
+            del rows, cols
+        else:
+            del rows, cols, vals
+            if engine is not None:
+                engine.free_arenas()  # binned copies are private; drop the shm views
 
         # ---- Phases 3+4: per-bin sort and compress -------------------------
         t_phase = time.perf_counter()
@@ -224,7 +267,26 @@ def pb_spgemm_detailed(
         out_cols: list[np.ndarray] = []
         out_vals: list[np.ndarray] = []
         passes = 0
-        if engine is not None:
+        if use_pipeline:
+            # Placement gathers interleave with sort-task submission;
+            # the expand arena returns to the pool (after_place) while
+            # workers are already sorting early bin groups.
+            groups, passes, sc_worker_seconds = engine.pipelined_sort_compress(
+                layout,
+                keys,
+                vals,
+                order,
+                bin_starts,
+                sr_token,
+                cfg,
+                after_place=engine.free_expand_arena,
+            )
+            del vals, keys, order
+            for crows, ccols, cvals in groups:
+                out_rows.append(crows)
+                out_cols.append(ccols)
+                out_vals.append(cvals)
+        elif engine is not None:
             groups, passes, sc_worker_seconds = engine.sort_compress(
                 layout, bin_starts, b_keys, b_vals, sr_token, cfg
             )
@@ -247,7 +309,12 @@ def pb_spgemm_detailed(
         phase_seconds["sort_compress"] = time.perf_counter() - t_phase
     finally:
         if engine is not None:
-            engine.close()
+            # Arenas always die with the multiply; the pool dies with it
+            # only when this call spawned it (close is idempotent and
+            # safe after free_arenas — see ProcessEngine).
+            engine.free_arenas()
+            if owns_engine:
+                engine.close()
 
     # ---- Phase 5: CSR conversion -------------------------------------------
     t_phase = time.perf_counter()
@@ -296,9 +363,10 @@ def pb_spgemm(
     b_csr: CSRMatrix,
     semiring: Semiring | str = PLUS_TIMES,
     config: PBConfig | None = None,
+    engine=None,
 ) -> CSRMatrix:
     """C = A · B by propagation-blocked outer-product ESC (the paper's
     PB-SpGEMM).  Returns canonical CSR; see :func:`pb_spgemm_detailed`
-    for instrumentation.
+    for instrumentation and the ``engine`` (warm session) parameter.
     """
-    return pb_spgemm_detailed(a_csc, b_csr, semiring, config).c
+    return pb_spgemm_detailed(a_csc, b_csr, semiring, config, engine=engine).c

@@ -27,11 +27,14 @@ class AlgorithmInfo:
     the first operand in the ER model (Table II's "No of Accesses: A"
     column, with "d" meaning degree-many reads).
 
-    The three ``supports_*`` flags are capability metadata the planner
-    (:mod:`repro.planner`) consumes instead of hard-coding algorithm
-    names: whether the kernel accepts a ``config=`` PBConfig, whether it
-    can run on the process-pool executor, and whether a masked variant
-    exists (:func:`repro.kernels.masked.masked_spgemm`).
+    The ``supports_*`` flags are capability metadata the planner
+    (:mod:`repro.planner`) and the session front door consume instead of
+    hard-coding algorithm names: whether the kernel accepts a
+    ``config=`` PBConfig, whether it can run on the process-pool
+    executor, whether a masked variant exists
+    (:func:`repro.kernels.masked.masked_spgemm`), and whether it can
+    execute on a :class:`repro.session.Session`'s warm engine (accepts
+    an ``engine=`` keyword).
 
     ``column_backends`` lists the execution strategies a column kernel
     can run under (``("panel", "loop")`` for the four accumulator
@@ -50,6 +53,7 @@ class AlgorithmInfo:
     supports_config: bool = False  # accepts config=PBConfig
     supports_process: bool = False  # can run on the process-pool executor
     supports_masked: bool = False  # has a masked-output variant
+    supports_session: bool = False  # accepts engine= from a warm Session
     column_backends: tuple = ()  # column execution strategies, if any
 
 
@@ -102,6 +106,7 @@ def _registry() -> dict[str, AlgorithmInfo]:
             supports_config=True,
             supports_process=True,
             supports_masked=True,
+            supports_session=True,
         ),
     ]
     return {i.name: i for i in infos}
@@ -150,6 +155,7 @@ def algorithm_metadata() -> dict[str, dict]:
             "supports_config": info.supports_config,
             "supports_process": info.supports_process,
             "supports_masked": info.supports_masked,
+            "supports_session": info.supports_session,
             "column_backends": list(info.column_backends),
             "description": info.description,
         }

@@ -7,15 +7,20 @@ passed zero-copy through POSIX shared memory.  Select it with
 ``PBConfig(executor="process", nthreads=N)``.
 
 * :func:`process_backend_available` — platform capability probe.
-* :class:`ProcessEngine` — pool + shared-memory arenas for one multiply.
+* :class:`ProcessEngine` — pool + shared-memory arenas; spawned per
+  multiply by default, or kept warm across many multiplies by a
+  :class:`repro.session.Session`.
+* :class:`ArenaPool` — size-classed recycler of shared-memory segments
+  (sessions lease/return buffers instead of allocating/unlinking).
 * :mod:`repro.parallel.shm` — the shared-memory array transport.
 """
 
 from .executor import ProcessEngine, process_backend_available, semiring_token
-from .shm import HAVE_SHARED_MEMORY
+from .shm import HAVE_SHARED_MEMORY, ArenaPool
 
 __all__ = [
     "ProcessEngine",
+    "ArenaPool",
     "process_backend_available",
     "semiring_token",
     "HAVE_SHARED_MEMORY",

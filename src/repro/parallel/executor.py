@@ -40,7 +40,7 @@ import numpy as np
 
 from ..matrix.base import INDEX_DTYPE, VALUE_DTYPE
 from ..semiring import Semiring, get_semiring
-from .shm import HAVE_SHARED_MEMORY, ArraySpec, AttachedArrays, SharedArena
+from .shm import HAVE_SHARED_MEMORY, ArenaPool, ArraySpec, AttachedArrays, SharedArena
 
 __all__ = [
     "process_backend_available",
@@ -52,6 +52,11 @@ __all__ = [
 def process_backend_available() -> bool:
     """True when this platform can run the process executor at all."""
     return HAVE_SHARED_MEMORY
+
+
+def _noop_task() -> int:
+    """Trivial worker task: warm-up / dispatch-latency probe."""
+    return 0
 
 
 def semiring_token(semiring: Semiring):
@@ -74,7 +79,9 @@ def semiring_token(semiring: Semiring):
         return None
 
 
-def _mp_context():
+def _mp_context(start_method: str | None = None):
+    if start_method is not None:
+        return mp.get_context(start_method)
     try:
         return mp.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -189,17 +196,41 @@ def _sort_compress_task(payload):
 # ---------------------------------------------------------------------------
 
 class ProcessEngine:
-    """One worker pool + shared-memory arenas for a single multiplication.
+    """Worker pool + shared-memory arenas for PB multiplications.
 
-    Use as a context manager; arenas stay alive until :meth:`close` so
-    the views returned by :meth:`expand` remain valid while the parent
-    distributes tuples to bins.
+    Historically one engine served a single multiply (spawned and torn
+    down inside :func:`repro.core.pb_spgemm.pb_spgemm_detailed`); a
+    :class:`repro.session.Session` now keeps one engine *warm* across
+    many multiplies — the pool is spawned once, lazily resized upward
+    via :meth:`ensure_workers`, and arenas are leased from the session's
+    :class:`~repro.parallel.shm.ArenaPool` so buffers recycle instead of
+    being allocated and unlinked per call.
+
+    Use as a context manager; arenas stay alive until
+    :meth:`free_arenas`/:meth:`close` so the views returned by
+    :meth:`expand` remain valid while the parent distributes tuples to
+    bins.  :meth:`close` is idempotent and safe after
+    :meth:`free_arenas` (a double shutdown is a no-op).
     """
 
-    def __init__(self, nworkers: int):
+    def __init__(
+        self,
+        nworkers: int,
+        arena_pool: ArenaPool | None = None,
+        start_method: str | None = None,
+    ):
         if not process_backend_available():
             raise RuntimeError("process executor unavailable on this platform")
         self.nworkers = max(2, int(nworkers))
+        self._arena_pool = arena_pool
+        self._start_method = start_method
+        self._arenas: list[SharedArena] = []
+        self._expand_arena: SharedArena | None = None
+        self._closed = False
+        self.spawn_count = 0
+        self._spawn_pool(self.nworkers)
+
+    def _spawn_pool(self, nworkers: int) -> None:
         # Start the parent's tracker *before* workers exist, so forked
         # workers reliably inherit it (the _worker_init probe keys on it).
         try:
@@ -208,12 +239,13 @@ class ProcessEngine:
             resource_tracker.ensure_running()
         except Exception:  # pragma: no cover - CPython-internal
             pass
+        self.nworkers = nworkers
         self._pool = ProcessPoolExecutor(
-            max_workers=self.nworkers,
-            mp_context=_mp_context(),
+            max_workers=nworkers,
+            mp_context=_mp_context(self._start_method),
             initializer=_worker_init,
         )
-        self._arenas: list[SharedArena] = []
+        self.spawn_count += 1
 
     # -- lifecycle ---------------------------------------------------------
     def __enter__(self) -> "ProcessEngine":
@@ -222,17 +254,60 @@ class ProcessEngine:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def ensure_workers(self, nworkers: int) -> None:
+        """Grow the pool to at least ``nworkers`` (never shrinks).
+
+        A session's multiplies may request varying thread counts; the
+        pool is only respawned when the request exceeds the current
+        size, so back-to-back multiplies at the same width never pay a
+        spawn.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        nworkers = max(2, int(nworkers))
+        if nworkers > self.nworkers:
+            self._pool.shutdown(wait=True)
+            self._spawn_pool(nworkers)
+
+    def warm_up(self) -> None:
+        """Block until at least one worker answers a round trip."""
+        self._pool.submit(_noop_task).result()
+
+    def dispatch_latency(self, reps: int = 3) -> float:
+        """Measured seconds of one warm no-op round trip (best of reps)."""
+        self.warm_up()
+        best = float("inf")
+        for _ in range(max(1, reps)):
+            t0 = time.perf_counter()
+            self._pool.submit(_noop_task).result()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
     def close(self) -> None:
-        for arena in self._arenas:
-            arena.close()
-        self._arenas.clear()
+        """Release arenas and shut the pool down (idempotent; safe
+        after :meth:`free_arenas`).  The session-owned arena *pool* is
+        not closed here — the session decides when its cache dies."""
+        if self._closed:
+            return
+        self._closed = True
+        self.free_arenas()
         self._pool.shutdown(wait=True)
 
     def free_arenas(self) -> None:
-        """Release shared memory early (invalidates expand views)."""
+        """Release shared memory early (invalidates expand views).
+
+        Pool-backed arenas return their segments to the session's
+        :class:`ArenaPool` for the next lease; owned arenas unlink.
+        """
         for arena in self._arenas:
             arena.close()
         self._arenas.clear()
+        self._expand_arena = None
+
+    def _new_arena(self) -> SharedArena:
+        arena = SharedArena(pool=self._arena_pool)
+        self._arenas.append(arena)
+        return arena
 
     # -- phase 2: expand ---------------------------------------------------
     def expand(
@@ -262,8 +337,8 @@ class ProcessEngine:
             for k_lo, k_hi in chunk_ranges(per_k, eff_chunk)
         ]
 
-        arena = SharedArena()
-        self._arenas.append(arena)
+        arena = self._new_arena()
+        self._expand_arena = arena
         arena.share("a_indptr", a_csc.indptr)
         arena.share("a_indices", a_csc.indices)
         arena.share("a_data", a_csc.data)
@@ -314,8 +389,7 @@ class ProcessEngine:
         contiguous bin group — whose concatenation equals the serial
         per-bin concatenation.
         """
-        arena = SharedArena()
-        self._arenas.append(arena)
+        arena = self._new_arena()
         arena.share("bin_keys", b_keys)
         arena.share("bin_vals", b_vals)
         specs = {k: arena.spec(k) for k in ("bin_keys", "bin_vals")}
@@ -335,6 +409,10 @@ class ProcessEngine:
             )
             for lo, hi in groups
         ]
+        return self._collect_sorted(futures)
+
+    def _collect_sorted(self, futures):
+        """Gather sort/compress futures back into bin order."""
         collected = []
         times: list[float] = []
         for f in futures:
@@ -345,3 +423,71 @@ class ProcessEngine:
         passes = max((r[4] for r in collected), default=0)
         groups = [(r[1], r[2], r[3]) for r in collected]
         return groups, passes, times
+
+    # -- phases 2b+3+4 pipelined: distribute ∥ sort + compress --------------
+    def pipelined_sort_compress(
+        self,
+        layout,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        order: np.ndarray,
+        bin_starts: np.ndarray,
+        sr_token,
+        config,
+        after_place=None,
+    ) -> tuple[list[tuple], int, list[float]]:
+        """Overlap bucket placement with per-bin sort/compress.
+
+        Instead of materializing the fully-distributed ``(key, value)``
+        arrays and *then* fanning bins out (a barrier between the
+        distribute and sort phases), the parent gathers each worker
+        group's slice of the placement permutation directly into the
+        shared bin arrays and submits that group's sort/compress task
+        immediately — workers sort early bin groups while the parent is
+        still placing later ones, and ``after_place`` (typically
+        releasing the expand arena back to the session's pool) runs
+        before the result wait rather than after it.
+
+        ``keys``/``order``/``bin_starts`` come from
+        :func:`repro.core.binning.distribute_plan`; because the same
+        stable permutation is applied slice-by-slice, per-bin streams —
+        and therefore the product — are bit-identical to the barriered
+        path.  Returns the same ``(groups, passes, worker_seconds)``
+        triple as :meth:`sort_compress`.
+        """
+        flop = len(keys)
+        arena = self._new_arena()
+        b_keys = arena.allocate("bin_keys", (flop,), keys.dtype)
+        b_vals = arena.allocate("bin_vals", (flop,), vals.dtype)
+        specs = {k: arena.spec(k) for k in ("bin_keys", "bin_vals")}
+
+        bins = [
+            (b, int(bin_starts[b]), int(bin_starts[b + 1]))
+            for b in range(len(bin_starts) - 1)
+            if bin_starts[b + 1] > bin_starts[b]
+        ]
+        weights = np.asarray([hi - lo for _, lo, hi in bins], dtype=np.float64)
+        groups = _balanced_groups(weights, self.nworkers * 2)
+        futures = []
+        for lo, hi in groups:
+            span_lo, span_hi = bins[lo][1], bins[hi - 1][2]
+            idx = order[span_lo:span_hi]
+            np.take(keys, idx, out=b_keys[span_lo:span_hi])
+            np.take(vals, idx, out=b_vals[span_lo:span_hi])
+            futures.append(
+                self._pool.submit(
+                    _sort_compress_task,
+                    (specs, layout, config, sr_token, bins[lo:hi]),
+                )
+            )
+        if after_place is not None:
+            after_place()
+        return self._collect_sorted(futures)
+
+    def free_expand_arena(self) -> None:
+        """Release just the expand arena (keeps later-phase arenas)."""
+        arena = getattr(self, "_expand_arena", None)
+        if arena is not None and arena in self._arenas:
+            self._arenas.remove(arena)
+            arena.close()
+        self._expand_arena = None

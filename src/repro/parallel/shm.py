@@ -98,6 +98,128 @@ def attach(spec: ArraySpec):
     return view, seg
 
 
+class ArenaPool:
+    """Size-classed recycler of shared-memory segments.
+
+    A long-lived :class:`repro.session.Session` leases expand/distribute
+    buffers from this pool instead of creating and unlinking fresh
+    segments per multiply: segment sizes are rounded up to the next
+    power of two (min one page), released segments park on a per-class
+    free list, and the next lease of the same class reuses the mapping —
+    no shm_open/ftruncate/mmap, and the pages are already faulted in.
+
+    Ownership stays strictly parent-side: every segment was created (and
+    resource-tracker-registered) by this process, and :meth:`close`
+    unlinks everything still parked or leased, so a closed pool provably
+    leaves nothing behind in ``/dev/shm``.
+    """
+
+    #: Smallest size class (one typical page).
+    MIN_CLASS_BYTES = 4096
+
+    def __init__(self, max_cached_bytes: int | None = None):
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self.max_cached_bytes = max_cached_bytes
+        self._free: dict[int, list] = {}
+        self._leased: dict[str, tuple] = {}  # segment name -> (segment, class)
+        self._closed = False
+        self.stats = {
+            "leases": 0,
+            "hits": 0,
+            "misses": 0,
+            "released": 0,
+            "unlinked": 0,
+        }
+
+    @staticmethod
+    def size_class(nbytes: int) -> int:
+        """Round a request up to its power-of-two size class."""
+        return max(ArenaPool.MIN_CLASS_BYTES, 1 << max(0, int(nbytes) - 1).bit_length())
+
+    def cached_bytes(self) -> int:
+        """Total bytes parked on the free lists."""
+        return sum(cls * len(segs) for cls, segs in self._free.items())
+
+    def lease(self, nbytes: int):
+        """Borrow a segment of at least ``nbytes``; returns
+        ``(segment, fresh)`` where ``fresh`` says the segment was newly
+        created (its pages are untouched zeros)."""
+        if self._closed:
+            raise RuntimeError("arena pool is closed")
+        cls = self.size_class(nbytes)
+        self.stats["leases"] += 1
+        free = self._free.get(cls)
+        if free:
+            seg = free.pop()
+            self.stats["hits"] += 1
+            fresh = False
+        else:
+            seg = _shm.SharedMemory(create=True, size=cls)
+            self.stats["misses"] += 1
+            fresh = True
+        self._leased[seg.name] = (seg, cls)
+        return seg, fresh
+
+    def release(self, seg) -> None:
+        """Return a leased segment to its free list (or unlink it when
+        the pool is closed or over its cache budget)."""
+        entry = self._leased.pop(seg.name, None)
+        cls = entry[1] if entry is not None else self.size_class(seg.size)
+        over_budget = (
+            self.max_cached_bytes is not None
+            and self.cached_bytes() + cls > self.max_cached_bytes
+        )
+        if self._closed or over_budget:
+            self._unlink(seg)
+            return
+        self.stats["released"] += 1
+        self._free.setdefault(cls, []).append(seg)
+
+    def _unlink(self, seg) -> None:
+        """Destroy one segment.  The unlink always runs; the mapping
+        close is best-effort — a caller may still hold numpy views over
+        the buffer (abnormal teardown), in which case the mapping dies
+        with the last view and only the name is removed now."""
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        try:
+            seg.close()
+        except BufferError:  # live views: mapping freed when they die
+            pass
+        self.stats["unlinked"] += 1
+
+    def trim(self) -> None:
+        """Unlink every parked segment (free lists only)."""
+        for segs in self._free.values():
+            for seg in segs:
+                self._unlink(seg)
+        self._free.clear()
+
+    def close(self) -> None:
+        """Unlink everything — parked *and* still-leased (idempotent).
+
+        Closing with live leases invalidates their views; callers close
+        arenas first in normal operation, but abnormal teardown must
+        still leave zero segments behind in ``/dev/shm``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.trim()
+        for name in list(self._leased):
+            seg, _ = self._leased.pop(name)
+            self._unlink(seg)
+
+    def __enter__(self) -> "ArenaPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class SharedArena:
     """Parent-side bundle of named shared arrays for one pipeline phase.
 
@@ -105,26 +227,44 @@ class SharedArena:
     writable output the workers fill in place.  ``specs()`` returns the
     pickle-cheap handles a worker task needs; ``close`` unmaps and
     unlinks everything (parent owns all segments).
+
+    With ``pool=`` (an :class:`ArenaPool`), segments are leased from the
+    pool instead of created, and ``close`` returns them for reuse rather
+    than unlinking.  Pool-backed allocations skip the zero-fill — every
+    consumer in the PB pipeline writes each logical element before
+    reading it — which is exactly the recycling win: no per-multiply
+    page faulting or clearing.
     """
 
-    def __init__(self):
+    def __init__(self, pool: "ArenaPool | None" = None):
         if not HAVE_SHARED_MEMORY:
             raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self._pool = pool
         self._segments: dict[str, object] = {}
         self._specs: dict[str, ArraySpec] = {}
         self._closed = False
 
     def allocate(self, key: str, shape, dtype) -> np.ndarray:
-        """Create a zeroed shared array and return the parent's view."""
+        """Create (or lease) a shared array and return the parent's view.
+
+        Freshly created segments are zero-filled (also pre-faulting the
+        pages); recycled pool segments keep their stale bytes — callers
+        must write before they read, which every pipeline phase does.
+        """
         if key in self._segments:
             raise KeyError(f"arena already holds {key!r}")
         dtype = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-        seg = _shm.SharedMemory(create=True, size=max(1, nbytes))
+        if self._pool is not None:
+            seg, fresh = self._pool.lease(max(1, nbytes))
+        else:
+            seg = _shm.SharedMemory(create=True, size=max(1, nbytes))
+            fresh = True
         self._segments[key] = seg
         self._specs[key] = ArraySpec(seg.name, tuple(shape), dtype.str)
         view = np.ndarray(tuple(shape), dtype=dtype, buffer=seg.buf)
-        view[...] = 0
+        if fresh:
+            view[...] = 0
         return view
 
     def share(self, key: str, array: np.ndarray) -> np.ndarray:
@@ -151,11 +291,19 @@ class SharedArena:
         return self.view(key).copy()
 
     def close(self) -> None:
-        """Unmap and unlink every segment (idempotent)."""
+        """Release every segment (idempotent).
+
+        Pool-backed segments go back to the pool's free lists for the
+        next lease; owned segments are unmapped and unlinked.  Either
+        way the arena's views must not be used afterwards.
+        """
         if self._closed:
             return
         self._closed = True
         for seg in self._segments.values():
+            if self._pool is not None:
+                self._pool.release(seg)
+                continue
             try:
                 seg.close()
                 seg.unlink()

@@ -38,10 +38,17 @@ def plan_key(
     semiring_name: str,
     executor: str,
     nthreads: int,
+    warm: bool = False,
 ) -> str:
-    """Render the cache key for one planning request."""
+    """Render the cache key for one planning request.
+
+    ``warm`` keys warm-session requests separately from cold ones —
+    the same workload can legitimately resolve to different winners
+    when the pool-spawn cost is (or is not) already sunk.
+    """
     bucket = ",".join(str(b) for b in sk.bucket())
-    return f"b[{bucket}]|p[{profile.fingerprint()}]|s[{semiring_name}]|x[{executor}:{nthreads}]"
+    mode = f"{executor}:{nthreads}" + (":warm" if warm else "")
+    return f"b[{bucket}]|p[{profile.fingerprint()}]|s[{semiring_name}]|x[{mode}]"
 
 
 class PlanCache:

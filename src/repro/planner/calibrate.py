@@ -20,9 +20,13 @@ four effective rates with short numpy micro-benchmarks:
   constants describe a compiled hash loop, not this numpy panel path,
   so without this measurement the planner systematically misprices
   column algorithms against PB,
-* **process-pool startup** — the fixed price of
-  ``PBConfig(executor="process")`` spawning its worker pool per
-  multiply, charged to process-executor candidates.
+* **process-pool startup and warm dispatch** — the fixed price of
+  spawning a worker pool (paid once per pool: per multiply for a
+  standalone ``PBConfig(executor="process")`` call, once per
+  :class:`repro.session.Session` lifetime for session multiplies) and
+  the round-trip latency of dispatching a task to an *already warm*
+  pool.  The ranker charges cold candidates the spawn cost and
+  warm-session candidates only the dispatch latency.
 
 The result is a :class:`MachineProfile` persisted as JSON under the
 plan-cache directory (``repro calibrate``); :func:`default_profile`
@@ -49,8 +53,10 @@ from ..machine.spec import MachineSpec, StreamTable
 
 PROFILE_FILENAME = "profile.json"
 #: v2 added ``column_mtuples_s`` (measured panel column-kernel rate);
-#: v1 profiles are rejected on load and silently re-calibrated.
-PROFILE_SCHEMA_VERSION = 2
+#: v3 added ``warm_dispatch_s`` (round-trip latency of a task on an
+#: already-spawned pool, for session-aware warm pricing).  Older
+#: profiles are rejected on load and silently re-calibrated.
+PROFILE_SCHEMA_VERSION = 3
 
 #: Sanity clamps: a wildly off micro-benchmark (noisy CI container,
 #: throttled laptop) must not poison every subsequent ranking.
@@ -74,6 +80,7 @@ class MachineProfile:
     effective_clock_ghz: float
     dram_latency_ns: float
     pool_startup_s: float
+    warm_dispatch_s: float
     created_unix: float
     schema_version: int = PROFILE_SCHEMA_VERSION
 
@@ -162,6 +169,7 @@ class MachineProfile:
             "effective_clock_ghz": (int, float),
             "dram_latency_ns": (int, float),
             "pool_startup_s": (int, float),
+            "warm_dispatch_s": (int, float),
             "created_unix": (int, float),
         }
         kwargs = {}
@@ -186,21 +194,40 @@ def _best_of(fn, reps: int) -> float:
     return best
 
 
-def _measure_pool_startup() -> float:
-    """Seconds to spawn and tear down a 2-worker process pool.
+#: Estimates used when the pool cannot (or should not) be measured:
+#: spawn of a 2-worker pool, and one warm round-trip.  On platforms
+#: without shared memory no process candidate is ever selected, so the
+#: numbers only keep the profile schema complete.
+_POOL_STARTUP_ESTIMATE_S = 0.5
+_WARM_DISPATCH_ESTIMATE_S = 2e-3
 
-    ``pb_spgemm`` spawns a fresh pool per multiply, so this *is* the
-    fixed overhead a process-executor candidate pays.
+
+def _measure_pool() -> tuple[float, float]:
+    """(spawn seconds, warm dispatch seconds) of a 2-worker pool.
+
+    Spawn is the one-time price of bringing a pool up — a standalone
+    ``PBConfig(executor="process")`` multiply pays it every call (it
+    spawns and tears down its own engine), while a
+    :class:`repro.session.Session` pays it once and amortizes it over
+    every subsequent multiply.  Warm dispatch is what those subsequent
+    multiplies pay instead: the round-trip of submitting a no-op task
+    to the already-running workers.  Both are measured on the same
+    engine so they describe the same pool.
     """
     from ..parallel import process_backend_available
     from ..parallel.executor import ProcessEngine
 
     if not process_backend_available():
-        return 0.5  # documented estimate; never selected anyway
+        return _POOL_STARTUP_ESTIMATE_S, _WARM_DISPATCH_ESTIMATE_S
     t = time.perf_counter()
     engine = ProcessEngine(2)
-    engine.close()
-    return time.perf_counter() - t
+    try:
+        engine.warm_up()
+        startup = time.perf_counter() - t
+        warm = engine.dispatch_latency(reps=3)
+    finally:
+        engine.close()
+    return startup, warm
 
 
 def calibrate(
@@ -267,7 +294,11 @@ def calibrate(
     )
     column_mtuples_s = max(col_flop, 1) / t_col / 1e6
 
-    pool_startup_s = _measure_pool_startup() if measure_pool else 0.5
+    if measure_pool:
+        pool_startup_s, warm_dispatch_s = _measure_pool()
+    else:
+        pool_startup_s = _POOL_STARTUP_ESTIMATE_S
+        warm_dispatch_s = _WARM_DISPATCH_ESTIMATE_S
 
     return MachineProfile(
         base_preset=base_preset,
@@ -281,6 +312,7 @@ def calibrate(
         effective_clock_ghz=effective_clock_ghz,
         dram_latency_ns=dram_latency_ns,
         pool_startup_s=pool_startup_s,
+        warm_dispatch_s=warm_dispatch_s,
         created_unix=time.time(),
     )
 
@@ -309,7 +341,8 @@ def default_profile(base_preset: str = "laptop") -> MachineProfile:
         column_mtuples_s=column_mtuples_s,
         effective_clock_ghz=base.clock_ghz,
         dram_latency_ns=base.dram_latency_ns,
-        pool_startup_s=0.5,
+        pool_startup_s=_POOL_STARTUP_ESTIMATE_S,
+        warm_dispatch_s=_WARM_DISPATCH_ESTIMATE_S,
         created_unix=0.0,
     )
 

@@ -16,8 +16,15 @@ cheapest pair becomes the plan's config override.
 
 Executor choice consumes the registry's ``supports_process`` metadata:
 algorithms that can run on the process pool are priced at the requested
-worker count plus the calibrated pool-startup overhead; the rest are
-priced single-threaded.
+worker count plus a fixed pool overhead; the rest are priced
+single-threaded.  The overhead depends on how the pool is provisioned:
+a standalone process-executor multiply spawns (and tears down) its own
+pool, so it is charged the calibrated ``pool_startup_s`` every call; a
+multiply on a warm :class:`repro.session.Session` reuses an
+already-running pool and is charged only ``warm_dispatch_s``
+(``rank(..., warm_pool=True)``).  A session's *first* multiply is still
+priced cold — the spawn genuinely happens there; it is simply never
+paid again.
 """
 
 from __future__ import annotations
@@ -145,13 +152,16 @@ def rank(
     profile: MachineProfile,
     config: PBConfig | None = None,
     process_ok: bool = False,
+    warm_pool: bool = False,
 ) -> list[CandidateScore]:
     """Price every registered algorithm; cheapest first.
 
     ``process_ok`` says whether a process pool is actually an option
     for this call (config asks for it *and* the platform supports it);
     the registry's ``supports_process`` metadata then decides which
-    candidates may use it.
+    candidates may use it.  ``warm_pool`` says a session's pool is
+    already running, so process candidates pay the calibrated
+    warm-dispatch latency instead of the pool-spawn cost.
     """
     cfg = config or PBConfig()
     stats = workload_stats(a_csc, b_csr, nnz_c=sk.nnz_c, seed=sk.seed)
@@ -187,7 +197,7 @@ def rank(
             per_phase = {p.name: p.seconds for p in reports}
             overrides = {}
         if use_process:
-            total += profile.pool_startup_s
+            total += profile.warm_dispatch_s if warm_pool else profile.pool_startup_s
         scored.append(
             CandidateScore(
                 algorithm=name,

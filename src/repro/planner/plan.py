@@ -133,6 +133,7 @@ def plan(
     profile: MachineProfile | None = None,
     cache: PlanCache | None = None,
     seed: int = 0,
+    warm_pool: bool = False,
 ) -> Plan:
     """Turn one multiply request into an executable :class:`Plan`.
 
@@ -142,7 +143,10 @@ def plan(
 
     Parameters mirror :func:`repro.multiply`; ``a`` / ``b`` accept
     anything the front door accepts (CSC/CSR preferred — other formats
-    are converted here for sketching only).
+    are converted here for sketching only).  ``warm_pool=True`` (set by
+    the session front door when its pool is already running) prices
+    process candidates at warm-dispatch latency instead of pool-spawn
+    cost, under its own cache key.
     """
     a_csc = a if isinstance(a, CSCMatrix) else a.to_csc()
     b_csr = b if isinstance(b, CSRMatrix) else b.to_csr()
@@ -163,8 +167,9 @@ def plan(
     )
     executor_req = "process" if process_ok else "serial"
 
+    warm = bool(warm_pool) and process_ok
     sk = sketch(a_csc, b_csr, seed=seed)
-    key = plan_key(sk, profile, sr.name, executor_req, cfg.nthreads)
+    key = plan_key(sk, profile, sr.name, executor_req, cfg.nthreads, warm=warm)
 
     rec = cache.get(key)
     if rec is not None:
@@ -191,7 +196,9 @@ def plan(
 
     # Cache miss: pay for the deep sketch (bounded sampling) + ranking.
     sk = deepen(sk, a_csc, b_csr)
-    candidates = rank(a_csc, b_csr, sk, profile, cfg, process_ok=process_ok)
+    candidates = rank(
+        a_csc, b_csr, sk, profile, cfg, process_ok=process_ok, warm_pool=warm
+    )
     if not candidates:
         raise PlannerError("no registered algorithms to plan over")
     winner = candidates[0]

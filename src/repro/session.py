@@ -1,0 +1,277 @@
+"""repro.session — persistent execution sessions (warm pools + arena
+recycling).
+
+``PBConfig(executor="process")`` historically paid a fixed per-multiply
+tax the paper's OpenMP threads never see: a fresh ``ProcessPoolExecutor``
+spawned and torn down inside every :func:`repro.core.pb_spgemm` call,
+plus fresh shared-memory arenas created and unlinked per call — the
+calibrated planner even measures that spawn as per-call overhead.  The
+workloads this library targets (MCL, AMG, PageRank, matrix powers in
+:mod:`repro.apps`) call SpGEMM in a loop, so the tax is paid hundreds of
+times per run.
+
+A :class:`Session` amortizes all of it, mirroring the persistent-pool /
+buffer-reuse designs of GraphBLAS-style libraries
+(SuiteSparse:GraphBLAS, CombBLAS):
+
+* **Warm worker pool** — one
+  :class:`~repro.parallel.executor.ProcessEngine`, spawned lazily on the
+  first process-executor multiply and reused by every subsequent one;
+  grown (never shrunk) when a multiply requests more workers.
+* **Arena recycling** — a size-classed
+  :class:`~repro.parallel.shm.ArenaPool`: expand/distribute buffers are
+  leased and returned instead of created and unlinked, so steady-state
+  multiplies touch already-faulted pages and never hit
+  ``shm_open``/``ftruncate``.
+* **Pipelined bin processing** — with the engine warm, PB's distribute
+  and sort phases overlap (``PBConfig.pipeline``): each bin group's
+  sort/compress task is submitted the moment its slice of the placement
+  lands in shared memory.
+
+Results are bit-identical to ``executor="serial"`` for every semiring —
+the session only changes *when* pools and buffers are created, never
+what is computed.
+
+Usage::
+
+    import repro
+
+    with repro.Session(repro.PBConfig(executor="process", nthreads=4)) as s:
+        c1 = s.multiply(a, a)                  # spawns the pool
+        c2 = s.multiply(c1, a)                 # reuses it (warm)
+        batch = s.multiply_many([(a, a), (c1, c1)], semiring="min_plus")
+    # close() shut the pool down and unlinked every pooled segment
+
+``repro.multiply(a, b, session=s)`` threads an existing session through
+the normal front door; ``algorithm="auto"`` inside a warm session prices
+process candidates at the measured warm-dispatch latency instead of the
+pool-spawn cost (:mod:`repro.planner.calibrate`).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+from .core.config import PBConfig
+from .semiring import PLUS_TIMES, Semiring
+
+__all__ = ["Session", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Observable counters of one session's lifetime."""
+
+    multiplies: int = 0
+    engine_multiplies: int = 0  # multiplies that ran on the warm engine
+    engine_spawns: int = 0  # pool (re)spawns, incl. lazy resizes
+    arena_stats: dict = field(default_factory=dict)  # ArenaPool counters
+
+    def to_dict(self) -> dict:
+        return {
+            "multiplies": self.multiplies,
+            "engine_multiplies": self.engine_multiplies,
+            "engine_spawns": self.engine_spawns,
+            "arena_stats": dict(self.arena_stats),
+        }
+
+
+def _close_resources(resources: dict) -> None:
+    """Finalizer target: tear down whatever the session still holds.
+
+    Runs via ``weakref.finalize`` when a session is garbage-collected
+    without ``close()`` (and at interpreter exit otherwise), so pooled
+    shared-memory segments are unlinked even on sloppy teardown —
+    no ``resource_tracker`` leak warnings.
+    """
+    engine = resources.get("engine")
+    if engine is not None:
+        try:
+            engine.close()
+        except Exception:  # pragma: no cover - interpreter-exit races
+            pass
+    pool = resources.get("pool")
+    if pool is not None:
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - interpreter-exit races
+            pass
+
+
+class Session:
+    """Long-lived execution context for many SpGEMM multiplies.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`~repro.core.config.PBConfig` for this session's
+        multiplies (per-call ``config=`` overrides it).  Validated with
+        :meth:`PBConfig.validate_session` — e.g. ``executor="process"``
+        with ``nthreads=1`` is rejected here instead of silently
+        falling back to serial on every call.
+    start_method:
+        Multiprocessing start method for the warm pool (``"fork"`` /
+        ``"spawn"``; ``None`` prefers fork where available).
+    warm:
+        Spawn and warm the pool immediately instead of on first use —
+        moves the one-time spawn cost to construction time.
+    max_cached_bytes:
+        Cap on bytes the arena pool may keep parked between multiplies
+        (``None`` — unbounded; segments over budget are unlinked on
+        release instead of recycled).
+
+    A session is also usable with ``executor="serial"`` configs: the
+    batch API still works, there is simply no pool to keep warm.
+    """
+
+    def __init__(
+        self,
+        config: PBConfig | None = None,
+        *,
+        start_method: str | None = None,
+        warm: bool = False,
+        max_cached_bytes: int | None = None,
+    ):
+        self.config = (config or PBConfig()).validate_session()
+        self._start_method = start_method
+        self._closed = False
+        self.stats = SessionStats()
+        pool = None
+        from .parallel import process_backend_available
+
+        if process_backend_available():
+            from .parallel.shm import ArenaPool
+
+            pool = ArenaPool(max_cached_bytes=max_cached_bytes)
+        # The finalizer must not keep ``self`` alive; resources live in
+        # a plain dict both the session and the finalizer can see.
+        self._resources: dict = {"engine": None, "pool": pool}
+        self._finalizer = weakref.finalize(self, _close_resources, self._resources)
+        if warm:
+            self.warm_up()
+
+    # -- engine management --------------------------------------------------
+    @property
+    def _engine(self):
+        return self._resources["engine"]
+
+    @property
+    def arena_pool(self):
+        """The session's :class:`~repro.parallel.shm.ArenaPool` (or
+        ``None`` when the platform lacks shared memory)."""
+        return self._resources["pool"]
+
+    def engine_for(self, config: PBConfig | None = None):
+        """The warm :class:`~repro.parallel.executor.ProcessEngine` for
+        one multiply, or ``None`` when the request resolves to serial.
+
+        Spawns the pool on first use, grows it when ``config.nthreads``
+        exceeds the current width, and counts the engine-backed multiply
+        in :attr:`stats`.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        cfg = config or self.config
+        if cfg.executor != "process" or cfg.nthreads < 2:
+            return None
+        from .parallel import process_backend_available
+
+        if not process_backend_available():  # pragma: no cover - platform
+            return None
+        engine = self._resources["engine"]
+        if engine is None:
+            from .parallel.executor import ProcessEngine
+
+            engine = ProcessEngine(
+                cfg.nthreads,
+                arena_pool=self._resources["pool"],
+                start_method=self._start_method,
+            )
+            self._resources["engine"] = engine
+        else:
+            engine.ensure_workers(cfg.nthreads)
+        self.stats.engine_spawns = engine.spawn_count
+        return engine
+
+    def is_warm(self) -> bool:
+        """True when the pool has been spawned and is still running."""
+        engine = self._resources["engine"]
+        return engine is not None and not engine._closed
+
+    def warm_up(self) -> "Session":
+        """Spawn the pool now (if the config wants one) and block until
+        a worker answers; returns ``self`` for chaining."""
+        engine = self.engine_for(self.config)
+        if engine is not None:
+            engine.warm_up()
+        return self
+
+    # -- multiplication -----------------------------------------------------
+    def multiply(
+        self,
+        a,
+        b,
+        algorithm="pb",
+        semiring: Semiring | str = PLUS_TIMES,
+        config: PBConfig | None = None,
+        **kwargs,
+    ):
+        """C = A · B through :func:`repro.multiply`, on this session.
+
+        Identical signature and semantics to the front door; the
+        session supplies the warm engine (for session-capable
+        algorithms under ``executor="process"``) and warm-vs-cold
+        pricing to ``algorithm="auto"``.
+        """
+        from .api import multiply as _multiply
+
+        self.stats.multiplies += 1
+        return _multiply(
+            a,
+            b,
+            algorithm=algorithm,
+            semiring=semiring,
+            config=config or self.config,
+            session=self,
+            **kwargs,
+        )
+
+    def multiply_many(self, pairs, **kwargs) -> list:
+        """Multiply a batch of ``(a, b)`` operand pairs back to back.
+
+        All calls share the warm pool and recycled arenas; keyword
+        arguments are forwarded to every :meth:`multiply`.  Returns the
+        products in order.
+        """
+        return [self.multiply(a, b, **kwargs) for a, b in pairs]
+
+    def _note_engine_multiply(self) -> None:
+        self.stats.engine_multiplies += 1
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every pooled segment
+        (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _close_resources(self._resources)
+        pool = self._resources["pool"]
+        if pool is not None:
+            self.stats.arena_stats = dict(pool.stats)
+        self._resources["engine"] = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else ("warm" if self.is_warm() else "cold")
+        return (
+            f"Session({state}, executor={self.config.executor!r}, "
+            f"nthreads={self.config.nthreads}, multiplies={self.stats.multiplies})"
+        )

@@ -1,0 +1,98 @@
+"""Smoke coverage for the session perf harness (``@pytest.mark.perf``).
+
+Tier-1-safe: runs ``benchmarks/bench_session.py --quick`` on small
+inputs and validates the JSON schema — of the fresh quick run and of
+the committed repo-root ``BENCH_session.json`` artifact — so a schema
+drift, a session that stops amortizing, or an arena-hygiene regression
+fails fast without timing anything at full scale.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_session", REPO_ROOT / "benchmarks" / "bench_session.py"
+)
+bench_session = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_session)
+
+pytestmark = [pytest.mark.perf, pytest.mark.session]
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("session") / "BENCH_session.json"
+    assert bench_session.main(["--quick", "--reps", "1", "--output", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def test_quick_run_validates(quick_report):
+    data = bench_session.validate_report(quick_report)
+    assert data["meta"]["quick"] is True
+    assert data["acceptance"]["identity_all"] is True
+    assert data["acceptance"]["arena_leases_all_released"] is True
+    ident = data["identity"][data["acceptance"]["workload"]]
+    assert set(ident) == {
+        "plus_times",
+        "min_plus",
+        "max_times",
+        "or_and",
+        "plus_pair",
+    }
+
+
+def test_quick_run_amortizes(quick_report):
+    am = quick_report["amortization"]
+    # One spawn for the whole warm loop, and the steady state beats the
+    # per-call spawn path by at least the validator floor.
+    assert am["engine_spawns"] == 1
+    assert am["warm_speedup"] >= bench_session.MIN_WARM_SPEEDUP
+    assert len(am["cold_per_call_s"]) == am["cold_calls"]
+    assert len(am["warm_per_call_s"]) == am["warm_calls"]
+    # Recycling actually happened: hits on the pool free lists.
+    assert am["arena_pool"]["hits"] > 0
+
+
+def test_quick_run_covers_both_schedules(quick_report):
+    assert quick_report["pipeline"], "pipeline section must not be empty"
+    for w, p in quick_report["pipeline"].items():
+        assert p["pipelined_s"] > 0 and p["barrier_s"] > 0
+
+
+def test_committed_artifact_is_valid():
+    path = REPO_ROOT / "BENCH_session.json"
+    assert path.exists(), "BENCH_session.json must be committed at the repo root"
+    data = bench_session.validate_report(json.loads(path.read_text()))
+    assert data["meta"]["quick"] is False, "the committed artifact is a full run"
+    acc = data["acceptance"]
+    # The PR's acceptance bar, pinned so a regression that slips into a
+    # refreshed artifact is caught at review time.
+    assert acc["warm_speedup"] >= 1.5
+    assert acc["identity_all"] is True
+    assert acc["arena_leases_all_released"] is True
+    # Full run covers the paper-scale pipeline workloads.
+    assert set(data["pipeline"]) == {"er_s16_ef16", "rmat_s14_ef8"}
+
+
+def test_validate_report_rejects_bad_payloads(quick_report):
+    with pytest.raises(ValueError, match="schema_version"):
+        bench_session.validate_report({**quick_report, "schema_version": 99})
+    with pytest.raises(ValueError, match="missing top-level"):
+        bench_session.validate_report(
+            {k: v for k, v in quick_report.items() if k != "pipeline"}
+        )
+    broken = json.loads(json.dumps(quick_report))
+    broken["amortization"]["engine_spawns"] = 2
+    with pytest.raises(ValueError, match="exactly once"):
+        bench_session.validate_report(broken)
+    leaky = json.loads(json.dumps(quick_report))
+    leaky["amortization"]["arena_pool"]["released"] -= 1
+    with pytest.raises(ValueError, match="hygiene"):
+        bench_session.validate_report(leaky)
