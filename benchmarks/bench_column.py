@@ -1,57 +1,21 @@
 #!/usr/bin/env python
-"""Column-kernel backend benchmark (``BENCH_column.json``).
+"""Column-kernel benchmark script (``BENCH_column.json``).
 
-Times the panel-vectorized column backends (PR: panel gather +
-segmented semiring reduction, :mod:`repro.kernels.column_panel`)
-against the faithful per-column loop accumulators they replaced as the
-default, for all four column algorithms (hash / heap / hashvec / spa)
-on ER and R-MAT inputs:
+Thin wrapper over the registered ``column`` suite — the measurement
+code, acceptance bars, and legacy-artifact migration live in
+:mod:`repro.bench.suites.column`.  Equivalent to::
 
-* **kernels** — best-of wall time per algorithm and backend, plus the
-  panel-over-loop speedup.  The loop backends execute interpreter-bound
-  per-column Python and take tens of seconds each at full scale: the
-  two floor-gated baselines (hash, spa — see ``MIN_SPEEDUP``) are timed
-  :data:`LOOP_RUNS` times and reported as the *median*, the robust
-  estimator for the container's run-to-run timer drift the floor check
-  is sensitive to; heap and hashvec (speedups in the tens, a single
-  noisy draw cannot move them across any floor) are timed once.  The
-  panel backends are best-of-``reps``.
-* **identity** — asserts loop and panel produce bit-identical canonical
-  CSR (indptr, indices, data bytes) for every built-in semiring and
-  every algorithm.  At full scale this runs on a smaller twin of each
-  workload (the loop cost of 5 semirings x 4 algorithms x 2 backends at
-  scale 16 is hours); the cross-backend property suite
-  (``tests/test_column_backends.py``) covers small shapes exhaustively.
-* **planner** — recalibrates the machine profile (which now measures
-  the real panel column kernel, :mod:`repro.planner.calibrate`), ranks
-  all registered algorithms, and records whether the planner's pick
-  measures within :data:`MATCH_TOLERANCE` of the fastest algorithm
-  (pb and esc_column are measured too, so the comparison is over the
-  full registry).  The tolerance exists because the four column
-  algorithms share the panel execution path: their measured times
-  differ only by timer noise, so exact-argmin agreement would make the
-  comparison a coin flip among equally-fast picks.
+    PYTHONPATH=src python -m repro bench run column
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_column.py            # full
     PYTHONPATH=src python benchmarks/bench_column.py --quick    # CI
-
-The report lands at the repo root as ``BENCH_column.json`` (``--output``
-overrides).  ``validate_report`` checks the schema — including the
-acceptance floors (hash and spa panel speedups >= 10x on the ER
-workload, identity everywhere, planner pick within tolerance of the
-measured fastest) for full runs — and is what ``tests/test_column_bench.py`` runs against
-both the quick output and the committed artifact.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -61,332 +25,13 @@ try:  # allow running without PYTHONPATH=src
 except ImportError:  # pragma: no cover - path fallback
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np
+from repro.bench.harness import harness_main
 
-from repro.generators import erdos_renyi, rmat
-from repro.kernels import (
-    esc_column_spgemm,
-    hash_spgemm,
-    hashvec_spgemm,
-    heap_spgemm,
-    spa_spgemm,
-)
-from repro.kernels.outer_expand import column_flops
-from repro.core.pb_spgemm import pb_spgemm
-from repro.planner.calibrate import calibrate
-from repro.planner.cost import rank
-from repro.planner.sketch import deepen, sketch
-from repro.semiring import available_semirings
-
-SCHEMA_VERSION = 1
-
-#: The four accumulator column algorithms with a backend switch.
-COLUMN_KERNELS = {
-    "hash": hash_spgemm,
-    "heap": heap_spgemm,
-    "hashvec": hashvec_spgemm,
-    "spa": spa_spgemm,
-}
-
-#: Full-run acceptance floor: panel must beat loop by at least this on
-#: the primary (ER) workload for hash and spa.
-MIN_SPEEDUP = 10.0
-
-#: Loop-baseline repetitions for the floor-gated algorithms on full
-#: runs; the reported ``loop_s`` is the median.  One cold draw of an
-#: interpreter-bound loop can land several percent off its typical
-#: time on a shared machine, which matters only where a floor divides
-#: by it.
-LOOP_RUNS = 3
-
-#: Algorithms whose full-run loop baseline uses the median protocol.
-FLOOR_GATED = ("hash", "spa")
-
-#: The planner's pick "matches" the measurement when its measured time
-#: is within this factor of the fastest measured algorithm.  hash /
-#: heap / hashvec / spa all execute the same panel path, so their
-#: times differ only by timer noise — exact argmin agreement among
-#: them would be a coin flip, not a planner-quality signal.  What the
-#: check must catch is the planner picking something *actually slow*
-#: (a loop-era calibration ranking pb far above the column kernels,
-#: say), and a 15% band does that while absorbing same-path noise.
-MATCH_TOLERANCE = 1.15
-
-
-def _workloads(quick: bool):
-    if quick:
-        return [
-            ("er_s10_ef8", lambda: erdos_renyi(1 << 10, 8, seed=1, fmt="csr")),
-            ("rmat_s9_ef8", lambda: rmat(9, 8, seed=1).to_csr()),
-        ]
-    return [
-        ("er_s16_ef16", lambda: erdos_renyi(1 << 16, 16, seed=1, fmt="csr")),
-        ("rmat_s14_ef8", lambda: rmat(14, 8, seed=1).to_csr()),
-    ]
-
-
-def _identity_twin(name: str, quick: bool):
-    """A smaller same-family input for the 5-semiring identity sweep."""
-    if quick:
-        # Quick workloads are already small; reuse them directly.
-        return dict(_workloads(True))[name]()
-    if name.startswith("er"):
-        return erdos_renyi(1 << 10, 16, seed=1, fmt="csr")
-    return rmat(9, 8, seed=1).to_csr()
-
-
-def _time(fn) -> float:
-    t = time.perf_counter()
-    fn()
-    return time.perf_counter() - t
-
-
-def _best_of(fn, reps: int) -> float:
-    fn()  # warm-up: page-in, allocator, first-call costs
-    return min(_time(fn) for _ in range(max(1, reps)))
-
-
-def _once(fn) -> float:
-    """Single cold timing for the interpreter-bound loop backends."""
-    return _time(fn)
-
-
-def _median_of(fn, runs: int) -> tuple[float, list[float]]:
-    """Median of ``runs`` cold timings (all draws are also returned)."""
-    times = sorted(_time(fn) for _ in range(max(1, runs)))
-    return float(np.median(times)), times
-
-
-def _bench_kernels(b_csr, reps: int, quick: bool) -> tuple[dict, dict]:
-    """Per-algorithm backend timings; returns (section, measured_panel)."""
-    a_csc = b_csr.to_csc()
-    section: dict = {}
-    measured: dict = {}
-    for name, kernel in COLUMN_KERNELS.items():
-        panel_s = _best_of(lambda: kernel(a_csc, b_csr, column_backend="panel"), reps)
-        loop_fn = lambda: kernel(a_csc, b_csr, column_backend="loop")  # noqa: E731
-        if quick:
-            loop_s, loop_runs = _best_of(loop_fn, reps), None
-        elif name in FLOOR_GATED:
-            loop_s, loop_runs = _median_of(loop_fn, LOOP_RUNS)
-        else:
-            loop_s, loop_runs = _once(loop_fn), None
-        section[name] = {
-            "panel_s": panel_s,
-            "loop_s": loop_s,
-            "speedup": loop_s / panel_s,
-        }
-        if loop_runs is not None:
-            section[name]["loop_runs"] = loop_runs
-        measured[name] = panel_s
-        print(f"   {name}: loop {loop_s:.2f}s, panel {panel_s:.3f}s "
-              f"({loop_s / panel_s:.1f}x)", flush=True)
-    measured["esc_column"] = _best_of(
-        lambda: esc_column_spgemm(a_csc, b_csr), reps
-    )
-    measured["pb"] = _best_of(lambda: pb_spgemm(a_csc, b_csr), reps)
-    return section, measured
-
-
-def _check_identity(b_csr) -> dict:
-    """semiring -> bit-identity of panel vs loop across all 4 kernels."""
-    a_csc = b_csr.to_csc()
-    out = {}
-    for sr in available_semirings():
-        ok = True
-        for kernel in COLUMN_KERNELS.values():
-            loop = kernel(a_csc, b_csr, semiring=sr, column_backend="loop")
-            pan = kernel(a_csc, b_csr, semiring=sr, column_backend="panel")
-            ok = ok and (
-                np.array_equal(loop.indptr, pan.indptr)
-                and np.array_equal(loop.indices, pan.indices)
-                and loop.data.tobytes() == pan.data.tobytes()
-            )
-        out[sr] = bool(ok)
-    return out
-
-
-def _bench_planner(b_csr, profile, measured: dict) -> dict:
-    """Rank the registry with the recalibrated profile; compare picks."""
-    a_csc = b_csr.to_csc()
-    sk = deepen(sketch(a_csc, b_csr), a_csc, b_csr)
-    candidates = rank(a_csc, b_csr, sk, profile)
-    predicted = {c.algorithm: c.predicted_seconds for c in candidates}
-    pick = candidates[0].algorithm
-    fastest = min(measured, key=measured.get)
-    return {
-        "pick": pick,
-        "measured_fastest": fastest,
-        "match": bool(measured[pick] <= MATCH_TOLERANCE * measured[fastest]),
-        "match_tolerance": MATCH_TOLERANCE,
-        "predicted_s": predicted,
-        "measured_s": dict(measured),
-        "column_compute_scale": profile.column_compute_scale(),
-    }
-
-
-def run_benchmark(quick: bool = False, reps: int = 5) -> dict:
-    """Run every section and assemble the report dict."""
-    report: dict = {
-        "schema_version": SCHEMA_VERSION,
-        "meta": {
-            "quick": bool(quick),
-            "reps": int(reps),
-            "numpy": np.__version__,
-            "python": platform.python_version(),
-            "created_unix": time.time(),
-        },
-        "workloads": [],
-        "stats": {},
-        "kernels": {},
-        "identity": {},
-        "planner": {},
-    }
-    print("== calibrating machine profile", flush=True)
-    profile = calibrate(quick=quick, measure_pool=False)
-    for name, make in _workloads(quick):
-        print(f"== workload {name}", flush=True)
-        b = make()
-        a = b.to_csc()
-        report["workloads"].append(name)
-        report["stats"][name] = {
-            "m": int(b.shape[0]),
-            "n": int(b.shape[1]),
-            "nnz": int(b.nnz),
-            "flop": int(column_flops(a, b.to_csc()).sum()),
-        }
-        section, measured = _bench_kernels(b, reps, quick)
-        report["kernels"][name] = section
-        report["identity"][name] = _check_identity(_identity_twin(name, quick))
-        report["planner"][name] = _bench_planner(b, profile, measured)
-        p = report["planner"][name]
-        print(
-            f"   identity "
-            f"{'ok' if all(report['identity'][name].values()) else 'FAIL'}, "
-            f"planner pick {p['pick']} vs measured {p['measured_fastest']} "
-            f"({'match' if p['match'] else 'MISMATCH'})",
-            flush=True,
-        )
-    primary = report["workloads"][0]
-    k = report["kernels"][primary]
-    report["acceptance"] = {
-        "workload": primary,
-        "hash_speedup": k["hash"]["speedup"],
-        "heap_speedup": k["heap"]["speedup"],
-        "hashvec_speedup": k["hashvec"]["speedup"],
-        "spa_speedup": k["spa"]["speedup"],
-        "identity_all": all(
-            ok for w in report["identity"].values() for ok in w.values()
-        ),
-        "planner_match": all(p["match"] for p in report["planner"].values()),
-    }
-    return report
-
-
-def validate_report(data: dict) -> dict:
-    """Schema check for a ``BENCH_column.json`` payload.
-
-    Raises ``ValueError`` with a precise message on the first problem;
-    returns the data unchanged when it conforms.  Full (non-quick)
-    reports must additionally clear the acceptance floors.
-    """
-    if not isinstance(data, dict):
-        raise ValueError(f"report must be a dict, got {type(data).__name__}")
-    if data.get("schema_version") != SCHEMA_VERSION:
-        raise ValueError(
-            f"schema_version must be {SCHEMA_VERSION}, "
-            f"got {data.get('schema_version')!r}"
-        )
-    for key in ("meta", "workloads", "stats", "kernels", "identity",
-                "planner", "acceptance"):
-        if key not in data:
-            raise ValueError(f"missing top-level key {key!r}")
-    if not data["workloads"] or not isinstance(data["workloads"], list):
-        raise ValueError("workloads must be a non-empty list")
-    for w in data["workloads"]:
-        for section in ("stats", "kernels", "identity", "planner"):
-            if w not in data[section]:
-                raise ValueError(f"workload {w!r} missing from {section!r}")
-        for f in ("m", "n", "nnz", "flop"):
-            if not isinstance(data["stats"][w].get(f), int):
-                raise ValueError(f"stats[{w!r}][{f!r}] must be an int")
-        k = data["kernels"][w]
-        for alg in COLUMN_KERNELS:
-            if alg not in k:
-                raise ValueError(f"kernels[{w!r}] missing {alg!r}")
-            for f in ("panel_s", "loop_s", "speedup"):
-                v = k[alg].get(f)
-                if not isinstance(v, (int, float)) or v <= 0:
-                    raise ValueError(
-                        f"kernels[{w!r}][{alg!r}][{f!r}] must be a positive "
-                        f"number, got {v!r}"
-                    )
-        ident = data["identity"][w]
-        if not ident or not all(isinstance(v, bool) for v in ident.values()):
-            raise ValueError(f"identity[{w!r}] must map semirings to booleans")
-        if not all(ident.values()):
-            raise ValueError(f"identity[{w!r}] reports a bit-exactness failure")
-        p = data["planner"][w]
-        for f in ("pick", "measured_fastest"):
-            if not isinstance(p.get(f), str):
-                raise ValueError(f"planner[{w!r}][{f!r}] must be a string")
-        if not isinstance(p.get("match"), bool):
-            raise ValueError(f"planner[{w!r}]['match'] must be a bool")
-        for f in ("predicted_s", "measured_s"):
-            if not isinstance(p.get(f), dict) or not p[f]:
-                raise ValueError(f"planner[{w!r}][{f!r}] must be a dict")
-    acc = data["acceptance"]
-    for f in ("hash_speedup", "heap_speedup", "hashvec_speedup", "spa_speedup"):
-        if not isinstance(acc.get(f), (int, float)) or acc[f] <= 0:
-            raise ValueError(f"acceptance[{f!r}] must be a positive number")
-    if acc.get("identity_all") is not True:
-        raise ValueError("acceptance['identity_all'] must be true")
-    if not data["meta"].get("quick"):
-        for f in ("hash_speedup", "spa_speedup"):
-            if acc[f] < MIN_SPEEDUP:
-                raise ValueError(
-                    f"acceptance[{f!r}] = {acc[f]:.2f} below the "
-                    f"{MIN_SPEEDUP}x floor for a full run"
-                )
-        if acc.get("planner_match") is not True:
-            raise ValueError(
-                "acceptance['planner_match'] must be true for a full run"
-            )
-    return data
+SUITE = "column"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="small inputs (ER scale 10 / R-MAT scale 9) for CI smoke runs",
-    )
-    parser.add_argument(
-        "--reps",
-        type=int,
-        default=5,
-        help="best-of repetitions for the panel backends",
-    )
-    parser.add_argument(
-        "--output",
-        default=str(REPO_ROOT / "BENCH_column.json"),
-        help="report path (default: repo-root BENCH_column.json)",
-    )
-    args = parser.parse_args(argv)
-    report = validate_report(run_benchmark(quick=args.quick, reps=args.reps))
-    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    acc = report["acceptance"]
-    print(
-        f"wrote {args.output}\n"
-        f"acceptance ({acc['workload']}): hash {acc['hash_speedup']:.1f}x, "
-        f"heap {acc['heap_speedup']:.1f}x, "
-        f"hashvec {acc['hashvec_speedup']:.1f}x, "
-        f"spa {acc['spa_speedup']:.1f}x, identity "
-        f"{'ok' if acc['identity_all'] else 'FAIL'}, planner "
-        f"{'match' if acc['planner_match'] else 'MISMATCH'}"
-    )
-    return 0
+    return harness_main(SUITE, argv, default_output=REPO_ROOT / f"BENCH_{SUITE}.json")
 
 
 if __name__ == "__main__":

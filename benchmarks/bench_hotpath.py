@@ -1,47 +1,21 @@
 #!/usr/bin/env python
-"""Hot-path kernel and pipeline benchmark (``BENCH_hotpath.json``).
+"""Hot-path benchmark script (``BENCH_hotpath.json``).
 
-Times every ablatable hot-path kernel introduced by the counting-scatter
-PR against its pre-optimization counterpart, on ER and R-MAT inputs:
+Thin wrapper over the registered ``hotpath`` suite — the measurement
+code, acceptance bars, and legacy-artifact migration live in
+:mod:`repro.bench.suites.hotpath`.  Equivalent to::
 
-* **expand** — arena writes at flop-prefix offsets
-  (:func:`repro.kernels.outer_expand.expand_arena`) vs. the
-  list-of-chunks + ``np.concatenate`` path.
-* **distribute** — fused pack+counting placement
-  (:func:`repro.core.binning.distribute_packed`) vs. the stable-argsort
-  placement (which does *not* pack; packing was paid per bin in the old
-  sort phase).
-* **sort** — two comparisons:
-  the *phase* comparison (what each pipeline actually executes per bin:
-  old = ``pack_keys`` + byte-argsort radix, new = counting-scatter radix
-  on already-packed keys) and the *kernel* comparison
-  (``sort_tuples`` backends on identical packed keys).
-* **end-to-end** — the full PB-SpGEMM pipeline under the legacy config
-  (``sort_backend="argsort"``, ``distribute_backend="argsort"``,
-  ``expand_backend="concat"``) vs. the default config, with per-phase
-  seconds.
-* **identity** — asserts the legacy and new pipelines produce
-  bit-identical CSR products (indptr, indices, values) for every
-  built-in semiring.
+    PYTHONPATH=src python -m repro bench run hotpath
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py            # full
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick    # CI
-
-The report lands at the repo root as ``BENCH_hotpath.json``
-(``--output`` overrides).  ``validate_report`` checks the schema and is
-what ``tests/test_hotpath_bench.py`` runs against both the quick output
-and the committed artifact.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -51,318 +25,13 @@ try:  # allow running without PYTHONPATH=src
 except ImportError:  # pragma: no cover - path fallback
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np
+from repro.bench.harness import harness_main
 
-from repro.core import PBConfig
-from repro.core.binning import (
-    distribute_packed,
-    distribute_to_bins,
-    pack_keys,
-    plan_bins,
-)
-from repro.core.pb_spgemm import pb_spgemm_detailed
-from repro.core.symbolic import symbolic_phase
-from repro.generators import erdos_renyi, rmat
-from repro.kernels.outer_expand import expand_arena, expand_chunks
-from repro.kernels.radix import sort_tuples
-from repro.semiring import available_semirings
-
-SCHEMA_VERSION = 1
-
-#: Config snapshot of the pre-PR pipeline (every ablation flag legacy).
-LEGACY = dict(
-    sort_backend="argsort", distribute_backend="argsort", expand_backend="concat"
-)
-
-
-def _workloads(quick: bool):
-    if quick:
-        return [
-            ("er_s10_ef8", lambda: erdos_renyi(1 << 10, 8, seed=1, fmt="csr")),
-            ("rmat_s9_ef8", lambda: rmat(9, 8, seed=1).to_csr()),
-        ]
-    return [
-        ("er_s16_ef16", lambda: erdos_renyi(1 << 16, 16, seed=1, fmt="csr")),
-        ("rmat_s14_ef8", lambda: rmat(14, 8, seed=1).to_csr()),
-    ]
-
-
-def _time(fn) -> float:
-    t = time.perf_counter()
-    fn()
-    return time.perf_counter() - t
-
-
-def _best_of(fn, reps: int) -> float:
-    fn()  # warm-up: page-in, allocator, BLAS-style first-call costs
-    return min(_time(fn) for _ in range(max(1, reps)))
-
-
-def _bench_kernels(b_csr, reps: int) -> dict:
-    """Kernel-level ablations on one squared input (C = A*A)."""
-    a_csc = b_csr.to_csc()
-    cfg = PBConfig()
-    sym = symbolic_phase(a_csc, b_csr, cfg)
-    layout = plan_bins(
-        a_csc.shape[0], b_csr.shape[1], sym.nbins, sym.rows_per_bin, cfg
-    )
-
-    def run_arena():
-        return expand_arena(a_csc, b_csr, per_k=sym.flops_per_k)
-
-    def run_concat():
-        chunks = list(expand_chunks(a_csc, b_csr))
-        return (
-            np.concatenate([c[0] for c in chunks]),
-            np.concatenate([c[1] for c in chunks]),
-            np.concatenate([c[2] for c in chunks]),
-        )
-
-    arena_s = _best_of(run_arena, reps)
-    concat_s = _best_of(run_concat, reps)
-    rows, cols, vals = run_arena()
-
-    counting_s = _best_of(
-        lambda: distribute_packed(layout, rows, cols, vals, method="counting"), reps
-    )
-    argsort_s = _best_of(
-        lambda: distribute_to_bins(layout, rows, cols, vals, method="argsort"), reps
-    )
-
-    keys, bvals, starts = distribute_packed(layout, rows, cols, vals)
-    brows, bcols, bvals_l, starts_l = distribute_to_bins(
-        layout, rows, cols, vals, method="argsort"
-    )
-    spans = [
-        (int(starts[i]), int(starts[i + 1]))
-        for i in range(layout.nbins)
-        if starts[i + 1] > starts[i]
-    ]
-
-    def sort_kernel(backend: str):
-        for lo, hi in spans:
-            sort_tuples(
-                keys[lo:hi], bvals[lo:hi], key_bits=layout.key_bits, backend=backend
-            )
-
-    def sort_phase_old():
-        # Faithful pre-PR sort phase: pack each bin's (row, col) pairs,
-        # then byte-argsort radix — both were per-bin work inside
-        # ``_sort_and_compress_bin`` before this PR.
-        for i in range(layout.nbins):
-            lo, hi = int(starts_l[i]), int(starts_l[i + 1])
-            if lo == hi:
-                continue
-            k = pack_keys(layout, brows[lo:hi], bcols[lo:hi])
-            sort_tuples(
-                k, bvals_l[lo:hi], key_bits=layout.key_bits, backend="argsort"
-            )
-
-    sort = {
-        "phase_old_pack_argsort_s": _best_of(sort_phase_old, reps),
-        "phase_new_radix_s": _best_of(lambda: sort_kernel("radix"), reps),
-        "kernel_argsort_s": _best_of(lambda: sort_kernel("argsort"), reps),
-        "kernel_radix_s": _best_of(lambda: sort_kernel("radix"), reps),
-        "kernel_mergesort_s": _best_of(lambda: sort_kernel("mergesort"), reps),
-    }
-    sort["phase_speedup"] = sort["phase_old_pack_argsort_s"] / sort["phase_new_radix_s"]
-    sort["kernel_speedup"] = sort["kernel_argsort_s"] / sort["kernel_radix_s"]
-
-    return {
-        "stats": {
-            "flop": int(sym.flop),
-            "nbins": int(layout.nbins),
-            "key_bits": int(layout.key_bits),
-            "tuples": int(len(rows)),
-        },
-        "expand": {
-            "arena_s": arena_s,
-            "concat_s": concat_s,
-            "speedup": concat_s / arena_s,
-        },
-        "distribute": {
-            "counting_s": counting_s,
-            "argsort_s": argsort_s,
-            "speedup": argsort_s / counting_s,
-        },
-        "sort": sort,
-    }
-
-
-def _bench_end_to_end(b_csr, reps: int) -> dict:
-    a_csc = b_csr.to_csc()
-    out: dict = {}
-    for label, cfg in (
-        ("legacy", PBConfig(**LEGACY)),
-        ("new", PBConfig()),
-    ):
-        best, phases = None, None
-        pb_spgemm_detailed(a_csc, b_csr, config=cfg)  # warm-up
-        for _ in range(max(1, reps)):
-            t = time.perf_counter()
-            res = pb_spgemm_detailed(a_csc, b_csr, config=cfg)
-            dt = time.perf_counter() - t
-            if best is None or dt < best:
-                best, phases = dt, dict(res.phase_seconds)
-        out[f"{label}_s"] = best
-        out[f"{label}_phases"] = phases
-    out["speedup"] = out["legacy_s"] / out["new_s"]
-    return out
-
-
-def _check_identity(b_csr) -> dict:
-    """Bit-identity of legacy vs. new pipelines, per built-in semiring."""
-    a_csc = b_csr.to_csc()
-    out = {}
-    for name in available_semirings():
-        old = pb_spgemm_detailed(a_csc, b_csr, semiring=name, config=PBConfig(**LEGACY)).c
-        new = pb_spgemm_detailed(a_csc, b_csr, semiring=name, config=PBConfig()).c
-        out[name] = bool(
-            np.array_equal(old.indptr, new.indptr)
-            and np.array_equal(old.indices, new.indices)
-            and np.array_equal(old.data, new.data)
-        )
-    return out
-
-
-def run_benchmark(quick: bool = False, reps: int = 3) -> dict:
-    """Run every section and assemble the report dict."""
-    report: dict = {
-        "schema_version": SCHEMA_VERSION,
-        "meta": {
-            "quick": bool(quick),
-            "reps": int(reps),
-            "numpy": np.__version__,
-            "python": platform.python_version(),
-            "created_unix": time.time(),
-        },
-        "workloads": [],
-        "kernels": {},
-        "end_to_end": {},
-        "identity": {},
-    }
-    for name, make in _workloads(quick):
-        print(f"== workload {name}", flush=True)
-        b = make()
-        report["workloads"].append(name)
-        report["kernels"][name] = _bench_kernels(b, reps)
-        report["end_to_end"][name] = _bench_end_to_end(b, reps)
-        report["identity"][name] = _check_identity(b)
-        k, e = report["kernels"][name], report["end_to_end"][name]
-        print(
-            f"   sort phase {k['sort']['phase_speedup']:.2f}x "
-            f"(kernel {k['sort']['kernel_speedup']:.2f}x), "
-            f"expand {k['expand']['speedup']:.2f}x, "
-            f"distribute {k['distribute']['speedup']:.2f}x, "
-            f"end-to-end {e['speedup']:.2f}x, "
-            f"identity {'ok' if all(report['identity'][name].values()) else 'FAIL'}",
-            flush=True,
-        )
-    primary = report["workloads"][0]
-    report["acceptance"] = {
-        "workload": primary,
-        "sort_phase_speedup": report["kernels"][primary]["sort"]["phase_speedup"],
-        "end_to_end_speedup": report["end_to_end"][primary]["speedup"],
-        "identity_all": all(
-            ok for w in report["identity"].values() for ok in w.values()
-        ),
-    }
-    return report
-
-
-def validate_report(data: dict) -> dict:
-    """Schema check for a ``BENCH_hotpath.json`` payload.
-
-    Raises ``ValueError`` with a precise message on the first problem;
-    returns the data unchanged when it conforms.
-    """
-    if not isinstance(data, dict):
-        raise ValueError(f"report must be a dict, got {type(data).__name__}")
-    if data.get("schema_version") != SCHEMA_VERSION:
-        raise ValueError(
-            f"schema_version must be {SCHEMA_VERSION}, got {data.get('schema_version')!r}"
-        )
-    for key in ("meta", "workloads", "kernels", "end_to_end", "identity", "acceptance"):
-        if key not in data:
-            raise ValueError(f"missing top-level key {key!r}")
-    if not data["workloads"] or not isinstance(data["workloads"], list):
-        raise ValueError("workloads must be a non-empty list")
-    for w in data["workloads"]:
-        for section in ("kernels", "end_to_end", "identity"):
-            if w not in data[section]:
-                raise ValueError(f"workload {w!r} missing from {section!r}")
-        k = data["kernels"][w]
-        for part, fields in (
-            ("expand", ("arena_s", "concat_s", "speedup")),
-            ("distribute", ("counting_s", "argsort_s", "speedup")),
-            (
-                "sort",
-                (
-                    "phase_old_pack_argsort_s",
-                    "phase_new_radix_s",
-                    "phase_speedup",
-                    "kernel_argsort_s",
-                    "kernel_radix_s",
-                    "kernel_mergesort_s",
-                    "kernel_speedup",
-                ),
-            ),
-        ):
-            if part not in k:
-                raise ValueError(f"kernels[{w!r}] missing {part!r}")
-            for f in fields:
-                v = k[part].get(f)
-                if not isinstance(v, (int, float)) or v <= 0:
-                    raise ValueError(
-                        f"kernels[{w!r}][{part!r}][{f!r}] must be a positive "
-                        f"number, got {v!r}"
-                    )
-        e = data["end_to_end"][w]
-        for f in ("legacy_s", "new_s", "speedup"):
-            if not isinstance(e.get(f), (int, float)) or e[f] <= 0:
-                raise ValueError(f"end_to_end[{w!r}][{f!r}] must be positive")
-        for f in ("legacy_phases", "new_phases"):
-            if not isinstance(e.get(f), dict):
-                raise ValueError(f"end_to_end[{w!r}][{f!r}] must be a dict")
-        ident = data["identity"][w]
-        if not ident or not all(isinstance(v, bool) for v in ident.values()):
-            raise ValueError(f"identity[{w!r}] must map semirings to booleans")
-        if not all(ident.values()):
-            raise ValueError(f"identity[{w!r}] reports a bit-exactness failure")
-    acc = data["acceptance"]
-    for f in ("sort_phase_speedup", "end_to_end_speedup"):
-        if not isinstance(acc.get(f), (int, float)) or acc[f] <= 0:
-            raise ValueError(f"acceptance[{f!r}] must be a positive number")
-    if acc.get("identity_all") is not True:
-        raise ValueError("acceptance['identity_all'] must be true")
-    return data
+SUITE = "hotpath"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="small inputs (ER scale 10 / R-MAT scale 9) for CI smoke runs",
-    )
-    parser.add_argument("--reps", type=int, default=3, help="best-of repetitions")
-    parser.add_argument(
-        "--output",
-        default=str(REPO_ROOT / "BENCH_hotpath.json"),
-        help="report path (default: repo-root BENCH_hotpath.json)",
-    )
-    args = parser.parse_args(argv)
-    report = validate_report(run_benchmark(quick=args.quick, reps=args.reps))
-    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    acc = report["acceptance"]
-    print(
-        f"wrote {args.output}\n"
-        f"acceptance ({acc['workload']}): sort phase "
-        f"{acc['sort_phase_speedup']:.2f}x, end-to-end "
-        f"{acc['end_to_end_speedup']:.2f}x, identity "
-        f"{'ok' if acc['identity_all'] else 'FAIL'}"
-    )
-    return 0
+    return harness_main(SUITE, argv, default_output=REPO_ROOT / f"BENCH_{SUITE}.json")
 
 
 if __name__ == "__main__":

@@ -1,40 +1,21 @@
 #!/usr/bin/env python
-"""Planner regret benchmark (``BENCH_planner.json``).
+"""Planner-regret benchmark script (``BENCH_planner.json``).
 
-Measures how close the auto-tuning planner (:mod:`repro.planner`) gets
-to an oracle that has already timed every algorithm, on an ER / R-MAT /
-surrogate sweep (C = A*A):
+Thin wrapper over the registered ``planner`` suite — the measurement
+code, acceptance bars, and legacy-artifact migration live in
+:mod:`repro.bench.suites.planner`.  Equivalent to::
 
-* **oracle** — every registered algorithm is timed (best-of ``reps``);
-  the fastest measured time is the oracle baseline.
-* **model regret** — ``plan()`` against a fresh cache and a quick
-  machine calibration; regret = time(planner's pick) / oracle time.
-* **feedback regret** — every measured runtime is recorded into the
-  plan cache, the same shape is re-planned, and the converged pick is
-  scored.  This is the steady-state regret a repeated workload sees,
-  and what the acceptance criterion keys on (mean ≤ 1.25×).
-* **overhead** — warm ``plan()`` seconds (cache hit: cheap sketch +
-  lookup, no sampling) as a fraction of the multiply itself; the
-  planner budget is ≤ 5% on the full-size inputs.
+    PYTHONPATH=src python -m repro bench run planner
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_planner_regret.py           # full
-    PYTHONPATH=src python benchmarks/bench_planner_regret.py --quick   # CI
-
-The report lands at the repo root as ``BENCH_planner.json`` (``--output``
-overrides).  ``validate_report`` checks the schema and is what
-``tests/test_planner_bench.py`` runs against both the quick output and
-the committed artifact.
+    PYTHONPATH=src python benchmarks/bench_planner_regret.py            # full
+    PYTHONPATH=src python benchmarks/bench_planner_regret.py --quick    # CI
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -44,226 +25,13 @@ try:  # allow running without PYTHONPATH=src
 except ImportError:  # pragma: no cover - path fallback
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-import numpy as np
+from repro.bench.harness import harness_main
 
-from repro.generators import erdos_renyi, rmat, surrogate
-from repro.kernels.dispatch import ALGORITHMS
-from repro.planner import calibrate, plan, PlanCache
-from repro.semiring import PLUS_TIMES
-
-SCHEMA_VERSION = 1
-
-
-def _workloads(quick: bool):
-    if quick:
-        return [
-            ("er_s10_ef8", lambda: erdos_renyi(1 << 10, 8, seed=1, fmt="csr")),
-            ("rmat_s9_ef8", lambda: rmat(9, 8, seed=1).to_csr()),
-            ("cage12_x002", lambda: surrogate("cage12", scale_factor=0.02, seed=1)),
-        ]
-    return [
-        ("er_s12_ef16", lambda: erdos_renyi(1 << 12, 16, seed=1, fmt="csr")),
-        ("rmat_s12_ef8", lambda: rmat(12, 8, seed=1).to_csr()),
-        ("cage12_x015", lambda: surrogate("cage12", scale_factor=0.15, seed=1)),
-    ]
-
-
-def _time(fn) -> float:
-    t = time.perf_counter()
-    fn()
-    return time.perf_counter() - t
-
-
-def _best_of(fn, reps: int) -> float:
-    fn()  # warm-up: page-in, allocator, first-call costs
-    return min(_time(fn) for _ in range(max(1, reps)))
-
-
-def _bench_workload(b_csr, profile, reps: int) -> dict:
-    a_csc = b_csr.to_csc()
-
-    # Oracle: measure every registered algorithm on this input.
-    times = {}
-    for name, info in sorted(ALGORITHMS.items()):
-        times[name] = _best_of(
-            lambda f=info.func: f(a_csc, b_csr, semiring=PLUS_TIMES), reps
-        )
-    oracle_algorithm = min(times, key=times.get)
-    oracle_s = times[oracle_algorithm]
-
-    # Model pick: fresh (memory-only) cache, so nothing is remembered.
-    cache = PlanCache(cache_dir=None)
-    t0 = time.perf_counter()
-    model_plan = plan(a_csc, b_csr, profile=profile, cache=cache)
-    cold_plan_s = time.perf_counter() - t0
-    model_regret = times[model_plan.algorithm] / oracle_s
-
-    # Feedback: record every measured runtime, re-plan the same shape.
-    for name, seconds in times.items():
-        cache.record_feedback(model_plan.cache_key, name, seconds)
-    feedback_plan = plan(a_csc, b_csr, profile=profile, cache=cache)
-    feedback_regret = times[feedback_plan.algorithm] / oracle_s
-
-    # Overhead: warm plan (cache hit — no sampling) vs. the multiply.
-    warm_plan_s = _best_of(
-        lambda: plan(a_csc, b_csr, profile=profile, cache=cache), reps
-    )
-    overhead_fraction = warm_plan_s / oracle_s
-
-    return {
-        "shape": list(b_csr.shape),
-        "nnz": int(b_csr.nnz),
-        "algorithm_s": times,
-        "oracle_algorithm": oracle_algorithm,
-        "oracle_s": oracle_s,
-        "model_pick": model_plan.algorithm,
-        "model_regret": model_regret,
-        "model_predicted_s": model_plan.predicted_seconds,
-        "feedback_pick": feedback_plan.algorithm,
-        "feedback_source": feedback_plan.source,
-        "feedback_regret": feedback_regret,
-        "cold_plan_s": cold_plan_s,
-        "warm_plan_s": warm_plan_s,
-        "overhead_fraction": overhead_fraction,
-    }
-
-
-def run_benchmark(quick: bool = False, reps: int = 3) -> dict:
-    """Run the sweep and assemble the report dict."""
-    profile = calibrate(quick=True, measure_pool=False)
-    report: dict = {
-        "schema_version": SCHEMA_VERSION,
-        "meta": {
-            "quick": bool(quick),
-            "reps": int(reps),
-            "numpy": np.__version__,
-            "python": platform.python_version(),
-            "created_unix": time.time(),
-            "profile_fingerprint": profile.fingerprint(),
-            "effective_clock_ghz": profile.effective_clock_ghz,
-            "copy_gbs": profile.copy_gbs,
-        },
-        "workloads": [],
-        "results": {},
-    }
-    for name, make in _workloads(quick):
-        print(f"== workload {name}", flush=True)
-        b = make()
-        report["workloads"].append(name)
-        r = report["results"][name] = _bench_workload(b, profile, reps)
-        print(
-            f"   oracle {r['oracle_algorithm']} {r['oracle_s'] * 1e3:.1f}ms, "
-            f"model pick {r['model_pick']} ({r['model_regret']:.2f}x), "
-            f"feedback pick {r['feedback_pick']} ({r['feedback_regret']:.2f}x), "
-            f"overhead {r['overhead_fraction'] * 100:.1f}%",
-            flush=True,
-        )
-    results = report["results"].values()
-    report["acceptance"] = {
-        "mean_model_regret": float(np.mean([r["model_regret"] for r in results])),
-        "mean_feedback_regret": float(
-            np.mean([r["feedback_regret"] for r in results])
-        ),
-        "max_overhead_fraction": float(
-            max(r["overhead_fraction"] for r in results)
-        ),
-        "feedback_converged": all(
-            r["feedback_pick"] == r["oracle_algorithm"] for r in results
-        ),
-    }
-    return report
-
-
-def validate_report(data: dict) -> dict:
-    """Schema check for a ``BENCH_planner.json`` payload.
-
-    Raises ``ValueError`` with a precise message on the first problem;
-    returns the data unchanged when it conforms.  Thresholds (regret,
-    overhead budget) are asserted by the perf test on the committed
-    full-run artifact, not here, so quick CI runs on tiny inputs stay
-    valid.
-    """
-    if not isinstance(data, dict):
-        raise ValueError(f"report must be a dict, got {type(data).__name__}")
-    if data.get("schema_version") != SCHEMA_VERSION:
-        raise ValueError(
-            f"schema_version must be {SCHEMA_VERSION}, "
-            f"got {data.get('schema_version')!r}"
-        )
-    for key in ("meta", "workloads", "results", "acceptance"):
-        if key not in data:
-            raise ValueError(f"missing top-level key {key!r}")
-    if not data["workloads"] or not isinstance(data["workloads"], list):
-        raise ValueError("workloads must be a non-empty list")
-    known = set(ALGORITHMS)
-    for w in data["workloads"]:
-        if w not in data["results"]:
-            raise ValueError(f"workload {w!r} missing from results")
-        r = data["results"][w]
-        for f in (
-            "oracle_s",
-            "model_regret",
-            "feedback_regret",
-            "cold_plan_s",
-            "warm_plan_s",
-            "overhead_fraction",
-        ):
-            v = r.get(f)
-            if not isinstance(v, (int, float)) or v <= 0:
-                raise ValueError(
-                    f"results[{w!r}][{f!r}] must be a positive number, got {v!r}"
-                )
-        for f in ("oracle_algorithm", "model_pick", "feedback_pick"):
-            if r.get(f) not in known:
-                raise ValueError(
-                    f"results[{w!r}][{f!r}] must name a registered "
-                    f"algorithm, got {r.get(f)!r}"
-                )
-        alg_s = r.get("algorithm_s")
-        if not isinstance(alg_s, dict) or set(alg_s) != known:
-            raise ValueError(
-                f"results[{w!r}]['algorithm_s'] must time every registered "
-                f"algorithm ({sorted(known)})"
-            )
-        if any(not isinstance(v, (int, float)) or v <= 0 for v in alg_s.values()):
-            raise ValueError(f"results[{w!r}]['algorithm_s'] has a non-positive time")
-        # Regret below 1.0 would mean the pick beat the oracle minimum.
-        if r["model_regret"] < 1.0 - 1e-9 or r["feedback_regret"] < 1.0 - 1e-9:
-            raise ValueError(f"results[{w!r}] regret below 1.0 is impossible")
-    acc = data["acceptance"]
-    for f in ("mean_model_regret", "mean_feedback_regret", "max_overhead_fraction"):
-        if not isinstance(acc.get(f), (int, float)) or acc[f] <= 0:
-            raise ValueError(f"acceptance[{f!r}] must be a positive number")
-    if not isinstance(acc.get("feedback_converged"), bool):
-        raise ValueError("acceptance['feedback_converged'] must be a boolean")
-    return data
+SUITE = "planner"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="small inputs (ER scale 10 / R-MAT scale 9) for CI smoke runs",
-    )
-    parser.add_argument("--reps", type=int, default=3, help="best-of repetitions")
-    parser.add_argument(
-        "--output",
-        default=str(REPO_ROOT / "BENCH_planner.json"),
-        help="report path (default: repo-root BENCH_planner.json)",
-    )
-    args = parser.parse_args(argv)
-    report = validate_report(run_benchmark(quick=args.quick, reps=args.reps))
-    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    acc = report["acceptance"]
-    print(
-        f"wrote {args.output}\n"
-        f"acceptance: model regret {acc['mean_model_regret']:.2f}x, feedback "
-        f"regret {acc['mean_feedback_regret']:.2f}x, max overhead "
-        f"{acc['max_overhead_fraction'] * 100:.1f}%, converged "
-        f"{'yes' if acc['feedback_converged'] else 'no'}"
-    )
-    return 0
+    return harness_main(SUITE, argv, default_output=REPO_ROOT / "BENCH_planner.json")
 
 
 if __name__ == "__main__":

@@ -1,45 +1,21 @@
 #!/usr/bin/env python
-"""Persistent-session benchmark (``BENCH_session.json``).
+"""Persistent-session benchmark script (``BENCH_session.json``).
 
-Measures what :class:`repro.session.Session` amortizes away from
-``PBConfig(executor="process")``:
+Thin wrapper over the registered ``session`` suite — the measurement
+code, acceptance bars, and legacy-artifact migration live in
+:mod:`repro.bench.suites.session`.  Equivalent to::
 
-* **amortization** — per-multiply wall time versus call index on a
-  small-matrix workload where pool spawn dominates compute, two ways:
-  *cold* (every call is a standalone process-executor multiply that
-  spawns and tears down its own pool + arenas) and *warm* (all calls on
-  one session: call 0 pays the spawn, the steady state reuses the pool
-  and recycles arenas).  The acceptance ratio is mean cold time over
-  mean steady-state warm time.
-* **pipeline** — pipelined versus barriered bin processing
-  (``PBConfig.pipeline``) inside one warm session on the paper-scale
-  inputs (ER s16/ef16 and R-MAT s14/ef8 in the full run): the pipelined
-  schedule overlaps the parent's bucket placement with worker
-  sort/compress.
-* **identity** — session products (pipelined schedule) bit-identical to
-  ``executor="serial"`` for every built-in semiring.
-* **hygiene** — the session's arena-pool counters after the warm loop:
-  every lease released, recycling hits observed.
+    PYTHONPATH=src python -m repro bench run session
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_session.py            # full
     PYTHONPATH=src python benchmarks/bench_session.py --quick    # CI
-
-The report lands at the repo root as ``BENCH_session.json``
-(``--output`` overrides).  ``validate_report`` checks the schema (and a
-noise-tolerant 1.2x amortization floor); ``tests/test_session_bench.py``
-runs it against both the quick output and the committed artifact, which
-must clear the PR's 1.5x bar.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -48,287 +24,14 @@ try:  # allow running without PYTHONPATH=src
     import repro  # noqa: F401
 except ImportError:  # pragma: no cover - path fallback
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    import repro  # noqa: F401
 
-import numpy as np
+from repro.bench.harness import harness_main
 
-from repro import PBConfig, Session
-from repro.generators import erdos_renyi, rmat
-from repro.semiring import available_semirings
-
-SCHEMA_VERSION = 1
-
-#: Validator floor for the amortization ratio — keeps a noisy CI
-#: container from failing a structurally sound report.  The committed
-#: full-run artifact is additionally held to the PR's 1.5x bar by
-#: ``tests/test_session_bench.py``.
-MIN_WARM_SPEEDUP = 1.2
-
-
-def _amortization_workload(quick: bool):
-    # Deliberately small either way: this is the configuration where
-    # pool spawn dominates compute, which is what a session amortizes.
-    return ("er_s9_ef4", lambda: erdos_renyi(1 << 9, 4, seed=11, fmt="csr"))
-
-
-def _pipeline_workloads(quick: bool):
-    if quick:
-        return [
-            ("er_s10_ef8", lambda: erdos_renyi(1 << 10, 8, seed=1, fmt="csr")),
-            ("rmat_s9_ef8", lambda: rmat(9, 8, seed=1).to_csr()),
-        ]
-    return [
-        ("er_s16_ef16", lambda: erdos_renyi(1 << 16, 16, seed=1, fmt="csr")),
-        ("rmat_s14_ef8", lambda: rmat(14, 8, seed=1).to_csr()),
-    ]
-
-
-def _proc_config(**kw) -> PBConfig:
-    kw.setdefault("executor", "process")
-    kw.setdefault("nthreads", 2)
-    return PBConfig(**kw)
-
-
-def _bench_amortization(b_csr, cold_calls: int, warm_calls: int) -> dict:
-    """Per-call times, standalone (cold) vs. one session (warm)."""
-    a_csc = b_csr.to_csc()
-    cfg = _proc_config()
-
-    cold_times = []
-    for _ in range(cold_calls):
-        t = time.perf_counter()
-        repro.multiply(a_csc, b_csr, config=cfg)
-        cold_times.append(time.perf_counter() - t)
-
-    warm_times = []
-    with Session(cfg) as s:
-        for _ in range(warm_calls):
-            t = time.perf_counter()
-            s.multiply(a_csc, b_csr)
-            warm_times.append(time.perf_counter() - t)
-        pool_stats = dict(s.arena_pool.stats)
-        spawns = s._engine.spawn_count
-    steady = warm_times[1:] or warm_times
-
-    return {
-        "cold_calls": cold_calls,
-        "warm_calls": warm_calls,
-        "cold_per_call_s": cold_times,
-        "warm_per_call_s": warm_times,
-        "cold_mean_s": float(np.mean(cold_times)),
-        "warm_first_call_s": warm_times[0],
-        "warm_steady_mean_s": float(np.mean(steady)),
-        "warm_speedup": float(np.mean(cold_times) / np.mean(steady)),
-        "engine_spawns": int(spawns),
-        "arena_pool": pool_stats,
-    }
-
-
-def _bench_pipeline(b_csr, reps: int) -> dict:
-    """Pipelined vs. barriered bin processing on one warm session."""
-    a_csc = b_csr.to_csc()
-    out: dict = {}
-    for label, pipeline in (("pipelined", "pipelined"), ("barrier", "barrier")):
-        cfg = _proc_config(pipeline=pipeline)
-        with Session(cfg, warm=True) as s:
-            s.multiply(a_csc, b_csr)  # warm arenas + page caches
-            best = min(
-                _timed(lambda: s.multiply(a_csc, b_csr)) for _ in range(max(1, reps))
-            )
-        out[f"{label}_s"] = best
-    out["overlap_speedup"] = out["barrier_s"] / out["pipelined_s"]
-    return out
-
-
-def _timed(fn) -> float:
-    t = time.perf_counter()
-    fn()
-    return time.perf_counter() - t
-
-
-def _check_identity(b_csr) -> dict:
-    """Session (pipelined) vs. serial, bit-exact, per built-in semiring."""
-    a_csc = b_csr.to_csc()
-    out = {}
-    with Session(_proc_config(pipeline="pipelined")) as s:
-        for name in available_semirings():
-            serial = repro.multiply(a_csc, b_csr, semiring=name, config=PBConfig())
-            warm = s.multiply(a_csc, b_csr, semiring=name)
-            out[name] = bool(
-                np.array_equal(serial.indptr, warm.indptr)
-                and np.array_equal(serial.indices, warm.indices)
-                and serial.data.tobytes() == warm.data.tobytes()
-            )
-    return out
-
-
-def run_benchmark(quick: bool = False, reps: int = 3) -> dict:
-    """Run every section and assemble the report dict."""
-    report: dict = {
-        "schema_version": SCHEMA_VERSION,
-        "meta": {
-            "quick": bool(quick),
-            "reps": int(reps),
-            "numpy": np.__version__,
-            "python": platform.python_version(),
-            "created_unix": time.time(),
-        },
-        "amortization": {},
-        "pipeline": {},
-        "identity": {},
-    }
-
-    name, make = _amortization_workload(quick)
-    print(f"== amortization {name}", flush=True)
-    b = make()
-    cold_calls, warm_calls = (3, 8) if quick else (10, 100)
-    amort = _bench_amortization(b, cold_calls, warm_calls)
-    report["amortization"] = {"workload": name, **amort}
-    print(
-        f"   cold {amort['cold_mean_s'] * 1e3:.1f} ms/call, warm steady "
-        f"{amort['warm_steady_mean_s'] * 1e3:.1f} ms/call -> "
-        f"{amort['warm_speedup']:.2f}x (first warm call "
-        f"{amort['warm_first_call_s'] * 1e3:.1f} ms, "
-        f"{amort['engine_spawns']} spawn)",
-        flush=True,
-    )
-    report["identity"][name] = _check_identity(b)
-    print(
-        f"   identity {'ok' if all(report['identity'][name].values()) else 'FAIL'}",
-        flush=True,
-    )
-
-    for wname, wmake in _pipeline_workloads(quick):
-        print(f"== pipeline {wname}", flush=True)
-        wb = wmake()
-        report["pipeline"][wname] = _bench_pipeline(wb, reps)
-        p = report["pipeline"][wname]
-        print(
-            f"   barrier {p['barrier_s']:.3f} s, pipelined "
-            f"{p['pipelined_s']:.3f} s -> {p['overlap_speedup']:.2f}x",
-            flush=True,
-        )
-
-    report["acceptance"] = {
-        "workload": name,
-        "warm_speedup": report["amortization"]["warm_speedup"],
-        "identity_all": all(
-            ok for w in report["identity"].values() for ok in w.values()
-        ),
-        "arena_leases_all_released": (
-            report["amortization"]["arena_pool"]["released"]
-            == report["amortization"]["arena_pool"]["leases"]
-        ),
-    }
-    return report
-
-
-def validate_report(data: dict) -> dict:
-    """Schema check for a ``BENCH_session.json`` payload.
-
-    Raises ``ValueError`` with a precise message on the first problem;
-    returns the data unchanged when it conforms.
-    """
-    if not isinstance(data, dict):
-        raise ValueError(f"report must be a dict, got {type(data).__name__}")
-    if data.get("schema_version") != SCHEMA_VERSION:
-        raise ValueError(
-            f"schema_version must be {SCHEMA_VERSION}, "
-            f"got {data.get('schema_version')!r}"
-        )
-    for key in ("meta", "amortization", "pipeline", "identity", "acceptance"):
-        if key not in data:
-            raise ValueError(f"missing top-level key {key!r}")
-
-    am = data["amortization"]
-    for f in (
-        "cold_mean_s",
-        "warm_first_call_s",
-        "warm_steady_mean_s",
-        "warm_speedup",
-    ):
-        if not isinstance(am.get(f), (int, float)) or am[f] <= 0:
-            raise ValueError(f"amortization[{f!r}] must be a positive number")
-    for f in ("cold_per_call_s", "warm_per_call_s"):
-        curve = am.get(f)
-        if (
-            not isinstance(curve, list)
-            or not curve
-            or not all(isinstance(v, (int, float)) and v > 0 for v in curve)
-        ):
-            raise ValueError(
-                f"amortization[{f!r}] must be a non-empty list of positive times"
-            )
-    if len(am["warm_per_call_s"]) != am.get("warm_calls"):
-        raise ValueError("warm_per_call_s length must equal warm_calls")
-    if am.get("engine_spawns") != 1:
-        raise ValueError(
-            f"a session must spawn its pool exactly once, "
-            f"got engine_spawns={am.get('engine_spawns')!r}"
-        )
-    pool = am.get("arena_pool")
-    if not isinstance(pool, dict) or pool.get("leases", 0) <= 0:
-        raise ValueError("amortization['arena_pool'] must carry lease counters")
-    if pool.get("released") != pool.get("leases"):
-        raise ValueError(
-            "arena hygiene violated: every pool lease must be released "
-            f"(leases={pool.get('leases')!r}, released={pool.get('released')!r})"
-        )
-    if pool.get("hits", 0) <= 0:
-        raise ValueError("arena recycling never hit the free lists")
-    if am["warm_speedup"] < MIN_WARM_SPEEDUP:
-        raise ValueError(
-            f"warm_speedup {am['warm_speedup']:.2f} below the "
-            f"{MIN_WARM_SPEEDUP}x floor — the session is not amortizing"
-        )
-
-    if not data["pipeline"]:
-        raise ValueError("pipeline section must cover at least one workload")
-    for w, p in data["pipeline"].items():
-        for f in ("pipelined_s", "barrier_s", "overlap_speedup"):
-            if not isinstance(p.get(f), (int, float)) or p[f] <= 0:
-                raise ValueError(f"pipeline[{w!r}][{f!r}] must be positive")
-
-    for w, ident in data["identity"].items():
-        if not ident or not all(isinstance(v, bool) for v in ident.values()):
-            raise ValueError(f"identity[{w!r}] must map semirings to booleans")
-        if not all(ident.values()):
-            raise ValueError(f"identity[{w!r}] reports a bit-exactness failure")
-
-    acc = data["acceptance"]
-    if not isinstance(acc.get("warm_speedup"), (int, float)):
-        raise ValueError("acceptance['warm_speedup'] must be a number")
-    if acc.get("identity_all") is not True:
-        raise ValueError("acceptance['identity_all'] must be true")
-    if acc.get("arena_leases_all_released") is not True:
-        raise ValueError("acceptance['arena_leases_all_released'] must be true")
-    return data
+SUITE = "session"
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="few calls + small pipeline inputs for CI smoke runs",
-    )
-    parser.add_argument("--reps", type=int, default=3, help="best-of repetitions")
-    parser.add_argument(
-        "--output",
-        default=str(REPO_ROOT / "BENCH_session.json"),
-        help="report path (default: repo-root BENCH_session.json)",
-    )
-    args = parser.parse_args(argv)
-    report = validate_report(run_benchmark(quick=args.quick, reps=args.reps))
-    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    acc = report["acceptance"]
-    print(
-        f"wrote {args.output}\n"
-        f"acceptance ({acc['workload']}): warm {acc['warm_speedup']:.2f}x, "
-        f"identity {'ok' if acc['identity_all'] else 'FAIL'}, arenas "
-        f"{'clean' if acc['arena_leases_all_released'] else 'LEAKED'}"
-    )
-    return 0
+    return harness_main(SUITE, argv, default_output=REPO_ROOT / f"BENCH_{SUITE}.json")
 
 
 if __name__ == "__main__":

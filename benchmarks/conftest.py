@@ -1,9 +1,17 @@
 """Shared fixtures for the benchmark harness.
 
-Each ``bench_*`` module regenerates one table or figure of the paper:
-the ``benchmark`` fixture times the regeneration (driver + simulation),
-and the ``report`` fixture prints the rendered rows to the terminal
-(bypassing capture) and archives them under ``benchmarks/results/``.
+Each pytest-benchmark ``bench_*`` module regenerates one table or
+figure of the paper: the ``benchmark`` fixture times the regeneration
+(driver + simulation), and the ``report`` fixture prints the rendered
+rows to the terminal (bypassing capture) and archives them under
+``benchmarks/results/``.
+
+The four standalone perf harnesses (``bench_hotpath.py``,
+``bench_planner_regret.py``, ``bench_column.py``, ``bench_session.py``)
+are *not* pytest modules: they are thin wrappers over the registered
+:mod:`repro.bench` suites, which validate against the shared result
+schema (``repro.bench.validate_result``) and append to the trend store
+under ``benchmarks/results/bench/`` when run with ``--store``.
 
 Workload sizes honour ``REPRO_BENCH_SCALE`` / ``REPRO_SURROGATE_SCALE``
 (see repro.analysis.experiments).

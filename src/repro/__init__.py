@@ -24,6 +24,7 @@ arenas persist across calls instead of being rebuilt per multiply::
 """
 
 from .errors import (
+    BenchError,
     ConfigError,
     DispatchError,
     FormatError,
@@ -72,6 +73,8 @@ from .machine import MachineSpec, skylake_sp, power9, stream_bandwidth
 from .costmodel import roofline_mflops, spgemm_arithmetic_intensity
 from .simulate import simulate_spgemm, SimReport
 from .planner import MachineProfile, Plan, PlanCache, calibrate, plan
+from . import bench
+from .bench import BenchResult, compare_results, load_result
 
 __version__ = "1.0.0"
 
@@ -84,6 +87,7 @@ __all__ = [
     "SimulationError",
     "DispatchError",
     "PlannerError",
+    "BenchError",
     "Semiring",
     "PLUS_TIMES",
     "MIN_PLUS",
@@ -134,5 +138,9 @@ __all__ = [
     "PlanCache",
     "MachineProfile",
     "calibrate",
+    "bench",
+    "BenchResult",
+    "load_result",
+    "compare_results",
     "__version__",
 ]

@@ -55,6 +55,26 @@ class ResultTable:
         ]
         return out
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(r.values) for r in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResultTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        table = cls(
+            title=str(data["title"]),
+            columns=list(data["columns"]),
+            notes=list(data.get("notes", [])),
+        )
+        table.rows = [ResultRow(dict(v)) for v in data.get("rows", [])]
+        return table
+
     def to_csv(self, path) -> None:
         """Write the table to a CSV file."""
         path = Path(path)

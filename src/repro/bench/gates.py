@@ -1,0 +1,245 @@
+"""Regression gates: diff two :class:`BenchResult`\\ s metric by metric.
+
+:func:`compare_results` is the CI gate behind ``repro bench compare``:
+it takes the current run and a baseline (an earlier store entry or a
+committed ``BENCH_*.json`` artifact) and flags every metric that
+worsened beyond its tolerance.  Three degrade-gracefully rules keep the
+gate honest rather than noisy:
+
+* **No history → skip.**  A suite with no comparable baseline produces
+  an all-skipped report that passes; the gate only ever fails on
+  evidence.
+* **Mode mismatch → booleans only.**  A ``--smoke`` run on scale-10
+  inputs says nothing about a full run's speedups, so numeric metrics
+  are skipped when ``quick`` flags differ; acceptance booleans
+  (bit-identity, hygiene) are compared regardless — a correctness
+  invariant that held on any scale must keep holding.
+* **Machine mismatch → no absolute times.**  Raw ``*_s`` seconds are
+  only compared when both results carry the same machine fingerprint;
+  dimensionless ratios (speedups, regrets, fractions) cross machines.
+
+Direction is inferred from the metric name (``speedup`` up is good;
+``*_s`` / ``regret`` / ``overhead`` / ``fraction`` down is good) and
+per-metric tolerances come from the suite declaration, falling back to
+:data:`DEFAULT_TOLERANCE` (:data:`SECONDS_TOLERANCE` for wall-clock
+metrics, which jitter hardest on shared runners).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import BenchError
+from .schema import BenchResult
+
+#: Allowed relative worsening for dimensionless metrics (25%).
+DEFAULT_TOLERANCE = 0.25
+
+#: Allowed relative worsening for absolute wall-clock metrics (50%) —
+#: shared CI runners routinely drift this much between jobs.
+SECONDS_TOLERANCE = 0.50
+
+_SECONDS_SUFFIXES = ("_s", "_seconds", "_ms", "_ns")
+_LOWER_IS_BETTER_TOKENS = ("regret", "overhead", "fraction", "latency")
+
+
+def is_seconds_metric(name: str) -> bool:
+    """Whether a metric is an absolute wall-clock measurement."""
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf.endswith(_SECONDS_SUFFIXES)
+
+
+def lower_is_better(name: str) -> bool:
+    """Direction convention, inferred from the metric name."""
+    leaf = name.rsplit(".", 1)[-1]
+    if is_seconds_metric(name):
+        return True
+    return any(tok in leaf for tok in _LOWER_IS_BETTER_TOKENS)
+
+
+def default_tolerance(name: str) -> float:
+    return SECONDS_TOLERANCE if is_seconds_metric(name) else DEFAULT_TOLERANCE
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric.
+
+    ``regression`` is the signed relative worsening: positive means the
+    current value is worse than the baseline in the metric's direction,
+    negative means it improved.  ``status`` is one of ``"improved"``,
+    ``"ok"`` (unchanged), ``"within_tolerance"``, ``"regressed"``.
+    """
+
+    metric: str
+    baseline: float
+    current: float
+    regression: float
+    tolerance: float
+    lower_is_better: bool
+    status: str
+
+    def describe(self) -> str:
+        arrow = "v" if self.lower_is_better else "^"
+        return (
+            f"{self.metric}: {self.baseline:.4g} -> {self.current:.4g} "
+            f"({arrow} better, {self.regression:+.1%} vs tol {self.tolerance:.0%}) "
+            f"[{self.status}]"
+        )
+
+
+@dataclass
+class CompareReport:
+    """Outcome of gating ``current`` against ``baseline``."""
+
+    suite: str
+    current_id: str
+    baseline_id: str | None
+    deltas: list[MetricDelta] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == "regressed"]
+
+    @property
+    def compared(self) -> int:
+        return len(self.deltas)
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no metric or invariant regressed beyond tolerance."""
+        return not self.regressions
+
+    def summary(self) -> str:
+        head = f"suite {self.suite}: {self.current_id} vs {self.baseline_id or '(no baseline)'}"
+        if self.baseline_id is None:
+            return f"{head}\n  SKIP: {self.skipped[0][1] if self.skipped else 'no history'}"
+        lines = [head]
+        for d in self.deltas:
+            if d.status in ("regressed", "within_tolerance"):
+                lines.append("  " + d.describe())
+        improved = sum(1 for d in self.deltas if d.status == "improved")
+        lines.append(
+            f"  {self.compared} compared ({improved} improved, "
+            f"{len(self.regressions)} regressed), {len(self.skipped)} skipped"
+            + (f" ({self.skipped[0][1]}; ...)" if self.skipped else "")
+        )
+        lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _result_id(result: BenchResult) -> str:
+    mode = "quick" if result.quick else "full"
+    return f"{result.commit or 'uncommitted'}/{mode}"
+
+
+def _delta(name: str, base: float, cur: float, tol: float) -> MetricDelta:
+    lib = lower_is_better(name)
+    if base == 0:
+        # Degenerate baseline: only an exact match is "unchanged"; any
+        # movement is judged by sign alone with no meaningful ratio.
+        regression = 0.0 if cur == base else (1.0 if (cur > base) == lib else -1.0)
+    else:
+        regression = (cur - base) / abs(base)
+        if not lib:
+            regression = -regression
+    if regression <= -1e-12:
+        status = "improved"
+    elif regression <= 1e-12:
+        status = "ok"
+    elif regression <= tol:
+        status = "within_tolerance"
+    else:
+        status = "regressed"
+    return MetricDelta(
+        metric=name,
+        baseline=base,
+        current=cur,
+        regression=regression,
+        tolerance=tol,
+        lower_is_better=lib,
+        status=status,
+    )
+
+
+def compare_results(
+    current: BenchResult,
+    baseline: BenchResult | None,
+    tolerances: Mapping[str, float] | None = None,
+) -> CompareReport:
+    """Gate ``current`` against ``baseline`` (public API).
+
+    ``tolerances`` maps metric names to allowed relative worsening and
+    overrides the name-derived defaults (suites declare these); the
+    ``"*"`` key overrides the default for every metric.  A
+    ``None`` baseline — no history — yields a passing, fully-skipped
+    report rather than an error.
+    """
+    report = CompareReport(
+        suite=current.suite,
+        current_id=_result_id(current),
+        baseline_id=None,
+    )
+    if baseline is None:
+        report.skipped.append(("*", "no baseline history for this suite"))
+        return report
+    if baseline.suite != current.suite:
+        raise BenchError(
+            f"cannot compare suite {current.suite!r} against a "
+            f"{baseline.suite!r} baseline"
+        )
+    report.baseline_id = _result_id(baseline)
+    tolerances = dict(tolerances or {})
+
+    same_mode = current.quick == baseline.quick
+    same_machine = (
+        current.machine.get("fingerprint") == baseline.machine.get("fingerprint")
+    )
+
+    for name in sorted(current.metrics):
+        if name not in baseline.metrics:
+            report.skipped.append((name, "metric absent from baseline"))
+            continue
+        if not same_mode:
+            report.skipped.append(
+                (name, "quick/full mode mismatch — numeric metrics incomparable")
+            )
+            continue
+        if is_seconds_metric(name) and not same_machine:
+            report.skipped.append(
+                (name, "machine fingerprint mismatch — absolute times incomparable")
+            )
+            continue
+        tol = tolerances.get(name, tolerances.get("*", default_tolerance(name)))
+        report.deltas.append(
+            _delta(name, float(baseline.metrics[name]), float(current.metrics[name]), tol)
+        )
+
+    # Acceptance invariants: compared across modes and machines — a
+    # correctness boolean that flips to False is a regression, period.
+    for name in sorted(current.acceptance):
+        if name not in baseline.acceptance:
+            report.skipped.append((f"acceptance.{name}", "absent from baseline"))
+            continue
+        base_ok = bool(baseline.acceptance[name])
+        cur_ok = bool(current.acceptance[name])
+        if base_ok and not cur_ok:
+            status = "regressed"
+        elif cur_ok and not base_ok:
+            status = "improved"
+        else:
+            status = "ok"
+        report.deltas.append(
+            MetricDelta(
+                metric=f"acceptance.{name}",
+                baseline=float(base_ok),
+                current=float(cur_ok),
+                regression=float(base_ok) - float(cur_ok),
+                tolerance=0.0,
+                lower_is_better=False,
+                status=status,
+            )
+        )
+    return report

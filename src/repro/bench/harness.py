@@ -1,0 +1,78 @@
+"""Standalone-harness entry point shared by ``benchmarks/bench_*.py``.
+
+The four historical harness scripts are kept as thin executables (CI
+muscle memory, ``python benchmarks/bench_hotpath.py --quick``); each
+now parses the same flags and delegates to its registered suite via
+:func:`harness_main`.  ``repro bench run`` is the first-class interface
+— this module only preserves the script form.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .registry import check_result, get_suite
+from .store import ResultStore
+
+
+def harness_main(
+    suite_name: str, argv: list[str] | None = None, default_output: str | Path | None = None
+) -> int:
+    """Run one suite as a standalone script; returns a process exit code.
+
+    Writes the schema-v2 result JSON to ``--output`` (default: the
+    suite's committed artifact path), optionally appends it to a result
+    store, and fails (exit 1) when any declared acceptance check or
+    acceptance boolean is violated.
+    """
+    suite = get_suite(suite_name)
+    parser = argparse.ArgumentParser(
+        description=f"{suite_name} benchmark suite: {suite.description}"
+    )
+    parser.add_argument(
+        "--quick",
+        "--smoke",
+        dest="quick",
+        action="store_true",
+        help="reduced workloads for CI smoke runs (full-only checks skipped)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=suite.default_reps,
+        help=f"best-of repetitions (default: {suite.default_reps})",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(default_output) if default_output else None,
+        help="result path (default: the suite's committed artifact)",
+    )
+    parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="also append the result to the on-disk trend store "
+        "(default dir: benchmarks/results/bench or $REPRO_BENCH_STORE)",
+    )
+    args = parser.parse_args(argv)
+
+    result = suite.run(quick=args.quick, reps=args.reps)
+    output = args.output or suite.artifact or f"BENCH_{suite_name}.json"
+    result.write(output)
+    print(f"wrote {output}")
+
+    if args.store is not None:
+        store = ResultStore(args.store or None)
+        print(f"stored {store.add(result)}")
+
+    violations = check_result(result, suite)
+    for v in violations:
+        print(f"ACCEPTANCE FAILURE: {v}")
+    if not violations:
+        held = [c.describe() for c in suite.checks if c.evaluate(result) is True]
+        summary = "; ".join(held) if held else "all acceptance booleans hold"
+        print(f"acceptance ok: {summary}")
+    return 1 if violations else 0

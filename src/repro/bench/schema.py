@@ -1,0 +1,401 @@
+"""The shared benchmark result schema (``schema_version = 2``).
+
+Every suite in :mod:`repro.bench` — the perf harnesses (``hotpath``,
+``planner``, ``column``, ``session``) and the paper-figure drivers —
+produces one :class:`BenchResult`.  The schema is deliberately small
+and flat where it matters for regression gating:
+
+* ``metrics``   — dotted-name → number.  Suite-level headline numbers
+  (``sort_phase_speedup``) plus per-workload detail
+  (``er_s16_ef16.end_to_end.speedup``).  These are what
+  :func:`repro.bench.compare_results` diffs between commits.
+* ``acceptance`` — name → bool.  Correctness invariants (bit-identity,
+  arena hygiene, planner convergence).  A ``True`` that turns ``False``
+  between two results is always a gate failure, no tolerance applies.
+* ``phases``    — workload → phase → seconds, taken from the pipeline's
+  explicit per-phase stopwatches (``PBResult.phase_seconds``), so phase
+  breakdowns are first-class rather than reinvented per harness.
+* ``payload``   — the suite's full raw sections, preserved verbatim for
+  forensics; the gate never reads it.
+
+The four ``BENCH_*.json`` artifacts committed before this schema
+existed (``schema_version = 1``, four mutually incompatible shapes)
+load through :func:`load_result`, which detects the owning suite and
+migrates them — the numbers land under the same metric names a fresh
+run produces, so old and new results are directly comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import BenchError
+
+#: Version written by every suite runner.  Bump on incompatible change
+#: and add a migration arm to :func:`load_result`.
+SCHEMA_VERSION = 2
+
+#: Versions :func:`load_result` can read (2 natively, 1 via migration).
+SUPPORTED_VERSIONS = (1, SCHEMA_VERSION)
+
+
+def _fingerprint(mapping: Mapping[str, Any], nchars: int = 12) -> str:
+    blob = json.dumps(mapping, sort_keys=True, default=str).encode()
+    return hashlib.sha1(blob).hexdigest()[:nchars]
+
+
+def machine_info() -> dict:
+    """Identity of the executing machine, with a stable fingerprint.
+
+    Coarse by design: it distinguishes "a different container / numpy /
+    interpreter" — the cases where absolute timings stop being
+    comparable — without trying to model microarchitecture.
+    """
+    info = {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+    try:  # numpy version changes vectorized-kernel timings materially
+        import numpy as np
+
+        info["numpy"] = np.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+    return {"fingerprint": _fingerprint(info), **info}
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """Stable fingerprint of a suite's run configuration."""
+    return _fingerprint(config)
+
+
+@dataclass
+class BenchResult:
+    """One suite run: the unit stored, compared, and gated on.
+
+    Public API (also re-exported as :data:`repro.bench.BenchResult`).
+    """
+
+    suite: str
+    created_unix: float
+    meta: dict
+    machine: dict
+    config: dict
+    workloads: list[str]
+    metrics: dict[str, float]
+    acceptance: dict[str, bool]
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    payload: dict = field(default_factory=dict)
+    commit: str | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def quick(self) -> bool:
+        """Whether this was a smoke run on reduced workloads."""
+        return bool(self.meta.get("quick"))
+
+    @property
+    def ok(self) -> bool:
+        """All acceptance booleans hold."""
+        return all(self.acceptance.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "created_unix": self.created_unix,
+            "commit": self.commit,
+            "meta": self.meta,
+            "machine": self.machine,
+            "config": self.config,
+            "workloads": self.workloads,
+            "metrics": self.metrics,
+            "acceptance": self.acceptance,
+            "phases": self.phases,
+            "payload": self.payload,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchResult":
+        validate_result(data)
+        return cls(
+            suite=data["suite"],
+            created_unix=float(data["created_unix"]),
+            meta=dict(data["meta"]),
+            machine=dict(data["machine"]),
+            config=dict(data["config"]),
+            workloads=list(data["workloads"]),
+            metrics=dict(data["metrics"]),
+            acceptance=dict(data["acceptance"]),
+            phases={w: dict(p) for w, p in data.get("phases", {}).items()},
+            payload=dict(data.get("payload", {})),
+            commit=data.get("commit"),
+            schema_version=int(data["schema_version"]),
+        )
+
+
+def new_result(
+    suite: str,
+    *,
+    quick: bool,
+    reps: int,
+    workloads: list[str],
+    metrics: Mapping[str, float],
+    acceptance: Mapping[str, bool],
+    phases: Mapping[str, Mapping[str, float]] | None = None,
+    payload: Mapping[str, Any] | None = None,
+    extra_meta: Mapping[str, Any] | None = None,
+    config: Mapping[str, Any] | None = None,
+) -> BenchResult:
+    """Assemble a fresh :class:`BenchResult`, stamping fingerprints.
+
+    The one constructor every suite runner goes through, so metadata
+    (machine identity, config fingerprint, timestamps) is uniform
+    across suites instead of re-plumbed per harness.
+    """
+    machine = machine_info()
+    meta = {
+        "quick": bool(quick),
+        "reps": int(reps),
+        "python": machine["python"],
+        "numpy": machine.get("numpy"),
+        **dict(extra_meta or {}),
+    }
+    cfg = {"suite": suite, "quick": bool(quick), "reps": int(reps), **dict(config or {})}
+    return BenchResult(
+        suite=suite,
+        created_unix=time.time(),
+        meta=meta,
+        machine=machine,
+        config={"fingerprint": config_fingerprint(cfg), **cfg},
+        workloads=list(workloads),
+        metrics={k: float(v) for k, v in dict(metrics).items()},
+        acceptance={k: bool(v) for k, v in dict(acceptance).items()},
+        phases={w: {k: float(v) for k, v in p.items()} for w, p in dict(phases or {}).items()},
+        payload=dict(payload or {}),
+    )
+
+
+def validate_result(data: dict) -> dict:
+    """Validate a schema-v2 payload; raise :class:`BenchError` on drift.
+
+    Returns the payload unchanged when it conforms (same contract as
+    the legacy per-harness ``validate_report`` functions, which this
+    replaces — :class:`BenchError` is a ``ValueError``).
+    """
+    if not isinstance(data, dict):
+        raise BenchError(f"result must be a dict, got {type(data).__name__}")
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise BenchError(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {data.get('schema_version')!r} (legacy v1 payloads load "
+            f"via repro.bench.load_result, which migrates)"
+        )
+    if not isinstance(data.get("suite"), str) or not data["suite"]:
+        raise BenchError("suite must be a non-empty string")
+    created = data.get("created_unix")
+    if not isinstance(created, (int, float)) or created <= 0:
+        raise BenchError("created_unix must be a positive unix timestamp")
+    for key in ("meta", "machine", "config", "metrics", "acceptance"):
+        if not isinstance(data.get(key), dict):
+            raise BenchError(f"{key!r} must be a dict")
+    if not isinstance(data["meta"].get("quick"), bool):
+        raise BenchError("meta['quick'] must be a boolean")
+    for key in ("machine", "config"):
+        if not isinstance(data[key].get("fingerprint"), str) or not data[key]["fingerprint"]:
+            raise BenchError(f"{key}['fingerprint'] must be a non-empty string")
+    wl = data.get("workloads")
+    if (
+        not isinstance(wl, list)
+        or not wl
+        or not all(isinstance(w, str) and w for w in wl)
+    ):
+        raise BenchError("workloads must be a non-empty list of names")
+    for name, value in data["metrics"].items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise BenchError(f"metrics[{name!r}] must be a number, got {value!r}")
+        if not math.isfinite(value):
+            raise BenchError(f"metrics[{name!r}] must be finite, got {value!r}")
+    if not data["acceptance"]:
+        raise BenchError("acceptance must declare at least one invariant")
+    for name, value in data["acceptance"].items():
+        if not isinstance(value, bool):
+            raise BenchError(f"acceptance[{name!r}] must be a boolean, got {value!r}")
+    phases = data.get("phases", {})
+    if not isinstance(phases, dict):
+        raise BenchError("phases must be a dict")
+    for w, per_phase in phases.items():
+        if not isinstance(per_phase, dict):
+            raise BenchError(f"phases[{w!r}] must map phase names to seconds")
+        for phase, seconds in per_phase.items():
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                raise BenchError(
+                    f"phases[{w!r}][{phase!r}] must be a non-negative number"
+                )
+    if not isinstance(data.get("payload", {}), dict):
+        raise BenchError("payload must be a dict")
+    commit = data.get("commit")
+    if commit is not None and not isinstance(commit, str):
+        raise BenchError("commit must be a string or null")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Legacy (schema_version 1) migration
+# ---------------------------------------------------------------------------
+
+def detect_legacy_suite(data: dict) -> str:
+    """Identify which harness wrote a v1 ``BENCH_*.json`` payload.
+
+    The four legacy shapes are mutually distinguishable by their
+    top-level sections; order matters only for ``kernels`` (shared by
+    hotpath and column).
+    """
+    if not isinstance(data, dict):
+        raise BenchError("legacy report must be a dict")
+    if "amortization" in data and "pipeline" in data:
+        return "session"
+    if "end_to_end" in data and "kernels" in data:
+        return "hotpath"
+    if "planner" in data and "kernels" in data:
+        return "column"
+    if "results" in data and "workloads" in data:
+        return "planner"
+    raise BenchError(
+        "cannot identify the suite of this legacy report; expected one of "
+        "the four BENCH_{hotpath,planner,column,session}.json shapes"
+    )
+
+
+def legacy_meta(data: dict) -> dict:
+    """Normalized ``meta`` for a migrated v1 payload."""
+    meta = dict(data.get("meta", {}))
+    meta.setdefault("quick", False)
+    meta["quick"] = bool(meta["quick"])
+    meta["migrated_from_schema_version"] = 1
+    return meta
+
+
+def legacy_machine(meta: dict) -> dict:
+    """Best-effort machine identity for a v1 payload.
+
+    v1 reports recorded only numpy/python versions; the fingerprint is
+    derived from those so two legacy artifacts from the same toolchain
+    compare as same-machine, while never colliding with a live
+    :func:`machine_info` fingerprint (distinct ``legacy-`` prefix).
+    """
+    info = {"python": meta.get("python"), "numpy": meta.get("numpy")}
+    fp = meta.get("profile_fingerprint") or _fingerprint(info)
+    return {"fingerprint": f"legacy-{fp}", **info}
+
+
+def legacy_result(
+    suite: str,
+    data: dict,
+    *,
+    workloads: list[str],
+    metrics: Mapping[str, float],
+    acceptance: Mapping[str, bool],
+    phases: Mapping[str, Mapping[str, float]] | None = None,
+    payload: Mapping[str, Any] | None = None,
+) -> BenchResult:
+    """Shared assembly for per-suite ``migrate`` hooks.
+
+    Carries the legacy meta through, synthesizes the fingerprints v1
+    never recorded, and keeps the original sections verbatim in
+    ``payload``.
+    """
+    meta = legacy_meta(data)
+    created = meta.get("created_unix")
+    cfg = {
+        "suite": suite,
+        "quick": meta["quick"],
+        "reps": int(meta.get("reps", 1)),
+        "migrated": True,
+    }
+    return BenchResult(
+        suite=suite,
+        created_unix=(
+            float(created) if isinstance(created, (int, float)) and created > 0 else 1.0
+        ),
+        meta=meta,
+        machine=legacy_machine(meta),
+        config={"fingerprint": config_fingerprint(cfg), **cfg},
+        workloads=list(workloads),
+        metrics={k: float(v) for k, v in dict(metrics).items()},
+        acceptance={k: bool(v) for k, v in dict(acceptance).items()},
+        phases={
+            w: {k: float(v) for k, v in p.items()}
+            for w, p in dict(phases or {}).items()
+        },
+        payload=dict(payload or {}),
+    )
+
+
+def migrate_legacy(data: dict, suite: str | None = None) -> BenchResult:
+    """One-shot migration of a v1 harness report onto :class:`BenchResult`.
+
+    The owning suite's ``migrate`` hook does the field mapping so the
+    migrated metrics carry exactly the names a fresh run of that suite
+    produces — which is what makes ``repro bench compare`` able to gate
+    a new run against a committed legacy baseline.
+    """
+    if data.get("schema_version") != 1:
+        raise BenchError(
+            f"migrate_legacy handles schema_version 1, got "
+            f"{data.get('schema_version')!r}"
+        )
+    from .registry import get_suite  # lazy: registry imports this module
+
+    name = suite or detect_legacy_suite(data)
+    owner = get_suite(name)
+    if owner.migrate is None:
+        raise BenchError(f"suite {name!r} has no legacy migration")
+    result = owner.migrate(data)
+    validate_result(result.to_dict())
+    return result
+
+
+def load_result(path, suite: str | None = None) -> BenchResult:
+    """Load a result JSON — current schema or a legacy v1 artifact.
+
+    Public API (:func:`repro.bench.load_result`).  v1 payloads are
+    migrated in memory; the file on disk is left untouched (use
+    ``repro bench migrate`` to rewrite them).
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise BenchError(f"cannot read result file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"result file {path} is not valid JSON: {exc}") from exc
+    version = data.get("schema_version") if isinstance(data, dict) else None
+    if version == SCHEMA_VERSION:
+        return BenchResult.from_dict(data)
+    if version == 1:
+        return migrate_legacy(data, suite=suite)
+    raise BenchError(
+        f"{path}: unsupported schema_version {version!r} "
+        f"(supported: {SUPPORTED_VERSIONS})"
+    )

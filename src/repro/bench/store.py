@@ -1,0 +1,177 @@
+"""On-disk result store with per-suite trend history.
+
+Results live under one root directory (default
+``benchmarks/results/bench/`` relative to the working tree, or
+``$REPRO_BENCH_STORE``) as::
+
+    <root>/<suite>/<created_unix>-<commit>.json
+
+keyed by commit + suite: each file is one :class:`~repro.bench.schema.
+BenchResult`, and the store answers "what did this suite measure on an
+earlier commit" — which is all the regression gate
+(:func:`repro.bench.compare_results`) needs.  The store is append-only
+and has no index file to corrupt; history is reconstructed from the
+stored payloads themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import BenchError
+from .schema import BenchResult, load_result
+
+#: Environment override for the default store root.
+STORE_ENV = "REPRO_BENCH_STORE"
+
+#: Default store location relative to the working tree.
+DEFAULT_STORE_DIR = Path("benchmarks") / "results" / "bench"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_BENCH_STORE`` if set, else ``benchmarks/results/bench``."""
+    env = os.environ.get(STORE_ENV)
+    return Path(env) if env else DEFAULT_STORE_DIR
+
+
+def current_commit(cwd=None) -> str | None:
+    """Short commit hash of the working tree, or ``None`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored result, summarized without loading the full payload."""
+
+    suite: str
+    commit: str | None
+    created_unix: float
+    quick: bool
+    path: Path
+
+    def load(self) -> BenchResult:
+        return load_result(self.path)
+
+
+class ResultStore:
+    """Append-only directory of :class:`BenchResult` files.
+
+    Public API (:class:`repro.bench.ResultStore`).
+    """
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else default_store_root()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"
+
+    def add(self, result: BenchResult, commit: str | None = None) -> Path:
+        """Persist a result under ``<suite>/<created>-<commit>.json``.
+
+        ``commit`` overrides (and is recorded into) the result's commit
+        key; when neither is set the working tree's HEAD is used.
+        """
+        if commit is not None:
+            result.commit = commit
+        if result.commit is None:
+            result.commit = current_commit()
+        suite_dir = self.root / result.suite
+        suite_dir.mkdir(parents=True, exist_ok=True)
+        stem = f"{int(result.created_unix)}-{result.commit or 'unknown'}"
+        path = suite_dir / f"{stem}.json"
+        serial = 0
+        while path.exists():  # same suite+commit+second: keep both runs
+            serial += 1
+            path = suite_dir / f"{stem}.{serial}.json"
+        result.write(path)
+        return path
+
+    def suites(self) -> list[str]:
+        """Suite names with at least one stored result."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            d.name
+            for d in self.root.iterdir()
+            if d.is_dir() and any(d.glob("*.json"))
+        )
+
+    def entries(self, suite: str) -> list[StoreEntry]:
+        """All stored results for a suite, oldest first."""
+        suite_dir = self.root / suite
+        if not suite_dir.is_dir():
+            return []
+        found = []
+        for path in suite_dir.glob("*.json"):
+            try:
+                data = json.loads(path.read_text())
+                found.append(
+                    StoreEntry(
+                        suite=suite,
+                        commit=data.get("commit"),
+                        created_unix=float(data.get("created_unix", 0.0)),
+                        quick=bool(data.get("meta", {}).get("quick")),
+                        path=path,
+                    )
+                )
+            except (OSError, json.JSONDecodeError, TypeError, ValueError):
+                # A torn write must not take the whole history down.
+                continue
+        return sorted(found, key=lambda e: (e.created_unix, e.path.name))
+
+    def latest(
+        self,
+        suite: str,
+        *,
+        exclude_commit: str | None = None,
+        quick: bool | None = None,
+    ) -> BenchResult | None:
+        """Most recent stored result, optionally filtered.
+
+        ``exclude_commit`` skips entries from that commit (how the gate
+        finds "the previous commit's numbers"); ``quick`` filters by
+        smoke/full mode.  Returns ``None`` when nothing matches — the
+        caller degrades to a committed artifact or a skip, never a
+        crash.
+        """
+        for entry in reversed(self.entries(suite)):
+            if exclude_commit is not None and entry.commit == exclude_commit:
+                continue
+            if quick is not None and entry.quick != quick:
+                continue
+            return entry.load()
+        return None
+
+    def load(self, suite: str, commit: str) -> BenchResult:
+        """The most recent stored result of ``suite`` at ``commit``.
+
+        ``commit`` may be a unique prefix.  Raises :class:`BenchError`
+        when the store has no such entry.
+        """
+        matches = [
+            e
+            for e in self.entries(suite)
+            if e.commit is not None and e.commit.startswith(commit)
+        ]
+        if not matches:
+            known = sorted({e.commit for e in self.entries(suite) if e.commit})
+            raise BenchError(
+                f"no stored result for suite {suite!r} at commit {commit!r}"
+                + (f"; stored commits: {', '.join(known)}" if known else "")
+            )
+        return matches[-1].load()

@@ -1,0 +1,30 @@
+"""Built-in suite definitions.
+
+Each module here owns one registered :class:`~repro.bench.registry.
+Suite`: the measurement code that used to live in a standalone
+``benchmarks/bench_*.py`` harness, plus the declarative acceptance
+checks and the v1-artifact migration for that suite.  Modules register
+themselves at import time; the registry imports them lazily by name.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def timed(fn) -> float:
+    """Seconds for one call of ``fn``."""
+    t = time.perf_counter()
+    fn()
+    return time.perf_counter() - t
+
+
+def best_of(fn, reps: int) -> float:
+    """Best of ``reps`` timed calls after one untimed warm-up.
+
+    The warm-up absorbs page-in, allocator growth, and first-call
+    costs; min-of-reps is the standard noise-rejecting estimator for
+    compute-bound kernels.
+    """
+    fn()
+    return min(timed(fn) for _ in range(max(1, reps)))

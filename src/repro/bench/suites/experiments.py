@@ -1,0 +1,121 @@
+"""Paper-figure/table drivers as registered suites.
+
+Each id maps to the :mod:`repro.analysis.experiments` driver that
+regenerates one figure or table from the paper (the mapping the CLI's
+``repro experiment`` consumed inline before this package existed).
+Registering them as suites gives them the shared result schema for
+free: ``repro bench run fig7 --store`` persists the tables next to the
+perf suites' trend history.
+
+Experiment results carry their :class:`~repro.analysis.records.
+ResultTable` rows verbatim in ``payload["tables"]``; the only gated
+surface is the structural acceptance boolean (every driver produced at
+least one non-empty table).
+"""
+
+from __future__ import annotations
+
+from ...analysis.records import ResultTable
+from ..registry import EXPERIMENT_SUITES, Suite, register_suite
+from ..schema import BenchResult, new_result
+
+
+def _call(name):
+    from ... import analysis
+
+    return [getattr(analysis, name)()]
+
+
+def _fig3():
+    from ...analysis.experiments import fig3_roofline
+
+    return [fig3_roofline()]
+
+
+def _fig6():
+    from ...analysis.experiments import fig6_parameter_sweep
+
+    return list(fig6_parameter_sweep())
+
+
+def _figs7to10(machine, kind):
+    from ...analysis.experiments import fig7_to_10_random_matrices
+    from ...machine.presets import get_machine
+
+    return [fig7_to_10_random_matrices(get_machine(machine), kind)]
+
+
+#: id -> (paper figure/table label, thunk returning list[ResultTable]).
+EXPERIMENTS = {
+    "fig3": ("Fig. 3 (roofline)", _fig3),
+    "fig6": ("Fig. 6 (parameter sweep)", _fig6),
+    "fig7": ("Fig. 7 (ER, Skylake)", lambda: _figs7to10("skylake", "er")),
+    "fig8": ("Fig. 8 (ER, POWER9)", lambda: _figs7to10("power9", "er")),
+    "fig9": ("Fig. 9 (R-MAT, Skylake)", lambda: _figs7to10("skylake", "rmat")),
+    "fig10": ("Fig. 10 (R-MAT, POWER9)", lambda: _figs7to10("power9", "rmat")),
+    "fig11": ("Fig. 11 (real matrices)", lambda: _call("fig11_real_matrices")),
+    "fig12": ("Fig. 12 (strong scaling)", lambda: _call("fig12_strong_scaling")),
+    "fig12m": (
+        "Fig. 12 (measured parallel scaling)",
+        lambda: _call("measured_parallel_scaling"),
+    ),
+    "fig13": ("Fig. 13 (phase breakdown)", lambda: _call("fig13_phase_breakdown")),
+    "fig14": ("Fig. 14 (dual socket)", lambda: _call("fig14_dual_socket")),
+    "table2": ("Table II (access patterns)", lambda: _call("table2_access_patterns")),
+    "table3": ("Table III (phase costs)", lambda: _call("table3_phase_costs")),
+    "table5": ("Table V (STREAM)", lambda: _call("table5_stream")),
+    "table6": ("Table VI (matrix stats)", lambda: _call("table6_matrix_stats")),
+    "table7": ("Table VII (NUMA)", lambda: _call("table7_numa")),
+}
+
+assert set(EXPERIMENTS) == set(EXPERIMENT_SUITES), (
+    "registry.EXPERIMENT_SUITES is out of sync with suites.experiments"
+)
+
+
+def tables_for(exp_id: str) -> list[ResultTable]:
+    """Regenerate the tables for one experiment id (CLI entry point)."""
+    from ..registry import get_suite  # raise the standard unknown-suite error
+
+    if exp_id not in EXPERIMENTS:
+        get_suite(exp_id)
+    return EXPERIMENTS[exp_id][1]()
+
+
+def tables_from_result(result: BenchResult) -> list[ResultTable]:
+    """Rebuild the ResultTables an experiment suite run serialized."""
+    return [ResultTable.from_dict(t) for t in result.payload.get("tables", [])]
+
+
+def _make_runner(exp_id: str):
+    def run(quick: bool = False, reps: int = 1) -> BenchResult:
+        tables = tables_for(exp_id)
+        metrics = {"tables": float(len(tables))}
+        for i, t in enumerate(tables):
+            metrics[f"{exp_id}.table{i}.rows"] = float(len(t))
+        return new_result(
+            exp_id,
+            quick=quick,
+            reps=reps,
+            workloads=[exp_id],
+            metrics=metrics,
+            acceptance={
+                "tables_nonempty": bool(tables) and all(len(t) > 0 for t in tables)
+            },
+            payload={"tables": [t.to_dict() for t in tables]},
+        )
+
+    return run
+
+
+for _id, (_label, _thunk) in EXPERIMENTS.items():
+    register_suite(
+        Suite(
+            name=_id,
+            description=f"paper driver: {_label}",
+            runner=_make_runner(_id),
+            figures=(_label,),
+            workloads={"quick": (_id,), "full": (_id,)},
+            default_reps=1,
+        )
+    )

@@ -1,23 +1,33 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Subcommands mirror the library's main entry points:
+Commands form a subcommand tree grouped by what they operate on:
 
-* ``generate``   — write an ER / R-MAT / surrogate matrix as MatrixMarket,
-* ``stats``      — matrix and multiplication statistics (Table VI row),
-* ``multiply``   — C = A · B with any algorithm (or ``auto``), written
-  as MatrixMarket,
-* ``plan``       — explain what ``algorithm="auto"`` would choose and why,
-* ``calibrate``  — micro-benchmark this machine into a planner profile,
-* ``simulate``   — predicted performance on a machine model,
-* ``roofline``   — AI bounds and attainable FLOPS for a workload,
-* ``stream``     — the machine's STREAM table (Table V),
-* ``experiment`` — regenerate any paper figure/table by id.
+* ``matrix``     — ``generate`` / ``stats`` / ``multiply``: build,
+  inspect, and multiply MatrixMarket matrices;
+* ``plan``       — explain what ``algorithm="auto"`` would choose and why;
+* ``calibrate``  — micro-benchmark this machine into a planner profile;
+* ``bench``      — ``run`` / ``compare`` / ``list`` / ``migrate``: the
+  unified benchmark suites, the on-disk trend store, and the regression
+  gate (:mod:`repro.bench`);
+* ``experiment`` — regenerate any paper figure/table by id;
+* ``machine``    — ``simulate`` / ``roofline`` / ``stream``: the
+  analytic machine model.
+
+The pre-tree spellings (``repro generate``, ``repro stats``,
+``repro multiply``, ``repro simulate``, ``repro roofline``,
+``repro stream``) keep working as deprecated aliases that emit a
+``DeprecationWarning`` naming the canonical command.
+
+Execution flags shared by ``matrix multiply`` and ``plan``
+(``--executor/--nthreads/--nbins/--sort-backend/--column-backend``)
+come from one parent parser, so the two commands cannot drift apart.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 from . import __version__
 
@@ -31,11 +41,46 @@ def _add_machine_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _exec_parent() -> argparse.ArgumentParser:
+    """Shared PB execution flags (parent parser, no help of its own)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--executor",
+        default="serial",
+        choices=("serial", "process"),
+        help="PB execution backend: in-process numpy, or a real process pool",
+    )
+    p.add_argument(
+        "--nthreads", type=int, default=1, help="worker count for --executor process"
+    )
+    p.add_argument("--nbins", type=int, default=None, help="global bin count override")
+    p.add_argument(
+        "--sort-backend",
+        default="radix",
+        choices=("radix", "argsort", "mergesort"),
+        help="PB sort kernel: counting-scatter radix (default), the "
+        "pre-optimization byte-argsort ablation, or a comparison sort",
+    )
+    p.add_argument(
+        "--column-backend",
+        default="panel",
+        choices=("panel", "loop"),
+        help="column-kernel strategy (heap/hash/hashvec/spa): "
+        "panel-vectorized gather + segmented reduction (default), or the "
+        "faithful per-column loop accumulators (ablation)",
+    )
+    return p
+
+
 def _load(path: str):
     from .matrix.io import read_matrix_market
 
     return read_matrix_market(path)
 
+
+# ---------------------------------------------------------------------------
+# matrix generate / stats / multiply
+# ---------------------------------------------------------------------------
 
 def _cmd_generate(args) -> int:
     from .generators import erdos_renyi, rmat, surrogate
@@ -134,6 +179,10 @@ def _cmd_multiply(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# plan / calibrate
+# ---------------------------------------------------------------------------
+
 def _cmd_plan(args) -> int:
     import json as _json
 
@@ -143,6 +192,9 @@ def _cmd_plan(args) -> int:
     config = PBConfig(
         nthreads=args.nthreads,
         executor=args.executor,
+        nbins=args.nbins,
+        sort_backend=args.sort_backend,
+        column_backend=args.column_backend,
         plan_cache_dir=args.cache_dir,
         calibration="off" if args.no_calibration else "auto",
     )
@@ -192,6 +244,174 @@ def _cmd_calibrate(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# bench run / compare / list / migrate
+# ---------------------------------------------------------------------------
+
+def _cmd_bench_run(args) -> int:
+    from .bench import BenchError, ResultStore, check_result, get_suite
+
+    if args.output and len(args.suites) > 1:
+        print("--output requires exactly one suite", file=sys.stderr)
+        return 2
+    try:  # resolve every name before running anything
+        suites = [get_suite(name) for name in args.suites]
+    except BenchError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    store = ResultStore(args.store or None) if args.store is not None else None
+    failures = 0
+    for name, suite in zip(args.suites, suites):
+        result = suite.run(quick=args.smoke, reps=args.reps)
+        if args.json:
+            print(result.to_json(), end="")
+        if args.output:
+            result.write(args.output)
+            print(f"wrote {args.output}")
+        if store is not None:
+            print(f"stored {store.add(result)}")
+        violations = check_result(result, suite)
+        for v in violations:
+            print(f"{name}: ACCEPTANCE FAILURE: {v}")
+        if not violations:
+            mode = "smoke" if result.quick else "full"
+            print(f"{name}: ok ({mode}, {len(result.metrics)} metrics)")
+        failures += bool(violations)
+    return 1 if failures else 0
+
+
+def _resolve_baseline(suite, ref, store, current):
+    """Baseline result for one suite, or (None, reason) when unavailable.
+
+    ``ref`` may be ``None``/"auto" (prior store entry from a different
+    commit, else the committed artifact), "committed" (the repo-root
+    ``BENCH_*.json``), a result-file path, or a commit prefix in the
+    store.
+    """
+    from pathlib import Path
+
+    from .bench import load_result
+
+    if ref in (None, "auto"):
+        if current.commit is not None:
+            prior = store.latest(suite.name, exclude_commit=current.commit)
+            if prior is not None:
+                return prior, None
+        ref = "committed"
+    if ref == "committed":
+        if suite.artifact and Path(suite.artifact).exists():
+            return load_result(suite.artifact, suite=suite.name), None
+        return None, f"no committed artifact for suite {suite.name!r}"
+    if Path(ref).exists():
+        return load_result(ref), None
+    return store.load(suite.name, ref), None
+
+
+def _cmd_bench_compare(args) -> int:
+    from .bench import BenchError, ResultStore, compare_results, get_suite
+
+    store = ResultStore(args.store or None)
+    names = args.suites or store.suites()
+    if not names:
+        print("result store is empty; nothing to compare")
+        return 0
+    try:
+        resolved = {name: get_suite(name) for name in names}
+    except BenchError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    exit_code = 0
+    for name in names:
+        suite = resolved[name]
+        current = store.latest(name)
+        if current is None:
+            print(f"{name}: no current result in the store — skipping")
+            continue
+        try:
+            baseline, reason = _resolve_baseline(suite, args.ref, store, current)
+        except BenchError as exc:
+            print(f"{name}: {exc}", file=sys.stderr)
+            exit_code = max(exit_code, 2)
+            continue
+        if baseline is None:
+            print(f"{name}: {reason} — skipping (no history is not a failure)")
+            continue
+        tolerances = dict(suite.tolerances)
+        if args.tolerance is not None:
+            tolerances["*"] = args.tolerance
+        report = compare_results(current, baseline, tolerances=tolerances)
+        print(report.summary())
+        if not report.ok:
+            exit_code = max(exit_code, 1)
+    return exit_code
+
+
+def _cmd_bench_list(args) -> int:
+    from .bench import EXPERIMENT_SUITES, PERF_SUITES, get_suite
+
+    for name in PERF_SUITES + EXPERIMENT_SUITES:
+        suite = get_suite(name)
+        print(f"{name}: {suite.description}")
+        if args.verbose:
+            if suite.artifact:
+                print(f"    artifact : {suite.artifact}")
+            for mode in ("quick", "full"):
+                wl = suite.workloads.get(mode)
+                if wl:
+                    print(f"    {mode:9}: {', '.join(wl)}")
+            for check in suite.checks:
+                print(f"    check    : {check.name} — {check.describe()}")
+    return 0
+
+
+def _cmd_bench_migrate(args) -> int:
+    from pathlib import Path
+
+    from .bench import BenchError, load_result
+
+    status = 0
+    for path in args.paths:
+        try:
+            result = load_result(path)
+        except BenchError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        if args.in_place:
+            result.write(path)
+            print(f"migrated {path} (suite {result.suite}, schema v{result.schema_version})")
+        elif args.output_dir:
+            out = Path(args.output_dir) / Path(path).name
+            result.write(out)
+            print(f"migrated {path} -> {out}")
+        else:
+            print(result.to_json(), end="")
+    return status
+
+
+# ---------------------------------------------------------------------------
+# experiment / machine
+# ---------------------------------------------------------------------------
+
+def _cmd_experiment(args) -> int:
+    from .analysis.tables import render_table
+    from .bench.suites.experiments import EXPERIMENTS, tables_for
+
+    if args.id not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown experiment {args.id!r}; available: {known}", file=sys.stderr)
+        return 2
+    tables = tables_for(args.id)
+    for t in tables:
+        print(render_table(t))
+        print()
+        if args.csv:
+            path = f"{args.csv}/{args.id}_{t.title.split(' ')[0].strip('=').lower() or 'out'}.csv"
+            t.to_csv(path)
+            print(f"(csv: {path})")
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     from .machine.presets import get_machine
     from .simulate.engine import simulate_spgemm
@@ -231,68 +451,69 @@ def _cmd_stream(args) -> int:
     return 0
 
 
-_EXPERIMENTS = {
-    "fig3": lambda: [_fig3()],
-    "fig6": lambda: list(_fig6()),
-    "fig7": lambda: [_figs7to10("skylake", "er")],
-    "fig8": lambda: [_figs7to10("power9", "er")],
-    "fig9": lambda: [_figs7to10("skylake", "rmat")],
-    "fig10": lambda: [_figs7to10("power9", "rmat")],
-    "fig11": lambda: [_call("fig11_real_matrices")],
-    "fig12": lambda: [_call("fig12_strong_scaling")],
-    "fig12m": lambda: [_call("measured_parallel_scaling")],
-    "fig13": lambda: [_call("fig13_phase_breakdown")],
-    "fig14": lambda: [_call("fig14_dual_socket")],
-    "table2": lambda: [_call("table2_access_patterns")],
-    "table3": lambda: [_call("table3_phase_costs")],
-    "table5": lambda: [_call("table5_stream")],
-    "table6": lambda: [_call("table6_matrix_stats")],
-    "table7": lambda: [_call("table7_numa")],
-}
+# ---------------------------------------------------------------------------
+# parser assembly
+# ---------------------------------------------------------------------------
+
+def _build_generate(sub, name: str, deprecated: str | None = None):
+    g = sub.add_parser(name, help="generate a test matrix (MatrixMarket)")
+    g.add_argument("kind", choices=("er", "rmat", "surrogate"))
+    g.add_argument("output", help="output .mtx path")
+    g.add_argument("--scale", type=int, default=10, help="log2 dimension (er/rmat)")
+    g.add_argument("--edge-factor", type=int, default=8)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--name", default="cage12", help="Table VI name (surrogate)")
+    g.add_argument("--scale-factor", type=float, default=1 / 16, help="surrogate size factor")
+    g.set_defaults(func=_cmd_generate, _deprecated=deprecated)
 
 
-def _call(name):
-    from . import analysis
-
-    return getattr(analysis, name)()
-
-
-def _fig3():
-    from .analysis.experiments import fig3_roofline
-
-    return fig3_roofline()
+def _build_stats(sub, name: str, deprecated: str | None = None):
+    s = sub.add_parser(name, help="matrix statistics (Table VI row)")
+    s.add_argument("matrix", help=".mtx path")
+    s.add_argument("--square", action="store_true", help="also analyze A*A")
+    s.set_defaults(func=_cmd_stats, _deprecated=deprecated)
 
 
-def _fig6():
-    from .analysis.experiments import fig6_parameter_sweep
+def _build_multiply(sub, name: str, exec_parent, deprecated: str | None = None):
+    m = sub.add_parser(
+        name, help="sparse matrix multiplication", parents=[exec_parent]
+    )
+    m.add_argument("a", help="first operand (.mtx)")
+    m.add_argument("b", nargs="?", help="second operand (.mtx); default: A*A")
+    m.add_argument("--algorithm", default="pb")
+    m.add_argument("--semiring", default="plus_times")
+    m.add_argument("--output", help="write the product here (.mtx)")
+    m.add_argument(
+        "--panel-tuples",
+        type=int,
+        default=None,
+        help="panel working-set budget in tuples for --column-backend panel",
+    )
+    m.set_defaults(func=_cmd_multiply, _deprecated=deprecated)
 
-    return fig6_parameter_sweep()
+
+def _build_simulate(sub, name: str, deprecated: str | None = None):
+    si = sub.add_parser(name, help="predicted performance on a machine model")
+    si.add_argument("a", help="first operand (.mtx)")
+    si.add_argument("b", nargs="?", help="second operand; default: A*A")
+    si.add_argument("--algorithms", default="pb,heap,hash,hashvec")
+    si.add_argument("--threads", type=int, default=None)
+    si.add_argument("--sockets", type=int, default=1)
+    _add_machine_arg(si)
+    si.set_defaults(func=_cmd_simulate, _deprecated=deprecated)
 
 
-def _figs7to10(machine, kind):
-    from .analysis.experiments import fig7_to_10_random_matrices
-    from .machine.presets import get_machine
+def _build_roofline(sub, name: str, deprecated: str | None = None):
+    r = sub.add_parser(name, help="AI bounds / attainable FLOPS (Fig. 3)")
+    r.add_argument("--cf", default="1,2,4,8", help="comma-separated compression factors")
+    _add_machine_arg(r)
+    r.set_defaults(func=_cmd_roofline, _deprecated=deprecated)
 
-    return fig7_to_10_random_matrices(get_machine(machine), kind)
 
-
-def _cmd_experiment(args) -> int:
-    from .analysis.tables import render_table
-
-    try:
-        tables = _EXPERIMENTS[args.id]()
-    except KeyError:
-        known = ", ".join(sorted(_EXPERIMENTS))
-        print(f"unknown experiment {args.id!r}; available: {known}", file=sys.stderr)
-        return 2
-    for t in tables:
-        print(render_table(t))
-        print()
-        if args.csv:
-            path = f"{args.csv}/{args.id}_{t.title.split(' ')[0].strip('=').lower() or 'out'}.csv"
-            t.to_csv(path)
-            print(f"(csv: {path})")
-    return 0
+def _build_stream(sub, name: str, deprecated: str | None = None):
+    st = sub.add_parser(name, help="STREAM bandwidth table (Table V)")
+    _add_machine_arg(st)
+    st.set_defaults(func=_cmd_stream, _deprecated=deprecated)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -302,69 +523,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+    exec_parent = _exec_parent()
 
-    g = sub.add_parser("generate", help="generate a test matrix (MatrixMarket)")
-    g.add_argument("kind", choices=("er", "rmat", "surrogate"))
-    g.add_argument("output", help="output .mtx path")
-    g.add_argument("--scale", type=int, default=10, help="log2 dimension (er/rmat)")
-    g.add_argument("--edge-factor", type=int, default=8)
-    g.add_argument("--seed", type=int, default=0)
-    g.add_argument("--name", default="cage12", help="Table VI name (surrogate)")
-    g.add_argument("--scale-factor", type=float, default=1 / 16, help="surrogate size factor")
-    g.set_defaults(func=_cmd_generate)
+    # -- matrix group -------------------------------------------------------
+    mat = sub.add_parser("matrix", help="generate / inspect / multiply matrices")
+    mat_sub = mat.add_subparsers(dest="subcommand", required=True)
+    _build_generate(mat_sub, "generate")
+    _build_stats(mat_sub, "stats")
+    _build_multiply(mat_sub, "multiply", exec_parent)
 
-    s = sub.add_parser("stats", help="matrix statistics (Table VI row)")
-    s.add_argument("matrix", help=".mtx path")
-    s.add_argument("--square", action="store_true", help="also analyze A*A")
-    s.set_defaults(func=_cmd_stats)
-
-    m = sub.add_parser("multiply", help="sparse matrix multiplication")
-    m.add_argument("a", help="first operand (.mtx)")
-    m.add_argument("b", nargs="?", help="second operand (.mtx); default: A*A")
-    m.add_argument("--algorithm", default="pb")
-    m.add_argument("--semiring", default="plus_times")
-    m.add_argument("--output", help="write the product here (.mtx)")
-    m.add_argument(
-        "--executor",
-        default="serial",
-        choices=("serial", "process"),
-        help="PB execution backend: in-process numpy, or a real process pool",
-    )
-    m.add_argument(
-        "--nthreads", type=int, default=1, help="worker count for --executor process"
-    )
-    m.add_argument("--nbins", type=int, default=None, help="global bin count override")
-    m.add_argument(
-        "--sort-backend",
-        default="radix",
-        choices=("radix", "argsort", "mergesort"),
-        help="PB sort kernel: counting-scatter radix (default), the "
-        "pre-optimization byte-argsort ablation, or a comparison sort",
-    )
-    m.add_argument(
-        "--column-backend",
-        default="panel",
-        choices=("panel", "loop"),
-        help="column-kernel strategy (heap/hash/hashvec/spa): "
-        "panel-vectorized gather + segmented reduction (default), or the "
-        "faithful per-column loop accumulators (ablation)",
-    )
-    m.add_argument(
-        "--panel-tuples",
-        type=int,
-        default=None,
-        help="panel working-set budget in tuples for --column-backend panel",
-    )
-    m.set_defaults(func=_cmd_multiply)
-
+    # -- planner ------------------------------------------------------------
     p = sub.add_parser(
-        "plan", help="explain the auto-tuning planner's decision for A*B"
+        "plan",
+        help="explain the auto-tuning planner's decision for A*B",
+        parents=[exec_parent],
     )
     p.add_argument("a", help="first operand (.mtx)")
     p.add_argument("b", nargs="?", help="second operand; default: A*A")
     p.add_argument("--semiring", default="plus_times")
-    p.add_argument("--executor", default="serial", choices=("serial", "process"))
-    p.add_argument("--nthreads", type=int, default=1)
     p.add_argument(
         "--cache-dir",
         help="planner state directory (profile + plan cache); default in-memory",
@@ -402,28 +578,105 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--json", action="store_true", help="machine-readable dump")
     c.set_defaults(func=_cmd_calibrate)
 
-    si = sub.add_parser("simulate", help="predicted performance on a machine model")
-    si.add_argument("a", help="first operand (.mtx)")
-    si.add_argument("b", nargs="?", help="second operand; default: A*A")
-    si.add_argument("--algorithms", default="pb,heap,hash,hashvec")
-    si.add_argument("--threads", type=int, default=None)
-    si.add_argument("--sockets", type=int, default=1)
-    _add_machine_arg(si)
-    si.set_defaults(func=_cmd_simulate)
+    # -- bench group --------------------------------------------------------
+    bench = sub.add_parser(
+        "bench", help="benchmark suites, trend store, regression gate"
+    )
+    bench_sub = bench.add_subparsers(dest="subcommand", required=True)
 
-    r = sub.add_parser("roofline", help="AI bounds / attainable FLOPS (Fig. 3)")
-    r.add_argument("--cf", default="1,2,4,8", help="comma-separated compression factors")
-    _add_machine_arg(r)
-    r.set_defaults(func=_cmd_roofline)
+    br = bench_sub.add_parser("run", help="run one or more suites")
+    br.add_argument("suites", nargs="+", help="suite names (see `repro bench list`)")
+    br.add_argument(
+        "--smoke",
+        "--quick",
+        dest="smoke",
+        action="store_true",
+        help="reduced workloads for CI; full-only acceptance checks skipped",
+    )
+    br.add_argument(
+        "--reps", type=int, default=None, help="best-of repetitions (suite default)"
+    )
+    br.add_argument("--json", action="store_true", help="print result JSON to stdout")
+    br.add_argument(
+        "--output", help="write the result JSON here (single suite only)"
+    )
+    br.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help="append results to the on-disk trend store "
+        "(default dir: benchmarks/results/bench or $REPRO_BENCH_STORE)",
+    )
+    br.set_defaults(func=_cmd_bench_run)
 
-    st = sub.add_parser("stream", help="STREAM bandwidth table (Table V)")
-    _add_machine_arg(st)
-    st.set_defaults(func=_cmd_stream)
+    bc = bench_sub.add_parser(
+        "compare", help="gate the latest stored results against a baseline"
+    )
+    bc.add_argument(
+        "ref",
+        nargs="?",
+        default=None,
+        help="baseline: 'auto' (prior store entry, else committed artifact), "
+        "'committed', a result-file path, or a commit prefix in the store",
+    )
+    bc.add_argument(
+        "--suites", nargs="+", help="suites to compare (default: all in the store)"
+    )
+    bc.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="trend store directory (default: benchmarks/results/bench "
+        "or $REPRO_BENCH_STORE)",
+    )
+    bc.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the relative regression tolerance for every metric",
+    )
+    bc.set_defaults(func=_cmd_bench_compare)
 
+    bl = bench_sub.add_parser("list", help="list registered suites")
+    bl.add_argument(
+        "-v", "--verbose", action="store_true", help="show workloads and checks"
+    )
+    bl.set_defaults(func=_cmd_bench_list)
+
+    bm = bench_sub.add_parser(
+        "migrate", help="rewrite legacy v1 BENCH_*.json onto the shared schema"
+    )
+    bm.add_argument("paths", nargs="+", help="result files to migrate")
+    bm.add_argument(
+        "--in-place", action="store_true", help="rewrite each file where it is"
+    )
+    bm.add_argument(
+        "--output-dir", help="write migrated copies here instead of stdout"
+    )
+    bm.set_defaults(func=_cmd_bench_migrate)
+
+    # -- experiments --------------------------------------------------------
     e = sub.add_parser("experiment", help="regenerate a paper figure/table")
-    e.add_argument("id", help="e.g. fig7, fig11, table5 (see docs)")
+    e.add_argument("id", help="e.g. fig7, fig11, table5 (see `repro bench list`)")
     e.add_argument("--csv", help="directory to also write CSVs into")
     e.set_defaults(func=_cmd_experiment)
+
+    # -- machine group ------------------------------------------------------
+    mach = sub.add_parser("machine", help="analytic machine model")
+    mach_sub = mach.add_subparsers(dest="subcommand", required=True)
+    _build_simulate(mach_sub, "simulate")
+    _build_roofline(mach_sub, "roofline")
+    _build_stream(mach_sub, "stream")
+
+    # -- deprecated top-level aliases --------------------------------------
+    _build_generate(sub, "generate", deprecated="repro matrix generate")
+    _build_stats(sub, "stats", deprecated="repro matrix stats")
+    _build_multiply(sub, "multiply", exec_parent, deprecated="repro matrix multiply")
+    _build_simulate(sub, "simulate", deprecated="repro machine simulate")
+    _build_roofline(sub, "roofline", deprecated="repro machine roofline")
+    _build_stream(sub, "stream", deprecated="repro machine stream")
 
     return parser
 
@@ -431,4 +684,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    replacement = getattr(args, "_deprecated", None)
+    if replacement:
+        warnings.warn(
+            f"`repro {args.command}` is deprecated; use `{replacement}`",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     return args.func(args)

@@ -43,3 +43,14 @@ class PlannerError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The simulation engine was asked to do something it cannot model."""
+
+
+class BenchError(ReproError, ValueError):
+    """A benchmark suite, result payload, or result store is invalid.
+
+    Raised by :mod:`repro.bench` for unknown suite names, malformed
+    :class:`~repro.bench.BenchResult` payloads, and result-store lookup
+    failures.  Subclasses :class:`ValueError` so schema-validation
+    callers written against the legacy per-harness ``validate_report``
+    functions (which raised plain ``ValueError``) keep working.
+    """

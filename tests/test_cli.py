@@ -10,7 +10,10 @@ from repro.matrix.io import read_matrix_market
 @pytest.fixture
 def er_mtx(tmp_path):
     path = tmp_path / "a.mtx"
-    rc = main(["generate", "er", str(path), "--scale", "7", "--edge-factor", "4", "--seed", "1"])
+    rc = main(
+        ["matrix", "generate", "er", str(path), "--scale", "7", "--edge-factor",
+         "4", "--seed", "1"]
+    )
     assert rc == 0
     return path
 
@@ -28,6 +31,140 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fly"])
+
+    def test_groups_require_subcommand(self):
+        for group in ("matrix", "bench", "machine"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([group])
+
+
+class TestCanonicalTree:
+    """The grouped spellings are the documented interface."""
+
+    def test_matrix_stats(self, er_mtx, capsys):
+        assert main(["matrix", "stats", str(er_mtx)]) == 0
+        assert "mean degree" in capsys.readouterr().out
+
+    def test_matrix_multiply_shares_exec_flags(self, er_mtx, capsys):
+        rc = main(
+            ["matrix", "multiply", str(er_mtx), "--algorithm", "pb",
+             "--sort-backend", "argsort"]
+        )
+        assert rc == 0
+        assert "C = A*B" in capsys.readouterr().out
+
+    def test_plan_accepts_exec_flags(self, er_mtx, capsys):
+        rc = main(
+            ["plan", str(er_mtx), "--no-calibration", "--sort-backend", "radix",
+             "--column-backend", "panel"]
+        )
+        assert rc == 0
+
+    def test_machine_roofline(self, capsys):
+        assert main(["machine", "roofline", "--cf", "1,2"]) == 0
+        assert "Roofline" in capsys.readouterr().out
+
+    def test_machine_stream(self, capsys):
+        assert main(["machine", "stream", "--machine", "skylake"]) == 0
+        assert "47.4" in capsys.readouterr().out
+
+    def test_machine_simulate(self, er_mtx, capsys):
+        assert main(["machine", "simulate", str(er_mtx), "--algorithms", "pb"]) == 0
+        assert "MFLOPS" in capsys.readouterr().out
+
+
+class TestDeprecatedAliases:
+    """Pre-tree spellings keep working but warn with the canonical path."""
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("generate", "repro matrix generate"),
+            ("stats", "repro matrix stats"),
+            ("multiply", "repro matrix multiply"),
+            ("simulate", "repro machine simulate"),
+            ("roofline", "repro machine roofline"),
+            ("stream", "repro machine stream"),
+        ],
+    )
+    def test_alias_warns(self, alias, canonical, er_mtx, tmp_path, capsys):
+        argv = {
+            "generate": ["generate", "er", str(tmp_path / "g.mtx"), "--scale", "6"],
+            "stats": ["stats", str(er_mtx)],
+            "multiply": ["multiply", str(er_mtx)],
+            "simulate": ["simulate", str(er_mtx), "--algorithms", "pb"],
+            "roofline": ["roofline", "--cf", "1"],
+            "stream": ["stream"],
+        }[alias]
+        with pytest.warns(DeprecationWarning, match=canonical):
+            assert main(argv) == 0
+
+    def test_canonical_does_not_warn(self, capsys):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["machine", "stream"]) == 0
+
+
+class TestBenchCLI:
+    def test_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for suite in ("hotpath", "planner", "column", "session", "fig3", "table7"):
+            assert f"{suite}:" in out
+
+    def test_list_verbose_shows_checks(self, capsys):
+        assert main(["bench", "list", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_hotpath.json" in out
+        assert "sort_phase_speedup >= 1.5" in out
+
+    def test_run_unknown_suite(self, capsys):
+        assert main(["bench", "run", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_run_output_requires_single_suite(self, tmp_path, capsys):
+        rc = main(
+            ["bench", "run", "fig3", "table5", "--output", str(tmp_path / "r.json")]
+        )
+        assert rc == 2
+
+    def test_run_experiment_suite_json_and_output(self, tmp_path, capsys):
+        out = tmp_path / "fig3.json"
+        rc = main(["bench", "run", "fig3", "--json", "--output", str(out)])
+        assert rc == 0
+        from repro.bench import load_result
+
+        r = load_result(out)
+        assert r.suite == "fig3" and r.acceptance["tables_nonempty"]
+        assert '"suite": "fig3"' in capsys.readouterr().out
+
+    def test_migrate_to_output_dir(self, tmp_path, capsys):
+        import shutil
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        legacy = tmp_path / "BENCH_hotpath.json"
+        shutil.copy(repo_root / "BENCH_hotpath.json", legacy)
+        outdir = tmp_path / "migrated"
+        outdir.mkdir()
+        rc = main(["bench", "migrate", str(legacy), "--output-dir", str(outdir)])
+        assert rc == 0
+        from repro.bench import SCHEMA_VERSION, load_result
+
+        migrated = load_result(outdir / "BENCH_hotpath.json")
+        assert migrated.schema_version == SCHEMA_VERSION
+        # The original is untouched.
+        import json
+
+        assert json.loads(legacy.read_text())["schema_version"] == 1
+
+    def test_migrate_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["bench", "migrate", str(bad)]) == 2
+        assert capsys.readouterr().err
 
 
 class TestGenerate:
