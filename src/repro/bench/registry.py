@@ -21,13 +21,14 @@ from ..errors import BenchError
 from .schema import BenchResult
 
 #: Perf suites with a committed repo-root baseline artifact.
-PERF_SUITES = ("hotpath", "planner", "column", "session")
+PERF_SUITES = ("hotpath", "planner", "column", "session", "jit")
 
 _BUILTIN_MODULES = {
     "hotpath": "repro.bench.suites.hotpath",
     "planner": "repro.bench.suites.planner",
     "column": "repro.bench.suites.column",
     "session": "repro.bench.suites.session",
+    "jit": "repro.bench.suites.jit",
 }
 
 #: Paper-figure/table driver suites (repro.analysis.experiments), all

@@ -1,0 +1,299 @@
+"""``jit`` suite: compiled hot-kernel tier vs. the numpy backends.
+
+Times each ``*_jit`` backend of the compiled tier (DESIGN.md §14)
+against the numpy kernel it swaps out, on ER and R-MAT inputs:
+
+* **sort** — per-bin phase comparison, ``radix_jit`` (fused compiled
+  histogram + scatter) vs. ``radix`` (numpy counting passes) on the
+  identical packed keys;
+* **distribute** — fused compiled placement (``counting_jit``) vs. the
+  numpy counting scatter;
+* **compress** — single compiled scan (``compress_backend="jit"``) vs.
+  the numpy flatnonzero + reduceat path, per bin;
+* **panel** — end-to-end column multiply, ``panel_jit`` vs. ``panel``;
+* **pb end-to-end** — the full PB pipeline with every JIT backend on
+  vs. the all-numpy default;
+* **identity** — JIT and numpy pipelines bit-identical per semiring
+  (both the PB pipeline and the panel column kernel).
+
+The suite records ``jit_engine`` / ``jit_available`` in its metadata so
+stored trends from machines with different engines (numba vs. runtime
+C) remain interpretable.  When no engine is available the suite still
+runs — every jit path falls back — and reports ~1.0x speedups; the
+full-run floors then fail, which is the honest verdict.
+
+Committed baseline: repo-root ``BENCH_jit.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ...core import PBConfig
+from ...core.binning import distribute_packed, plan_bins
+from ...core.pb_spgemm import pb_spgemm_detailed
+from ...core.symbolic import symbolic_phase
+from ...generators import erdos_renyi, rmat
+from ...kernels import jit as jit_tier
+from ...kernels.compress import compress_keyed
+from ...kernels.hash_spgemm import hash_spgemm
+from ...kernels.outer_expand import expand_arena
+from ...kernels.radix import sort_tuples
+from ...semiring import available_semirings
+from ..registry import AcceptanceCheck, Suite, register_suite
+from ..schema import BenchResult, new_result
+from . import best_of
+
+#: Every compiled backend on (what the planner would select wholesale).
+JIT_PB = dict(
+    sort_backend="radix_jit",
+    distribute_backend="counting_jit",
+    compress_backend="jit",
+)
+
+QUICK_WORKLOADS = ("er_s10_ef8", "rmat_s9_ef8")
+FULL_WORKLOADS = ("er_s16_ef16", "rmat_s14_ef8")
+
+
+def _workloads(quick: bool):
+    if quick:
+        return [
+            ("er_s10_ef8", lambda: erdos_renyi(1 << 10, 8, seed=1, fmt="csr")),
+            ("rmat_s9_ef8", lambda: rmat(9, 8, seed=1).to_csr()),
+        ]
+    return [
+        ("er_s16_ef16", lambda: erdos_renyi(1 << 16, 16, seed=1, fmt="csr")),
+        ("rmat_s14_ef8", lambda: rmat(14, 8, seed=1).to_csr()),
+    ]
+
+
+def _bench_kernels(b_csr, reps: int) -> dict:
+    """Kernel-level jit-vs-numpy comparisons on one squared input."""
+    a_csc = b_csr.to_csc()
+    cfg = PBConfig()
+    sym = symbolic_phase(a_csc, b_csr, cfg)
+    layout = plan_bins(
+        a_csc.shape[0], b_csr.shape[1], sym.nbins, sym.rows_per_bin, cfg
+    )
+    rows, cols, vals = expand_arena(a_csc, b_csr, per_k=sym.flops_per_k)
+
+    distribute = {
+        "counting_s": best_of(
+            lambda: distribute_packed(layout, rows, cols, vals, method="counting"),
+            reps,
+        ),
+        "counting_jit_s": best_of(
+            lambda: distribute_packed(
+                layout, rows, cols, vals, method="counting_jit"
+            ),
+            reps,
+        ),
+    }
+    distribute["speedup"] = distribute["counting_s"] / distribute["counting_jit_s"]
+
+    keys, bvals, starts = distribute_packed(layout, rows, cols, vals)
+    spans = [
+        (int(starts[i]), int(starts[i + 1]))
+        for i in range(layout.nbins)
+        if starts[i + 1] > starts[i]
+    ]
+
+    def sort_phase(backend: str):
+        for lo, hi in spans:
+            sort_tuples(
+                keys[lo:hi], bvals[lo:hi], key_bits=layout.key_bits, backend=backend
+            )
+
+    sort = {
+        "radix_s": best_of(lambda: sort_phase("radix"), reps),
+        "radix_jit_s": best_of(lambda: sort_phase("radix_jit"), reps),
+    }
+    sort["phase_speedup"] = sort["radix_s"] / sort["radix_jit_s"]
+
+    sorted_bins = [
+        sort_tuples(
+            keys[lo:hi], bvals[lo:hi], key_bits=layout.key_bits, backend="radix"
+        )[:2]
+        for lo, hi in spans
+    ]
+
+    def compress_phase(backend: str):
+        for sk, sv in sorted_bins:
+            compress_keyed(sk, sv, backend=backend)
+
+    compress = {
+        "numpy_s": best_of(lambda: compress_phase("numpy"), reps),
+        "jit_s": best_of(lambda: compress_phase("jit"), reps),
+    }
+    compress["speedup"] = compress["numpy_s"] / compress["jit_s"]
+
+    return {
+        "stats": {
+            "flop": int(sym.flop),
+            "nbins": int(layout.nbins),
+            "key_bits": int(layout.key_bits),
+            "tuples": int(len(rows)),
+        },
+        "distribute": distribute,
+        "sort": sort,
+        "compress": compress,
+    }
+
+
+def _bench_end_to_end(b_csr, reps: int) -> dict:
+    """Full-pipeline comparisons: PB all-jit vs. default, panel jit vs. numpy."""
+    a_csc = b_csr.to_csc()
+    out: dict = {}
+    for label, cfg in (("numpy", PBConfig()), ("jit", PBConfig(**JIT_PB))):
+        best, phases = None, None
+        pb_spgemm_detailed(a_csc, b_csr, config=cfg)  # warm-up
+        for _ in range(max(1, reps)):
+            t = time.perf_counter()
+            res = pb_spgemm_detailed(a_csc, b_csr, config=cfg)
+            dt = time.perf_counter() - t
+            if best is None or dt < best:
+                best, phases = dt, dict(res.phase_seconds)
+        out[f"pb_{label}_s"] = best
+        out[f"pb_{label}_phases"] = phases
+    out["pb_speedup"] = out["pb_numpy_s"] / out["pb_jit_s"]
+
+    panel_s = best_of(
+        lambda: hash_spgemm(a_csc, b_csr, column_backend="panel"), reps
+    )
+    panel_jit_s = best_of(
+        lambda: hash_spgemm(a_csc, b_csr, column_backend="panel_jit"), reps
+    )
+    out["panel_s"] = panel_s
+    out["panel_jit_s"] = panel_jit_s
+    out["panel_speedup"] = panel_s / panel_jit_s
+    return out
+
+
+def _bitwise_equal(c0, c1) -> bool:
+    return bool(
+        np.array_equal(c0.indptr, c1.indptr)
+        and np.array_equal(c0.indices, c1.indices)
+        and np.array_equal(
+            np.asarray(c0.data).view(np.uint64),
+            np.asarray(c1.data).view(np.uint64),
+        )
+    )
+
+
+def _check_identity(b_csr) -> dict:
+    """Bit-identity of jit vs. numpy backends, per built-in semiring."""
+    a_csc = b_csr.to_csc()
+    out = {}
+    for name in available_semirings():
+        pb0 = pb_spgemm_detailed(a_csc, b_csr, semiring=name, config=PBConfig()).c
+        pb1 = pb_spgemm_detailed(
+            a_csc, b_csr, semiring=name, config=PBConfig(**JIT_PB)
+        ).c
+        pn0 = hash_spgemm(a_csc, b_csr, semiring=name, column_backend="panel")
+        pn1 = hash_spgemm(a_csc, b_csr, semiring=name, column_backend="panel_jit")
+        out[name] = _bitwise_equal(pb0, pb1) and _bitwise_equal(pn0, pn1)
+    return out
+
+
+def _extract(workloads, kernels, end_to_end, identity):
+    metrics: dict = {}
+    phases: dict = {}
+    for w in workloads:
+        k = kernels[w]
+        metrics[f"{w}.sort.phase_speedup"] = k["sort"]["phase_speedup"]
+        metrics[f"{w}.distribute.speedup"] = k["distribute"]["speedup"]
+        metrics[f"{w}.compress.speedup"] = k["compress"]["speedup"]
+        e = end_to_end[w]
+        metrics[f"{w}.pb.speedup"] = e["pb_speedup"]
+        metrics[f"{w}.pb.jit_s"] = e["pb_jit_s"]
+        metrics[f"{w}.pb.numpy_s"] = e["pb_numpy_s"]
+        metrics[f"{w}.panel.speedup"] = e["panel_speedup"]
+        phases[w] = dict(e["pb_jit_phases"])
+    primary = workloads[0]
+    metrics["sort_phase_speedup"] = kernels[primary]["sort"]["phase_speedup"]
+    metrics["panel_end_to_end_speedup"] = end_to_end[primary]["panel_speedup"]
+    metrics["pb_end_to_end_speedup"] = end_to_end[primary]["pb_speedup"]
+    acceptance = {
+        "identity_all": all(ok for w in identity.values() for ok in w.values())
+    }
+    return metrics, acceptance, phases
+
+
+def run(quick: bool = False, reps: int = 3) -> BenchResult:
+    status = jit_tier.jit_status()
+    warmup_s = jit_tier.warmup()  # compile/load off every timed section
+    print(
+        f"== jit engine: {status['engine'] or 'none'} "
+        f"(warmup {warmup_s * 1e3:.1f} ms)",
+        flush=True,
+    )
+    workloads, kernels, end_to_end, identity = [], {}, {}, {}
+    for name, make in _workloads(quick):
+        print(f"== workload {name}", flush=True)
+        b = make()
+        workloads.append(name)
+        kernels[name] = _bench_kernels(b, reps)
+        end_to_end[name] = _bench_end_to_end(b, reps)
+        identity[name] = _check_identity(b)
+        k, e = kernels[name], end_to_end[name]
+        print(
+            f"   sort {k['sort']['phase_speedup']:.2f}x, "
+            f"distribute {k['distribute']['speedup']:.2f}x, "
+            f"compress {k['compress']['speedup']:.2f}x, "
+            f"panel {e['panel_speedup']:.2f}x, "
+            f"pb {e['pb_speedup']:.2f}x, "
+            f"identity {'ok' if all(identity[name].values()) else 'FAIL'}",
+            flush=True,
+        )
+    metrics, acceptance, phases = _extract(workloads, kernels, end_to_end, identity)
+    metrics["jit_available"] = float(bool(status["available"]))
+    return new_result(
+        "jit",
+        quick=quick,
+        reps=reps,
+        workloads=workloads,
+        metrics=metrics,
+        acceptance=acceptance,
+        phases=phases,
+        payload={
+            "kernels": kernels,
+            "end_to_end": end_to_end,
+            "identity": identity,
+        },
+        extra_meta={
+            "jit_engine": status["engine"],
+            "jit_warmup_s": warmup_s,
+        },
+    )
+
+
+register_suite(
+    Suite(
+        name="jit",
+        description=(
+            "compiled hot-kernel tier (radix_jit/counting_jit/panel_jit/jit "
+            "compress) vs. the numpy backends it swaps out"
+        ),
+        runner=run,
+        figures=("Table III (phase costs)",),
+        workloads={"quick": QUICK_WORKLOADS, "full": FULL_WORKLOADS},
+        artifact="BENCH_jit.json",
+        default_reps=3,
+        checks=(
+            AcceptanceCheck(
+                "sort_phase_floor", "sort_phase_speedup", "ge", 1.5, full_only=True
+            ),
+            AcceptanceCheck(
+                "panel_floor",
+                "panel_end_to_end_speedup",
+                "ge",
+                1.3,
+                full_only=True,
+            ),
+            AcceptanceCheck("bit_identity", "identity_all", "true"),
+        ),
+        payload_sections=("kernels", "end_to_end", "identity"),
+    )
+)

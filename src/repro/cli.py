@@ -57,17 +57,34 @@ def _exec_parent() -> argparse.ArgumentParser:
     p.add_argument(
         "--sort-backend",
         default="radix",
-        choices=("radix", "argsort", "mergesort"),
+        choices=("radix", "argsort", "mergesort", "radix_jit"),
         help="PB sort kernel: counting-scatter radix (default), the "
-        "pre-optimization byte-argsort ablation, or a comparison sort",
+        "pre-optimization byte-argsort ablation, a comparison sort, or "
+        "the compiled JIT-tier radix (falls back to radix when no "
+        "engine is available)",
+    )
+    p.add_argument(
+        "--distribute-backend",
+        default="counting",
+        choices=("counting", "argsort", "counting_jit"),
+        help="PB distribute placement: counting scatter (default), the "
+        "argsort ablation, or the compiled fused placement",
+    )
+    p.add_argument(
+        "--compress-backend",
+        default="numpy",
+        choices=("numpy", "jit"),
+        help="PB compress kernel: vectorized numpy scan (default) or "
+        "the compiled single-pass scan",
     )
     p.add_argument(
         "--column-backend",
         default="panel",
-        choices=("panel", "loop"),
+        choices=("panel", "loop", "panel_jit"),
         help="column-kernel strategy (heap/hash/hashvec/spa): "
-        "panel-vectorized gather + segmented reduction (default), or the "
-        "faithful per-column loop accumulators (ablation)",
+        "panel-vectorized gather + segmented reduction (default), the "
+        "faithful per-column loop accumulators (ablation), or the "
+        "compiled panel sort + fold",
     )
     return p
 
@@ -125,13 +142,16 @@ def _cmd_multiply(args) -> int:
         or args.nthreads != 1
         or args.nbins is not None
         or args.sort_backend != "radix"
+        or args.distribute_backend != "counting"
+        or args.compress_backend != "numpy"
     )
     column_flags = (
         args.column_backend != "panel" or args.panel_tuples is not None
     )
     if pb_flags and args.algorithm not in ("pb", "auto"):
         print(
-            "--executor/--nthreads/--nbins/--sort-backend configure the "
+            "--executor/--nthreads/--nbins/--sort-backend/"
+            "--distribute-backend/--compress-backend configure the "
             f"PB pipeline; use --algorithm pb (got {args.algorithm!r})",
             file=sys.stderr,
         )
@@ -155,6 +175,8 @@ def _cmd_multiply(args) -> int:
                 executor=args.executor,
                 nbins=args.nbins,
                 sort_backend=args.sort_backend,
+                distribute_backend=args.distribute_backend,
+                compress_backend=args.compress_backend,
                 column_backend=args.column_backend,
                 panel_tuples=args.panel_tuples,
             )
@@ -194,6 +216,8 @@ def _cmd_plan(args) -> int:
         executor=args.executor,
         nbins=args.nbins,
         sort_backend=args.sort_backend,
+        distribute_backend=args.distribute_backend,
+        compress_backend=args.compress_backend,
         column_backend=args.column_backend,
         plan_cache_dir=args.cache_dir,
         calibration="off" if args.no_calibration else "auto",
@@ -234,7 +258,14 @@ def _cmd_calibrate(args) -> int:
             f"  scatter   : {profile.scatter_gbs:8.2f} GB/s\n"
             f"  radix     : {profile.radix_mtuples_s:8.2f} Mtuples/s "
             f"(effective clock {profile.effective_clock_ghz:.2f} GHz)\n"
-            f"  latency   : {profile.dram_latency_ns:8.1f} ns\n"
+            f"  jit sort  : {profile.jit_scatter_mtuples_s:8.2f} Mtuples/s "
+            + (
+                f"({profile.radix_mtuples_s / profile.jit_scatter_mtuples_s:.2f}x "
+                "cycle scale)\n"
+                if profile.jit_scatter_mtuples_s > 0
+                else "(no JIT engine)\n"
+            )
+            + f"  latency   : {profile.dram_latency_ns:8.1f} ns\n"
             f"  pool spawn: {profile.pool_startup_s * 1e3:8.1f} ms\n"
             f"  fingerprint {profile.fingerprint()}"
         )
@@ -451,6 +482,42 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_machine_info(args) -> int:
+    """Bare ``repro machine``: runtime capabilities, incl. the JIT probe."""
+    import json as _json
+    import platform
+
+    import numpy as np
+
+    from .kernels.jit import jit_status
+    from .parallel import process_backend_available
+
+    info = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "process_backend": process_backend_available(),
+        "jit": jit_status(),
+    }
+    if args.json:
+        print(_json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    jit = info["jit"]
+    print(f"platform : {info['platform']}")
+    print(f"python   : {info['python']}  numpy {info['numpy']}")
+    print(f"process  : {'available' if info['process_backend'] else 'unavailable'}")
+    engine = jit["engine"] or "none"
+    detail = ""
+    if jit["engine"] == "numba":
+        detail = f" (numba {jit['numba_version']})"
+    elif jit["engine"] == "cc":
+        detail = f" ({jit['cc_compiler']})"
+    elif jit["numba_reason"] or jit["cc_reason"]:
+        detail = f" ({jit['numba_reason'] or jit['cc_reason']})"
+    print(f"jit      : {engine}{detail}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # parser assembly
 # ---------------------------------------------------------------------------
@@ -664,8 +731,16 @@ def build_parser() -> argparse.ArgumentParser:
     e.set_defaults(func=_cmd_experiment)
 
     # -- machine group ------------------------------------------------------
-    mach = sub.add_parser("machine", help="analytic machine model")
-    mach_sub = mach.add_subparsers(dest="subcommand", required=True)
+    mach = sub.add_parser(
+        "machine",
+        help="analytic machine model; bare `repro machine` reports "
+        "runtime capabilities (JIT engine probe, process backend)",
+    )
+    mach.add_argument(
+        "--json", action="store_true", help="machine-readable capability dump"
+    )
+    mach.set_defaults(func=_cmd_machine_info)
+    mach_sub = mach.add_subparsers(dest="subcommand", required=False)
     _build_simulate(mach_sub, "simulate")
     _build_roofline(mach_sub, "roofline")
     _build_stream(mach_sub, "stream")

@@ -169,11 +169,20 @@ def _bin_order(binid: np.ndarray, nbins: int, method: str) -> np.ndarray:
     before the stable sort: numpy's stable sort on uint8/uint16 is its
     O(n) counting/radix scatter, versus the O(n log n) comparison sort
     the wide-dtype ids of ``"argsort"`` (the pre-optimization path, kept
-    for ablation) fall back to.  Both produce the identical stable
-    placement.
+    for ablation) fall back to.  ``"counting_jit"`` is the JIT tier's
+    compiled counting argsort (histogram + prefix + index scatter in
+    one loop), degrading to ``"counting"`` when no engine is
+    available.  All produce the identical stable placement.
     """
     if method == "argsort":
         return np.argsort(binid, kind="stable")
+    if method == "counting_jit":
+        from ..kernels.jit import counting_argsort_jit
+
+        order = counting_argsort_jit(binid, nbins)
+        if order is not None:
+            return order
+        method = "counting"
     if method != "counting":
         raise ConfigError(f"unknown distribute backend {method!r}")
     if nbins <= 1 << 8:
@@ -260,7 +269,24 @@ def distribute_packed(
     is the same stable placement :func:`distribute_to_bins` uses, so
     per-bin key/value streams are bit-identical to packing after the
     unfused distribute.
+
+    ``method="counting_jit"`` goes one step further than the fused
+    numpy path: the JIT tier's compiled placement scatters keys *and*
+    values directly into bin-grouped order, so the stable permutation
+    is never materialized and the two ``take`` gathers disappear.
+    Falls back to ``"counting"`` (identical placement) when no JIT
+    engine is available or the value dtype is not 8 bytes wide.
     """
+    if method == "counting_jit":
+        from ..kernels.jit import place_pairs_jit
+
+        binid = layout.bin_of_rows(rows)
+        keys = pack_keys(layout, rows, cols, binid=binid)
+        placed = place_pairs_jit(keys, vals, binid, layout.nbins)
+        if placed is not None:
+            return placed
+        order = _bin_order(binid, layout.nbins, method)
+        return keys[order], vals[order], _bin_starts(binid, layout.nbins)
     keys, order, starts = distribute_plan(layout, rows, cols, method=method)
     return keys[order], vals[order], starts
 

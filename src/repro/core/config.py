@@ -49,12 +49,24 @@ class PBConfig:
     sort_backend:
         ``"radix"`` — the counting-scatter LSD sort (paper, default);
         ``"argsort"`` — the pre-optimization byte-argsort radix kept
-        as an ablation; ``"mergesort"`` — comparison-sort ablation.
-        All three produce bit-identical products.
+        as an ablation; ``"mergesort"`` — comparison-sort ablation;
+        ``"radix_jit"`` — the compiled fused histogram+scatter LSD
+        sort of the JIT tier (:mod:`repro.kernels.jit`; falls back to
+        ``"radix"`` with one structured warning when no JIT engine is
+        available).  All produce bit-identical products.
     distribute_backend:
         ``"counting"`` (default) — bucket placement via narrow-dtype
         counting sort; ``"argsort"`` — the pre-optimization stable
-        argsort placement (ablation).  Identical stable result.
+        argsort placement (ablation); ``"counting_jit"`` — the JIT
+        tier's fused counting placement (scatters keys and values
+        without materializing the permutation; falls back to
+        ``"counting"``).  Identical stable result.
+    compress_backend:
+        ``"numpy"`` (default) — the vectorized run-boundary scan +
+        segmented ``reduceat`` (:func:`repro.kernels.compress
+        .compress_keyed`); ``"jit"`` — the JIT tier's single compiled
+        compress scan (plus-semiring value reduction still delegated
+        to the identical ``np.add.reduceat``).  Bit-identical.
     expand_backend:
         ``"arena"`` (default) — serial expand writes chunks straight
         into one flop-sized arena at flop-prefix offsets;
@@ -67,8 +79,10 @@ class PBConfig:
         hashvec / spa): ``"panel"`` (default) — panel-vectorized gather
         + segmented semiring reduction
         (:mod:`repro.kernels.column_panel`); ``"loop"`` — the faithful
-        per-output-column Python accumulators (ablation).  Bit-identical
-        products.
+        per-output-column Python accumulators (ablation);
+        ``"panel_jit"`` — the panel path with the compiled per-panel
+        sort + segmented fold of the JIT tier (falls back to
+        ``"panel"``).  Bit-identical products.
     panel_tuples:
         Panel working-set budget in tuples for
         ``column_backend="panel"``; ``None`` (default) uses
@@ -125,6 +139,7 @@ class PBConfig:
     pack_keys: bool = True
     sort_backend: str = "radix"
     distribute_backend: str = "counting"
+    compress_backend: str = "numpy"
     expand_backend: str = "arena"
     column_backend: str = "panel"
     panel_tuples: int | None = None
@@ -151,24 +166,29 @@ class PBConfig:
                 "bin_mapping must be 'range', 'modulo' or 'balanced', "
                 f"got {self.bin_mapping!r}"
             )
-        if self.sort_backend not in ("radix", "argsort", "mergesort"):
+        if self.sort_backend not in ("radix", "argsort", "mergesort", "radix_jit"):
             raise ConfigError(
-                "sort_backend must be 'radix', 'argsort' or 'mergesort', "
-                f"got {self.sort_backend!r}"
+                "sort_backend must be 'radix', 'argsort', 'mergesort' or "
+                f"'radix_jit', got {self.sort_backend!r}"
             )
-        if self.distribute_backend not in ("counting", "argsort"):
+        if self.distribute_backend not in ("counting", "argsort", "counting_jit"):
             raise ConfigError(
-                "distribute_backend must be 'counting' or 'argsort', "
-                f"got {self.distribute_backend!r}"
+                "distribute_backend must be 'counting', 'argsort' or "
+                f"'counting_jit', got {self.distribute_backend!r}"
+            )
+        if self.compress_backend not in ("numpy", "jit"):
+            raise ConfigError(
+                "compress_backend must be 'numpy' or 'jit', "
+                f"got {self.compress_backend!r}"
             )
         if self.expand_backend not in ("arena", "concat"):
             raise ConfigError(
                 "expand_backend must be 'arena' or 'concat', "
                 f"got {self.expand_backend!r}"
             )
-        if self.column_backend not in ("panel", "loop"):
+        if self.column_backend not in ("panel", "loop", "panel_jit"):
             raise ConfigError(
-                "column_backend must be 'panel' or 'loop', "
+                "column_backend must be 'panel', 'loop' or 'panel_jit', "
                 f"got {self.column_backend!r}"
             )
         if self.panel_tuples is not None and self.panel_tuples < 1:
@@ -237,6 +257,22 @@ class PBConfig:
                 "warm pool)"
             )
         return self
+
+    @property
+    def uses_jit(self) -> bool:
+        """Whether any configured backend belongs to the JIT tier.
+
+        Consulted by :class:`repro.session.Session` (warm-up at
+        construction) and ``pb_spgemm_detailed`` (the ``jit_warmup_s``
+        phase stopwatch) so compile time is paid off the request path
+        and never folded into a multiply's phase timings.
+        """
+        return (
+            self.sort_backend == "radix_jit"
+            or self.distribute_backend == "counting_jit"
+            or self.compress_backend == "jit"
+            or self.column_backend == "panel_jit"
+        )
 
     @property
     def local_bin_tuples(self) -> int:

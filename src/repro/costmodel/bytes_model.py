@@ -79,8 +79,19 @@ def pb_phase_costs(
     machine: MachineSpec,
     config: PBConfig | None = None,
     nbins: int | None = None,
+    sort_compute_scale: float = 1.0,
 ) -> list[PhaseCost]:
-    """Phase costs of PB-SpGEMM (Alg. 2) on ``machine``."""
+    """Phase costs of PB-SpGEMM (Alg. 2) on ``machine``.
+
+    ``sort_compute_scale`` rescales the sort phase's compute cycles to
+    a *measured* backend rate — the planner passes
+    :meth:`repro.planner.calibrate.MachineProfile.jit_sort_scale` when
+    pricing a ``sort_backend="radix_jit"`` candidate, since the model's
+    per-pass cycle constant describes the numpy counting-scatter loop.
+    Byte traffic is untouched: the compiled sort moves the same tuples
+    through the same passes.  The default 1.0 keeps the paper model
+    (simulator and figure paths unchanged).
+    """
     cfg = config or PBConfig()
     b = TUPLE_BYTES
     flop = stats.flop
@@ -116,14 +127,23 @@ def pb_phase_costs(
 
     residency, spill = _bin_residency(flop, nbins, machine)
     key_bytes = 4 if (cfg.pack_keys and cfg.bin_mapping == "range") else 8
-    # Both radix implementations ("radix" counting-scatter, "argsort"
-    # byte-argsort ablation) do byte-pass work; only the comparison
-    # backend is charged n log n passes.
-    passes = key_bytes if cfg.sort_backend in ("radix", "argsort") else int(
-        np.ceil(np.log2(max(flop / max(nbins, 1), 2)))
+    # All three radix implementations ("radix" counting-scatter,
+    # "radix_jit" compiled counting-scatter, "argsort" byte-argsort
+    # ablation) do byte-pass work; only the comparison backend is
+    # charged n log n passes.
+    passes = (
+        key_bytes
+        if cfg.sort_backend in ("radix", "radix_jit", "argsort")
+        else int(np.ceil(np.log2(max(flop / max(nbins, 1), 2))))
     )
     sort_read = b * flop
-    sort_cycles = C.PB_SORT_CYCLES_PER_FLOP_PER_PASS * passes * flop * spill
+    sort_cycles = (
+        C.PB_SORT_CYCLES_PER_FLOP_PER_PASS
+        * passes
+        * flop
+        * spill
+        * float(sort_compute_scale)
+    )
     if residency == "DRAM" and C.DRAM_SPILL:
         # Oversized bins: radix passes stream the bin through DRAM.
         # The scatter of a counting-sort pass is itself sequential per
@@ -241,10 +261,16 @@ def column_phase_costs(
       calibration workload folded in), which is what makes this the
       model the *planner* prices candidates with.  Equal predictions
       fall to :func:`repro.planner.cost.rank`'s name tiebreak.
+    * ``"panel_jit"`` — same traffic shape as ``"panel"`` (the compiled
+      panel sort moves the identical tuples); the planner expresses the
+      compiled tier's speed entirely through ``compute_scale`` (its
+      calibrated column scale times the profile's ``jit_sort_scale``),
+      so the builder treats the two panel backends identically.
     """
-    if column_backend not in ("loop", "panel"):
+    if column_backend not in ("loop", "panel", "panel_jit"):
         raise ValueError(
-            f"column_backend must be 'loop' or 'panel', got {column_backend!r}"
+            "column_backend must be 'loop', 'panel' or 'panel_jit', "
+            f"got {column_backend!r}"
         )
     flop = float(stats.flop)
     ncols = float(stats.n_cols)
@@ -282,7 +308,7 @@ def column_phase_costs(
     else:
         raise ValueError(f"not a column accumulator algorithm: {algorithm!r}")
     cycles = cycles * float(compute_scale)
-    if column_backend == "panel":
+    if column_backend in ("panel", "panel_jit"):
         # One shared execution path for all four algorithms: same
         # d(A)-fold A volume as the loop, but gathered as sequential
         # per-column slices — streamed, not latency-bound — no

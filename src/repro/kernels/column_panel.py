@@ -52,7 +52,11 @@ DEFAULT_PANEL_TUPLES = 250_000
 
 #: Values ``column_backend`` may take, shared by the four kernels,
 #: :class:`repro.core.PBConfig` validation, and the CLI.
-COLUMN_BACKENDS = ("panel", "loop")
+#: ``"panel_jit"`` is the panel strategy with the per-panel stable
+#: row sort + segmented semiring fold compiled by the JIT tier
+#: (:mod:`repro.kernels.jit`); it degrades to ``"panel"`` when no
+#: engine is available.
+COLUMN_BACKENDS = ("panel", "loop", "panel_jit")
 
 
 def resolve_column_backend(config, column_backend, panel_tuples):
@@ -120,6 +124,7 @@ def panel_spgemm(
     b_csr: CSRMatrix,
     semiring: Semiring | str = PLUS_TIMES,
     panel_tuples: int = DEFAULT_PANEL_TUPLES,
+    use_jit: bool = False,
 ) -> CSRMatrix:
     """C = A · B via panel gather + segmented semiring reduction.
 
@@ -144,6 +149,15 @@ def panel_spgemm(
     histograms (one vectorized counting placement, ascending
     addresses), skipping the global concatenate-and-re-sort a
     column-major stream would need.
+
+    ``use_jit=True`` (``column_backend="panel_jit"``) replaces steps
+    3-4 per panel — stable row sort, run detection, segmented fold,
+    compaction, row histogram — with one compiled call
+    (:func:`repro.kernels.jit.panel_jit_context`): same stable
+    permutation, same sequential fold order, bit-identical output.
+    Degrades to the numpy path when no JIT engine is available (one
+    structured warning) or the semiring/shape is outside the compiled
+    envelope.
     """
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
@@ -154,23 +168,72 @@ def panel_spgemm(
     if int(per_col.sum()) == 0:
         return CSRMatrix.empty((m, n))
 
-    if m <= 1 << 8:
-        a_rows = a_csc.indices.astype(np.uint8)
-    elif m <= 1 << 16:
-        a_rows = a_csc.indices.astype(np.uint16)
-    else:
-        a_rows = a_csc.indices
     if n <= 1 << 16:
         col_dtype = np.uint16
     elif n <= 1 << 32:
         col_dtype = np.uint32
     else:
         col_dtype = INDEX_DTYPE
+    jit_ctx = None
+    if use_jit:
+        from .jit import panel_jit_context
+
+        jit_ctx = panel_jit_context(m, n, sr, col_dtype)
+    if jit_ctx is not None:
+        # The compiled kernel consumes one index dtype for rows and
+        # cols — uint16 when the output square fits 65536 (half the
+        # scatter traffic), uint32 otherwise.  Casting the row indices
+        # once here makes every panel's gather emit that dtype directly.
+        a_rows = a_csc.indices.astype(jit_ctx.index_dtype)
+        panel_col_dtype = jit_ctx.index_dtype
+        # The fused kernel reads A and the B panel slice as float64
+        # directly; any other stored dtype would change where the
+        # cast happens relative to ⊗, so those inputs keep the
+        # expand-then-process path (still compiled, still identical).
+        use_fused = (
+            jit_ctx.supports_fused
+            and a_csc.data.dtype == np.float64
+            and b_csc.data.dtype == np.float64
+        )
+        if use_fused:
+            # The fused kernel buffers one 16-byte (val, col) record per
+            # tuple where the numpy path materializes ~34 bytes (expand
+            # + repeat + argsort + sorted copies), so 4x the tuple
+            # budget holds the per-panel working set at the same byte
+            # size — and fewer panels amortize the per-panel m-length
+            # assembly passes.
+            panel_tuples = panel_tuples * 4
+    else:
+        use_fused = False
+        if m <= 1 << 8:
+            a_rows = a_csc.indices.astype(np.uint8)
+        elif m <= 1 << 16:
+            a_rows = a_csc.indices.astype(np.uint16)
+        else:
+            a_rows = a_csc.indices
+        panel_col_dtype = col_dtype
     panel_rows: list[np.ndarray] = []
     panel_cols: list[np.ndarray] = []
     panel_vals: list[np.ndarray] = []
     panel_counts: list[np.ndarray] = []
     for j_lo, j_hi in chunk_ranges(per_col, panel_tuples):
+        if use_fused:
+            # One compiled call expands, ⊗-multiplies, row-groups and
+            # ⊕-folds the panel straight off the CSC structure — the
+            # materialized expand/repeat stream below is never built.
+            ntuples = int(per_col[j_lo:j_hi].sum())
+            if ntuples == 0:
+                continue
+            rows_p, cols_p, reduced, cnt = jit_ctx.process_fused(
+                a_csc.indptr, a_rows, a_csc.data,
+                b_csc.indptr, b_csc.indices, b_csc.data,
+                j_lo, j_hi, ntuples,
+            )
+            panel_rows.append(rows_p)
+            panel_cols.append(cols_p)
+            panel_vals.append(reduced)
+            panel_counts.append(cnt)
+            continue
         rows, _, vals = expand_cols_range(
             a_csc, b_csc, j_lo, j_hi, sr, row_indices=a_rows, with_cols=False
         )
@@ -179,8 +242,15 @@ def panel_spgemm(
         # Rebuild output-column ids from the symbolic per-column tuple
         # counts in a narrow dtype (absolute ids — n fits the dtype).
         cols = np.repeat(
-            np.arange(j_lo, j_hi, dtype=col_dtype), per_col[j_lo:j_hi]
+            np.arange(j_lo, j_hi, dtype=panel_col_dtype), per_col[j_lo:j_hi]
         )
+        if jit_ctx is not None:
+            rows_p, cols_p, reduced, cnt = jit_ctx.process(rows, cols, vals)
+            panel_rows.append(rows_p)
+            panel_cols.append(cols_p)
+            panel_vals.append(reduced)
+            panel_counts.append(cnt)
+            continue
         order = np.argsort(rows, kind="stable")
         # np.take over fancy indexing: same gather, ~25% less per-call
         # overhead on these cache-resident panel arrays.

@@ -37,9 +37,16 @@ class AlgorithmInfo:
     an ``engine=`` keyword).
 
     ``column_backends`` lists the execution strategies a column kernel
-    can run under (``("panel", "loop")`` for the four accumulator
-    algorithms — see :mod:`repro.kernels.column_panel`); empty for
-    algorithms without the switch.
+    can run under (``("panel", "loop", "panel_jit")`` for the four
+    accumulator algorithms — see :mod:`repro.kernels.column_panel`);
+    empty for algorithms without the switch.
+
+    ``supports_jit`` marks algorithms with at least one ``*_jit``
+    backend from the compiled kernel tier (:mod:`repro.kernels.jit`):
+    the PB pipeline (``radix_jit`` sort, ``counting_jit`` distribute,
+    ``jit`` compress) and the four panel column kernels
+    (``panel_jit``).  The planner only prices JIT-tier candidates for
+    algorithms carrying this flag.
     """
 
     name: str
@@ -54,6 +61,7 @@ class AlgorithmInfo:
     supports_process: bool = False  # can run on the process-pool executor
     supports_masked: bool = False  # has a masked-output variant
     supports_session: bool = False  # accepts engine= from a warm Session
+    supports_jit: bool = False  # has *_jit backends (repro.kernels.jit)
     column_backends: tuple = ()  # column execution strategies, if any
 
 
@@ -75,25 +83,29 @@ def _registry() -> dict[str, AlgorithmInfo]:
             "heap", heap_spgemm, "column", "accumulator", "heap", "d", 0,
             "Column SpGEMM, per-column heap merge (Azad et al. 2016)",
             supports_config=True,
-            column_backends=("panel", "loop"),
+            supports_jit=True,
+            column_backends=("panel", "loop", "panel_jit"),
         ),
         AlgorithmInfo(
             "hash", hash_spgemm, "column", "accumulator", "hash", "d", 0,
             "Column SpGEMM, per-column hash table (Nagasaka et al. 2019)",
             supports_config=True,
-            column_backends=("panel", "loop"),
+            supports_jit=True,
+            column_backends=("panel", "loop", "panel_jit"),
         ),
         AlgorithmInfo(
             "hashvec", hashvec_spgemm, "column", "accumulator", "hash", "d", 0,
             "Column SpGEMM, batched open-addressing probing (HashVec)",
             supports_config=True,
-            column_backends=("panel", "loop"),
+            supports_jit=True,
+            column_backends=("panel", "loop", "panel_jit"),
         ),
         AlgorithmInfo(
             "spa", spa_spgemm, "column", "accumulator", "spa", "d", 0,
             "Column SpGEMM, dense sparse-accumulator (Gilbert et al. 1992)",
             supports_config=True,
-            column_backends=("panel", "loop"),
+            supports_jit=True,
+            column_backends=("panel", "loop", "panel_jit"),
         ),
         AlgorithmInfo(
             "esc_column", esc_column_spgemm, "column", "esc", "sort", "d", 2,
@@ -107,6 +119,7 @@ def _registry() -> dict[str, AlgorithmInfo]:
             supports_process=True,
             supports_masked=True,
             supports_session=True,
+            supports_jit=True,
         ),
     ]
     return {i.name: i for i in infos}
@@ -156,6 +169,7 @@ def algorithm_metadata() -> dict[str, dict]:
             "supports_process": info.supports_process,
             "supports_masked": info.supports_masked,
             "supports_session": info.supports_session,
+            "supports_jit": info.supports_jit,
             "column_backends": list(info.column_backends),
             "description": info.description,
         }

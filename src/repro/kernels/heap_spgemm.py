@@ -76,8 +76,11 @@ def heap_spgemm(
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
     backend, budget = resolve_column_backend(config, column_backend, panel_tuples)
     sr = get_semiring(semiring)
-    if backend == "panel":
-        return panel_spgemm(a_csc, b_csr, sr, panel_tuples=budget)
+    if backend in ("panel", "panel_jit"):
+        return panel_spgemm(
+            a_csc, b_csr, sr, panel_tuples=budget,
+            use_jit=(backend == "panel_jit"),
+        )
 
     m, n = a_csc.shape[0], b_csr.shape[1]
     b_csc = b_csr.to_csc()

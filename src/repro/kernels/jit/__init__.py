@@ -1,0 +1,583 @@
+"""Compiled hot-kernel tier (DESIGN.md §14).
+
+Optional JIT implementations of the four hottest loops of the
+pipeline — the per-bin LSD counting-radix sort, the counting
+distribute placement, the panel sort + segmented semiring fold, and
+the bin compress — selected by the ``*_jit`` backend names
+(``sort_backend="radix_jit"``, ``distribute_backend="counting_jit"``,
+``column_backend="panel_jit"``, ``compress_backend="jit"``).
+
+Two interchangeable engines sit behind one probe (``_avail``):
+numba when an acceptable version is installed, else a runtime-compiled
+C library (``_cc``).  Every wrapper in this module returns ``None``
+when no engine can serve the call — after emitting the tier's single
+:class:`JITFallbackWarning` if the cause is engine unavailability —
+and the caller falls back to its numpy path, which is bit-identical
+by construction (stable sorts share their unique permutation;
+compiled folds replay the numpy ufunc's sequential order; float
+``reduceat`` reductions are delegated to numpy itself).
+
+:func:`warmup` compiles/loads everything once, idempotently, and
+returns the seconds spent — :class:`repro.session.Session` calls it at
+construction and ``pb_spgemm_detailed`` records it as the
+``jit_warmup_s`` phase so compile time never pollutes multiply
+timings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ...matrix.base import INDEX_DTYPE
+from ..radix import _normalize_keys, counting_passes, passes_for_bits
+from ._avail import (
+    NUMBA_MIN_VERSION,
+    JITFallbackWarning,
+    JITStatus,
+    jit_available,
+    probe,
+    reset_probe_cache,
+    warn_fallback_once,
+)
+
+__all__ = [
+    "NUMBA_MIN_VERSION",
+    "JITFallbackWarning",
+    "JITStatus",
+    "jit_available",
+    "probe",
+    "jit_status",
+    "warmup",
+    "reset_jit_state",
+    "semiring_opcode",
+    "multiply_opcode",
+    "sort_pairs_jit",
+    "counting_argsort_jit",
+    "place_pairs_jit",
+    "panel_jit_context",
+    "compress_keyed_jit",
+    "OP_ADD",
+    "OP_MIN",
+    "OP_MAX",
+    "OP_OR",
+    "MUL_TIMES",
+    "MUL_PLUS",
+    "MUL_AND",
+    "MUL_PAIR",
+]
+
+#: ⊕ op codes shared with both engines' kernels.
+OP_ADD, OP_MIN, OP_MAX, OP_OR = 0, 1, 2, 3
+
+#: ⊗ op codes for the fused panel kernel.
+MUL_TIMES, MUL_PLUS, MUL_AND, MUL_PAIR = 0, 1, 2, 3
+
+_ENGINE = None
+_ENGINE_FAILED = False
+_WARMED = False
+_TLS = threading.local()
+
+
+def _engine():
+    """The process-wide engine instance, or None (cached either way)."""
+    global _ENGINE, _ENGINE_FAILED
+    if _ENGINE is not None:
+        return _ENGINE
+    if _ENGINE_FAILED:
+        return None
+    st = probe()
+    if not st.available:
+        _ENGINE_FAILED = True
+        return None
+    try:
+        if st.engine == "numba":
+            from ._numba_impl import NumbaEngine
+
+            _ENGINE = NumbaEngine()
+        else:
+            from ._cc import CCEngine
+
+            _ENGINE = CCEngine(st.cc_compiler)
+    except Exception:
+        # Probe said available but the engine could not come up (broken
+        # numba install, compiler error).  Degrade exactly like absence.
+        _ENGINE_FAILED = True
+        return None
+    return _ENGINE
+
+
+def _fallback(context: str):
+    """Record one structured warning and signal numpy fallback."""
+    warn_fallback_once(context)
+    return None
+
+
+def _hist() -> np.ndarray:
+    """Per-thread int64 scratch shared across calls.
+
+    Sized 2 << 16 so the radix kernel's two alternating bucket arrays
+    fit at the widest (16-bit) digit; every other kernel uses a prefix.
+    """
+    h = getattr(_TLS, "hist", None)
+    if h is None:
+        h = np.empty(2 << 16, dtype=np.int64)
+        _TLS.hist = h
+    return h
+
+
+def _sort_scratch(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-thread record ping-pong scratch for the radix sort.
+
+    The compiled sort moves interleaved 16-byte (value, key) records
+    through two ``uint64[2n]`` buffers on all passes but the last.
+    The sort phase calls :func:`sort_pairs_jit` once per bin —
+    hundreds to thousands of times per multiply — and freshly
+    ``np.empty``-ing both buffers each call would pay their page
+    faults inside the timed scatter loop.  One warm scratch pair,
+    grown geometrically, amortizes that to zero; only the buffers the
+    caller keeps (the returned arrays) are allocated per call.
+    """
+    pair = getattr(_TLS, "sort_scratch", None)
+    if pair is None or len(pair[0]) < 2 * n:
+        cap = max(2 * n, 2048, 0 if pair is None else 2 * len(pair[0]))
+        pair = (np.empty(cap, np.uint64), np.empty(cap, np.uint64))
+        _TLS.sort_scratch = pair
+    return pair
+
+
+def jit_status() -> dict:
+    """Probe result + process warm state for ``repro machine --json``."""
+    st = probe().to_dict()
+    st["warmed"] = _WARMED
+    return st
+
+
+def warmup() -> float:
+    """Compile/load every compiled kernel once, off the request path.
+
+    Returns the wall seconds this call spent (0.0 when already warm or
+    when no engine is available — unavailability is *not* warned here;
+    the warning belongs to an actual ``*_jit`` backend request).
+    Exercises each kernel on every key width so numba specializations
+    (and the cc build + dlopen) all happen now; ``cache=True`` /
+    the on-disk ``.so`` make later processes' warmup near-free.
+    """
+    global _WARMED
+    if _WARMED:
+        return 0.0
+    t0 = time.perf_counter()
+    eng = _engine()
+    _WARMED = True
+    if eng is None:
+        return time.perf_counter() - t0
+    hist = _hist()
+    vals = np.array([1.5, -2.0, 1.5, 0.0], dtype=np.float64)
+    vals_u64 = vals.view(np.uint64)
+    binid = np.array([1, 0, 1, 0], dtype=np.int64)
+    counts = np.empty(2, dtype=np.int64)
+    order = np.empty(4, dtype=np.int64)
+    eng.counting_argsort(binid, counts, order)
+    starts = np.empty(4, dtype=np.int64)
+    ra, rb = np.empty(8, np.uint64), np.empty(8, np.uint64)
+    for kdt in (np.uint16, np.uint32, np.uint64):
+        keys = np.array([3, 1, 3, 2], dtype=kdt)
+        ka = np.empty_like(keys)
+        va = np.empty(4, np.uint64)
+        for npasses in (1, 2):  # direct and record-buffer pass shapes
+            eng.radix_passes(keys, vals_u64, ka, va, ra, rb, npasses, 2, hist)
+        out_k = np.empty_like(keys)
+        out_v = np.empty(4, dtype=np.float64)
+        for op in (OP_ADD, OP_MIN, OP_MAX, OP_OR):
+            eng.compress_scan(np.sort(keys), vals, op, out_k, out_v, starts)
+        if kdt is not np.uint16:
+            eng.place_pairs(keys, vals_u64, binid, counts, out_k, va)
+    for idt in (np.uint16, np.uint32):
+        rows = np.array([1, 0, 1, 1], dtype=idt)
+        cols = np.array([0, 1, 0, 2], dtype=idt)
+        tr, tc = np.empty(4, idt), np.empty(4, idt)
+        tv = np.empty(4, np.float64)
+        our, ouc = np.empty(4, idt), np.empty(4, idt)
+        ouv = np.empty(4, np.float64)
+        rc = np.empty(2, np.int64)
+        for op in (OP_ADD, OP_MIN, OP_MAX, OP_OR):
+            eng.panel_process(
+                rows, cols, vals, 2, op, hist, tr, tc, tv, our, ouc, ouv, rc
+            )
+    if hasattr(eng, "panel_fused"):
+        # 2x2 A (CSC) times 2x2 B panel: exercises every (⊕, ⊗) pair.
+        a_ptr = np.array([0, 2, 4], dtype=np.int64)
+        a_rows = np.array([0, 1, 0, 1], dtype=np.uint16)
+        a_vals = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float64)
+        bk = np.array([0, 1, 1], dtype=np.int64)
+        bv = np.array([1.5, -2.0, 0.5], dtype=np.float64)
+        col_ptr = np.array([0, 2, 3], dtype=np.int64)
+        wk2 = np.empty(2, np.int64)
+        tvc12 = np.empty(12, np.float64)
+        our6, ouc6 = np.empty(6, np.uint16), np.empty(6, np.uint16)
+        ouv6 = np.empty(6, np.float64)
+        rc2 = np.empty(2, np.int64)
+        for op in (OP_ADD, OP_MIN, OP_MAX, OP_OR):
+            for mop in (MUL_TIMES, MUL_PLUS, MUL_AND, MUL_PAIR):
+                eng.panel_fused(
+                    a_ptr, a_rows, a_vals, bk, bv, col_ptr, 0, 2, op, mop,
+                    hist, wk2, tvc12, our6, ouc6, ouv6, rc2,
+                )
+    return time.perf_counter() - t0
+
+
+def reset_jit_state() -> None:
+    """Forget the engine, warm flag and probe cache (tests only)."""
+    global _ENGINE, _ENGINE_FAILED, _WARMED
+    _ENGINE = None
+    _ENGINE_FAILED = False
+    _WARMED = False
+    reset_probe_cache()
+
+
+def semiring_opcode(semiring) -> int | None:
+    """⊕ op code for a semiring's ``add_ufunc``, or None if uncompiled."""
+    ufunc = getattr(semiring, "add_ufunc", None)
+    if ufunc is np.add:
+        return OP_ADD
+    if ufunc is np.minimum:
+        return OP_MIN
+    if ufunc is np.maximum:
+        return OP_MAX
+    if ufunc is np.logical_or:
+        return OP_OR
+    return None
+
+
+def multiply_opcode(semiring) -> int | None:
+    """⊗ op code for a semiring's ``multiply``, or None if uncompiled.
+
+    Matched by identity against the registry's multiply callables so a
+    user-defined semiring with a custom ⊗ silently keeps the numpy
+    expand path (which calls the callable) rather than being mislabeled.
+    """
+    from ...semiring import _logical_and, _pair, _plus, _times
+
+    mul = getattr(semiring, "multiply", None)
+    if mul is _times:
+        return MUL_TIMES
+    if mul is _plus:
+        return MUL_PLUS
+    if mul is _logical_and:
+        return MUL_AND
+    if mul is _pair:
+        return MUL_PAIR
+    return None
+
+
+# ----------------------------------------------------------------------
+# sort_backend="radix_jit"
+# ----------------------------------------------------------------------
+
+def _sort_digit_bits(n: int, key_bits: int) -> int:
+    """Digit width for one compiled sort of ``n`` keys of ``key_bits``.
+
+    A counting pass scatters into ``2^digit_bits`` concurrent write
+    streams, and measured across bin sizes (4k-250k tuples) the knee
+    is at 256 buckets: wider digits thrash L1 with partially-filled
+    cache lines (2048 streams × 64 B is already 128 KB), while the
+    extra narrow pass is a cheap sequential sweep — 8-bit digits beat
+    both 11×2 and 16×2 splits at every size tried, and the histogram
+    memset (2 KB) is noise even for tiny bins.  Pick 8-bit digits,
+    then shrink to the narrowest width giving the same pass count
+    (e.g. 11-bit keys → two 6-bit passes).  The stable permutation is
+    digit-width independent, so any choice stays bit-identical.
+    """
+    digit = max(1, min(8, key_bits))
+    npasses = -(-key_bits // digit)
+    return -(-key_bits // npasses)
+
+
+def sort_pairs_jit(
+    keys: np.ndarray, values: np.ndarray, key_bits: int | None = None
+):
+    """Compiled stable LSD sort of (key, payload) pairs.
+
+    Returns ``(sorted_keys, permuted_values, byte_passes)`` exactly like
+    :func:`repro.kernels.radix.radix_sort_pairs` (same unique stable
+    permutation), or None when the call cannot be served compiled
+    (no engine — warned once — or a payload that is not 8 bytes wide).
+    """
+    values = np.asarray(values)
+    if values.ndim != 1 or values.dtype.itemsize != 8:
+        return None
+    eng = _engine()
+    if eng is None:
+        return _fallback("sort_backend='radix_jit'")
+    keys_n, key_bits = _normalize_keys(keys, key_bits)
+    if len(keys_n) != len(values):
+        raise ValueError(
+            f"keys/values length mismatch: {len(keys_n)} vs {values.shape}"
+        )
+    n = len(keys_n)
+    book_passes = passes_for_bits(key_bits)
+    digit_bits = _sort_digit_bits(n, key_bits)
+    npasses = counting_passes(key_bits, digit_bits)
+    if n <= 1 or npasses == 0:
+        return keys_n.copy(), values.copy(), book_passes
+    keys_c = np.ascontiguousarray(keys_n)
+    vals_u64 = np.ascontiguousarray(values).view(np.uint64)
+    # The kernel's intermediate record buffers are warm per-thread
+    # scratch; only the output pair the caller keeps is allocated.
+    out_k = np.empty_like(keys_c)
+    out_v = np.empty(n, dtype=np.uint64)
+    ra, rb = _sort_scratch(n)
+    eng.radix_passes(
+        keys_c, vals_u64, out_k, out_v, ra, rb, npasses, digit_bits, _hist()
+    )
+    return out_k, out_v.view(values.dtype), book_passes
+
+
+# ----------------------------------------------------------------------
+# distribute_backend="counting_jit"
+# ----------------------------------------------------------------------
+
+def counting_argsort_jit(binid: np.ndarray, nbins: int):
+    """Compiled stable counting argsort of bin ids, or None.
+
+    Same permutation as ``np.argsort(binid, kind="stable")`` on ids in
+    ``[0, nbins)`` — the distribute placement's contract.
+    """
+    eng = _engine()
+    if eng is None:
+        return _fallback("distribute_backend='counting_jit'")
+    binid = np.ascontiguousarray(binid, dtype=np.int64)
+    counts = np.empty(max(int(nbins), 1), dtype=np.int64)
+    order = np.empty(len(binid), dtype=np.int64)
+    eng.counting_argsort(binid, counts, order)
+    return order
+
+
+def place_pairs_jit(
+    keys: np.ndarray, vals: np.ndarray, binid: np.ndarray, nbins: int
+):
+    """Fused counting placement of packed (key, value) pairs.
+
+    Scatters both arrays into bin-grouped stable order in one compiled
+    pass — the permutation is never materialized — and returns
+    ``(binned_keys, binned_vals, bin_starts)`` matching
+    :func:`repro.core.binning.distribute_packed`.  None on fallback.
+    """
+    keys = np.asarray(keys)
+    vals = np.asarray(vals)
+    if keys.dtype.itemsize not in (4, 8) or vals.dtype.itemsize != 8:
+        return None
+    eng = _engine()
+    if eng is None:
+        return _fallback("distribute_backend='counting_jit'")
+    n = len(keys)
+    keys_c = np.ascontiguousarray(keys)
+    vals_u64 = np.ascontiguousarray(vals).view(np.uint64)
+    binid_c = np.ascontiguousarray(binid, dtype=np.int64)
+    nbins = max(int(nbins), 1)
+    counts = np.empty(nbins, dtype=np.int64)
+    out_keys = np.empty_like(keys_c)
+    out_vals = np.empty(n, dtype=np.uint64)
+    eng.place_pairs(keys_c, vals_u64, binid_c, counts, out_keys, out_vals)
+    starts = np.zeros(nbins + 1, dtype=INDEX_DTYPE)
+    starts[1:] = counts  # each bin's end offset == the next bin's start
+    return out_keys, out_vals.view(vals.dtype), starts
+
+
+# ----------------------------------------------------------------------
+# column_backend="panel_jit"
+# ----------------------------------------------------------------------
+
+class PanelJitContext:
+    """Per-multiply state for the compiled panel sort + fold.
+
+    Holds the engine, the ⊕ op code and a reusable histogram scratch so
+    the per-panel calls allocate only their own buffers.
+    """
+
+    def __init__(self, eng, m: int, op: int, col_dtype, index_dtype, mop=None):
+        self._eng = eng
+        self._m = int(m)
+        self._op = op
+        self._mop = mop
+        self._col_dtype = np.dtype(col_dtype)
+        #: Narrowest index dtype the compiled kernel runs at for this
+        #: shape — the caller gathers rows/cols in this dtype so the
+        #: sub-65536-square case moves half the index bytes per scatter.
+        self.index_dtype = np.dtype(index_dtype)
+        self._hist = np.empty(65536, dtype=np.int64)
+        self._wk = None  # inner-dim scratch, sized on first fused call
+        self._fused_scratch = None  # (tvc, out_r, out_c, out_v), grown
+        #: Whether :meth:`process_fused` can serve this multiply — the
+        #: fused kernel walks the CSC structure itself, so it needs a
+        #: compiled ⊗ (registry semirings only), a uint16 index
+        #: envelope, and an engine that ships the kernel.
+        self.supports_fused = (
+            mop is not None
+            and self.index_dtype == np.uint16
+            and hasattr(eng, "panel_fused")
+        )
+
+    def process_fused(
+        self, a_ptr, a_rows_idx, a_vals, b_ptr, b_ks, b_data, j_lo, j_hi,
+        ntuples,
+    ):
+        """Expand + ⊗ + row-group + fold one panel in one compiled call.
+
+        Walks the CSC expansion structure directly (the same implicit
+        j-major tuple stream ``expand_cols_range`` materializes), so the
+        numpy-side expand/repeat/gather buffers are never built.  The
+        stable row grouping and sequential col-run fold replay the
+        non-fused path's order exactly, so results stay bit-identical.
+        Returns the same quartet as :meth:`process`.
+        """
+        n = int(ntuples)
+        e_lo = int(b_ptr[j_lo])
+        e_hi = int(b_ptr[j_hi])
+        col_ptr = (b_ptr[j_lo : j_hi + 1] - e_lo).astype(np.int64)
+        idt = self.index_dtype
+        nk = len(a_ptr) - 1
+        if self._wk is None or len(self._wk) < nk:
+            self._wk = np.empty(nk, dtype=np.int64)
+        # Warm per-context scratch: the compacted outputs below are
+        # copies, so the big per-panel buffers never escape and their
+        # page faults are paid once per multiply, not once per panel.
+        scr = self._fused_scratch
+        if scr is None or len(scr[1]) < n:
+            scr = (
+                np.empty(2 * n, dtype=np.float64),
+                np.empty(n, dtype=idt),
+                np.empty(n, dtype=idt),
+                np.empty(n, dtype=np.float64),
+            )
+            self._fused_scratch = scr
+        tvc, out_r, out_c, out_v = scr
+        row_counts = np.empty(self._m, dtype=np.int64)
+        nout = self._eng.panel_fused(
+            np.ascontiguousarray(a_ptr, dtype=np.int64),
+            a_rows_idx,
+            np.ascontiguousarray(a_vals, dtype=np.float64),
+            np.ascontiguousarray(b_ks[e_lo:e_hi], dtype=np.int64),
+            np.ascontiguousarray(b_data[e_lo:e_hi], dtype=np.float64),
+            col_ptr,
+            int(j_lo),
+            self._m,
+            self._op,
+            self._mop,
+            self._hist,
+            self._wk, tvc, out_r, out_c, out_v, row_counts,
+        )
+        rows_p = out_r[:nout].astype(np.intp)
+        cols_p = out_c[:nout].astype(self._col_dtype, copy=True)
+        vals_p = out_v[:nout].copy()
+        return rows_p, cols_p, vals_p, row_counts
+
+    def process(self, rows_idx, cols_idx, vals_f64):
+        """Sort one panel by row, fold duplicate (row, col) runs.
+
+        Returns ``(rows_intp, cols, reduced_vals, row_counts)`` —
+        compacted copies matching the numpy panel path's
+        ``rows_s[run_start].astype(np.intp)`` / ``cols_s[run_start]`` /
+        ``fold_runs_masked`` / ``np.bincount`` quartet.
+        """
+        n = len(rows_idx)
+        idt = self.index_dtype
+        tr = np.empty(n, dtype=idt)
+        tc = np.empty(n, dtype=idt)
+        tv = np.empty(n, dtype=np.float64)
+        out_r = np.empty(n, dtype=idt)
+        out_c = np.empty(n, dtype=idt)
+        out_v = np.empty(n, dtype=np.float64)
+        row_counts = np.empty(self._m, dtype=np.int64)
+        nout = self._eng.panel_process(
+            np.ascontiguousarray(rows_idx, dtype=idt),
+            np.ascontiguousarray(cols_idx, dtype=idt),
+            np.ascontiguousarray(vals_f64, dtype=np.float64),
+            self._m,
+            self._op,
+            self._hist,
+            tr, tc, tv, out_r, out_c, out_v, row_counts,
+        )
+        # Compact copies: the big per-panel buffers must not outlive
+        # this call (panels accumulate until assembly).
+        rows_p = out_r[:nout].astype(np.intp)
+        cols_p = out_c[:nout].astype(self._col_dtype, copy=True)
+        vals_p = out_v[:nout].copy()
+        return rows_p, cols_p, vals_p, row_counts
+
+
+def panel_jit_context(m: int, n: int, semiring, col_dtype):
+    """Build the compiled panel context, or None to run the numpy path.
+
+    None (with the one-time warning) when no engine is available;
+    None *silently* when the shape or semiring is outside the compiled
+    envelope (rows/cols beyond 32 bits, non-ufunc ⊕) — there the numpy
+    path is not a degradation but the only implementation.
+    """
+    op = semiring_opcode(semiring)
+    if op is None or m > 1 << 32 or n > 1 << 32:
+        return None
+    if np.dtype(semiring.dtype) != np.float64:
+        return None
+    eng = _engine()
+    if eng is None:
+        return _fallback("column_backend='panel_jit'")
+    idx = np.uint16 if (m <= 1 << 16 and n <= 1 << 16) else np.uint32
+    return PanelJitContext(eng, m, op, col_dtype, idx, multiply_opcode(semiring))
+
+
+# ----------------------------------------------------------------------
+# compress_backend="jit"
+# ----------------------------------------------------------------------
+
+_DUMMY_VALS = np.zeros(1, dtype=np.float64)
+
+
+def compress_keyed_jit(keys: np.ndarray, values: np.ndarray, semiring):
+    """Compiled bin compress, or None to run the numpy path.
+
+    One compiled scan validates sortedness and emits run starts plus
+    deduplicated keys.  Order-exact ⊕ (min/max/or) folds values in the
+    same scan with ``ufunc.reduceat`` segment semantics; plus-semirings
+    delegate the value reduction to the *identical*
+    ``Semiring.reduceat`` call the numpy path makes, so float addition
+    order (numpy's pairwise ``np.add.reduceat``) is reproduced rather
+    than re-derived.  Raises the numpy path's ValueError on unsorted
+    keys.
+    """
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    op = semiring_opcode(semiring)
+    if (
+        op is None
+        or keys.dtype.kind != "u"
+        or keys.dtype.itemsize not in (2, 4, 8)
+        or values.dtype != np.float64
+    ):
+        return None
+    eng = _engine()
+    if eng is None:
+        return _fallback("compress_backend='jit'")
+    if len(keys) == 0:
+        return keys[:0], values[:0]
+    n = len(keys)
+    keys_c = np.ascontiguousarray(keys)
+    vals_c = np.ascontiguousarray(values)
+    out_keys = np.empty_like(keys_c)
+    starts = np.empty(n, dtype=np.int64)
+    if op == OP_ADD:
+        nout = eng.compress_scan(keys_c, vals_c, op, out_keys, _DUMMY_VALS, starts)
+        if nout < 0:
+            raise ValueError(
+                "compress requires sorted keys (run the sort phase first)"
+            )
+        return out_keys[:nout].copy(), semiring.reduceat(vals_c, starts[:nout])
+    out_vals = np.empty(n, dtype=np.float64)
+    nout = eng.compress_scan(keys_c, vals_c, op, out_keys, out_vals, starts)
+    if nout < 0:
+        raise ValueError(
+            "compress requires sorted keys (run the sort phase first)"
+        )
+    return out_keys[:nout].copy(), out_vals[:nout].copy()

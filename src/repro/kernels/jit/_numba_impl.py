@@ -1,0 +1,409 @@
+"""Numba engine for the JIT kernel tier.
+
+Mirrors the C translation unit in ``_cc.py`` kernel for kernel: same
+signatures (numpy arrays in, scalar control out), same stable-sort
+permutations, same sequential fold orders — so the two engines are
+interchangeable behind :mod:`repro.kernels.jit` and the bit-identity
+suite can run against whichever the probe selected.
+
+Compilation hygiene: every kernel is ``@njit(cache=True, nogil=True)``.
+``cache=True`` persists the compiled machine code next to this module,
+so process-pool workers (and future processes) load it from the cache
+instead of re-JITting per dispatch — the warm-kernel contract.  The
+one-time compile cost is paid by :func:`repro.kernels.jit.warmup`
+(called off the request path at ``Session`` construction and charged
+to the ``jit_warmup_s`` phase stopwatch).
+
+This module must only be imported after the probe in ``_avail`` has
+accepted the installed numba version; importing it without numba (or
+with one older than ``NUMBA_MIN_VERSION``) raises ImportError.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._avail import NUMBA_MIN_VERSION, _parse_version
+
+import numba
+from numba import njit
+
+if _parse_version(getattr(numba, "__version__", "0")) < NUMBA_MIN_VERSION:
+    raise ImportError(
+        f"numba {numba.__version__} is older than the pinned minimum "
+        f"{'.'.join(str(v) for v in NUMBA_MIN_VERSION)}"
+    )
+
+__all__ = ["NumbaEngine"]
+
+_OP_ADD, _OP_MIN, _OP_MAX, _OP_OR = 0, 1, 2, 3
+_MUL_TIMES, _MUL_PLUS, _MUL_AND, _MUL_PAIR = 0, 1, 2, 3
+
+
+@njit(cache=True, nogil=True)
+def _radix_passes(
+    keys_in, vals_in, out_k, out_v, ra, rb, npasses, digit_bits, hist
+):
+    # Mirrors the C kernel: all passes but the last scatter one
+    # interleaved (value, key) record per element into the ra/rb
+    # uint64[2n] ping-pong scratch (one random write stream, not two);
+    # the last pass unpacks into out_k/out_v.  Each scatter also
+    # histograms the NEXT pass's digit, so hist holds 2 << digit_bits
+    # entries (two alternating bucket arrays) and only pass 0 runs a
+    # standalone counting loop.
+    n = keys_in.shape[0]
+    nbuckets = 1 << digit_bits
+    mask = np.uint64(nbuckets - 1)
+    base = 0
+    for d in range(nbuckets):
+        hist[d] = 0
+    for i in range(n):
+        hist[np.int64(np.uint64(keys_in[i]) & mask)] += 1
+    src = ra
+    dst = ra
+    dst_is_a = True
+    for p in range(npasses):
+        shift = digit_bits * p
+        shift2 = shift + digit_bits
+        last = p + 1 == npasses
+        nxt = nbuckets - base  # the other bucket array's offset
+        acc = np.int64(0)
+        for d in range(nbuckets):
+            c = hist[base + d]
+            hist[base + d] = acc
+            acc += c
+        if not last:
+            for d in range(nbuckets):
+                hist[nxt + d] = 0
+        if p == 0 and last:
+            for i in range(n):
+                k = keys_in[i]
+                digit = np.int64((np.uint64(k) >> shift) & mask)
+                pos = hist[base + digit]
+                hist[base + digit] = pos + 1
+                out_k[pos] = k
+                out_v[pos] = vals_in[i]
+        elif p == 0:
+            for i in range(n):
+                k = np.uint64(keys_in[i])
+                pos = hist[base + np.int64(k & mask)]
+                hist[base + np.int64(k & mask)] = pos + 1
+                dst[2 * pos] = vals_in[i]
+                dst[2 * pos + 1] = k
+                hist[nxt + np.int64((k >> shift2) & mask)] += 1
+        elif last:
+            for i in range(n):
+                k = src[2 * i + 1]
+                digit = np.int64((k >> shift) & mask)
+                pos = hist[base + digit]
+                hist[base + digit] = pos + 1
+                out_k[pos] = k
+                out_v[pos] = src[2 * i]
+        else:
+            for i in range(n):
+                k = src[2 * i + 1]
+                digit = np.int64((k >> shift) & mask)
+                pos = hist[base + digit]
+                hist[base + digit] = pos + 1
+                dst[2 * pos] = src[2 * i]
+                dst[2 * pos + 1] = k
+                hist[nxt + np.int64((k >> shift2) & mask)] += 1
+        base = nxt
+        src = dst
+        if dst_is_a:
+            dst = rb
+            dst_is_a = False
+        else:
+            dst = ra
+            dst_is_a = True
+    return 0
+
+
+@njit(cache=True, nogil=True)
+def _counting_argsort(binid, counts, order):
+    n = binid.shape[0]
+    counts[:] = 0
+    for i in range(n):
+        counts[binid[i]] += 1
+    acc = np.int64(0)
+    for b in range(counts.shape[0]):
+        c = counts[b]
+        counts[b] = acc
+        acc += c
+    for i in range(n):
+        b = binid[i]
+        order[counts[b]] = i
+        counts[b] += 1
+
+
+@njit(cache=True, nogil=True)
+def _place_pairs(keys, vals, binid, counts, out_keys, out_vals):
+    n = keys.shape[0]
+    counts[:] = 0
+    for i in range(n):
+        counts[binid[i]] += 1
+    acc = np.int64(0)
+    for b in range(counts.shape[0]):
+        c = counts[b]
+        counts[b] = acc
+        acc += c
+    for i in range(n):
+        b = binid[i]
+        pos = counts[b]
+        counts[b] = pos + 1
+        out_keys[pos] = keys[i]
+        out_vals[pos] = vals[i]
+
+
+@njit(cache=True, nogil=True, inline="always")
+def _fold_min(a, v):
+    r = v if v < a else a
+    if v != v:
+        r = v
+    return r
+
+
+@njit(cache=True, nogil=True, inline="always")
+def _fold_max(a, v):
+    r = v if v > a else a
+    if v != v:
+        r = v
+    return r
+
+
+@njit(cache=True, nogil=True)
+def _panel_process(
+    rows, cols, vals, m, op, hist, tr, tc, tv,
+    out_rows, out_cols, out_vals, row_counts,
+):
+    n = rows.shape[0]
+    row_counts[:] = 0
+    if n == 0:
+        return np.int64(0)
+
+    if m <= 65536:
+        for r in range(m):
+            hist[r] = 0
+        for i in range(n):
+            hist[rows[i]] += 1
+        acc = np.int64(0)
+        for r in range(m):
+            c = hist[r]
+            hist[r] = acc
+            acc += c
+        for i in range(n):
+            r = rows[i]
+            pos = hist[r]
+            hist[r] = pos + 1
+            tr[pos] = rows[i]
+            tc[pos] = cols[i]
+            tv[pos] = vals[i]
+    else:
+        hist[:] = 0
+        for i in range(n):
+            hist[rows[i] & np.uint32(0xFFFF)] += 1
+        acc = np.int64(0)
+        for d in range(65536):
+            c = hist[d]
+            hist[d] = acc
+            acc += c
+        for i in range(n):
+            digit = rows[i] & np.uint32(0xFFFF)
+            pos = hist[digit]
+            hist[digit] = pos + 1
+            out_rows[pos] = rows[i]
+            out_cols[pos] = cols[i]
+            out_vals[pos] = vals[i]
+        hist[:] = 0
+        for i in range(n):
+            hist[(out_rows[i] >> np.uint32(16)) & np.uint32(0xFFFF)] += 1
+        acc = np.int64(0)
+        for d in range(65536):
+            c = hist[d]
+            hist[d] = acc
+            acc += c
+        for i in range(n):
+            digit = (out_rows[i] >> np.uint32(16)) & np.uint32(0xFFFF)
+            pos = hist[digit]
+            hist[digit] = pos + 1
+            tr[pos] = out_rows[i]
+            tc[pos] = out_cols[i]
+            tv[pos] = out_vals[i]
+
+    nout = np.int64(0)
+    for i in range(n):
+        if i > 0 and tr[i] == tr[i - 1] and tc[i] == tc[i - 1]:
+            v = tv[i]
+            a = out_vals[nout - 1]
+            if op == _OP_ADD:
+                out_vals[nout - 1] = a + v
+            elif op == _OP_MIN:
+                out_vals[nout - 1] = _fold_min(a, v)
+            elif op == _OP_MAX:
+                out_vals[nout - 1] = _fold_max(a, v)
+            else:
+                out_vals[nout - 1] = 1.0 if (a != 0.0 or v != 0.0) else 0.0
+        else:
+            out_rows[nout] = tr[i]
+            out_cols[nout] = tc[i]
+            out_vals[nout] = tv[i]  # run head keeps its raw value
+            row_counts[tr[i]] += 1
+            nout += 1
+    return nout
+
+
+@njit(cache=True, nogil=True)
+def _panel_fused(
+    a_ptr, a_rows, a_vals, bk, bv, col_ptr, j_lo, m, op, mop,
+    hist, wk, tvc, out_rows, out_cols, out_vals, row_counts,
+):
+    ncols = col_ptr.shape[0] - 1
+    nk = a_ptr.shape[0] - 1
+    for r in range(m):
+        row_counts[r] = 0
+        hist[r] = 0
+    for k in range(nk):
+        wk[k] = 0
+    ne = col_ptr[ncols]
+
+    # Pass 1: weighted row histogram — each touched A column is walked
+    # once with its panel multiplicity instead of once per B entry.
+    for e in range(ne):
+        wk[bk[e]] += 1
+    for k in range(nk):
+        w = wk[k]
+        if w == 0:
+            continue
+        for i in range(a_ptr[k], a_ptr[k + 1]):
+            hist[a_rows[i]] += w
+    acc = np.int64(0)
+    for r in range(m):
+        c = hist[r]
+        hist[r] = acc
+        acc += c
+    if acc == 0:
+        return np.int64(0)
+
+    # Pass 2: expand + ⊗ + stable scatter of interleaved (val, col)
+    # records — one dirtied cache line per tuple, not two.
+    for j in range(ncols):
+        cjd = np.float64(j_lo + j)
+        for e in range(col_ptr[j], col_ptr[j + 1]):
+            k = bk[e]
+            b = bv[e]
+            for i in range(a_ptr[k], a_ptr[k + 1]):
+                r = a_rows[i]
+                pos = hist[r]
+                hist[r] = pos + 1
+                if mop == _MUL_TIMES:
+                    tvc[2 * pos] = a_vals[i] * b
+                elif mop == _MUL_PLUS:
+                    tvc[2 * pos] = a_vals[i] + b
+                elif mop == _MUL_AND:
+                    tvc[2 * pos] = (
+                        1.0 if (a_vals[i] != 0.0 and b != 0.0) else 0.0
+                    )
+                else:
+                    tvc[2 * pos] = 1.0
+                tvc[2 * pos + 1] = cjd
+
+    nout = np.int64(0)
+    seg_lo = np.int64(0)
+    for r in range(m):
+        seg_hi = hist[r]
+        head = nout
+        for i in range(seg_lo, seg_hi):
+            ci = tvc[2 * i + 1]
+            if i > seg_lo and ci == tvc[2 * i - 1]:
+                v = tvc[2 * i]
+                a = out_vals[nout - 1]
+                if op == _OP_ADD:
+                    out_vals[nout - 1] = a + v
+                elif op == _OP_MIN:
+                    out_vals[nout - 1] = _fold_min(a, v)
+                elif op == _OP_MAX:
+                    out_vals[nout - 1] = _fold_max(a, v)
+                else:
+                    out_vals[nout - 1] = 1.0 if (a != 0.0 or v != 0.0) else 0.0
+            else:
+                out_rows[nout] = r
+                out_cols[nout] = np.uint16(ci)
+                out_vals[nout] = tvc[2 * i]  # run head keeps its raw value
+                nout += 1
+        row_counts[r] = nout - head
+        seg_lo = seg_hi
+    return nout
+
+
+@njit(cache=True, nogil=True)
+def _compress_scan(keys, vals, op, out_keys, out_vals, starts):
+    n = keys.shape[0]
+    nout = np.int64(0)
+    for i in range(n):
+        if i > 0 and keys[i] < keys[i - 1]:
+            return np.int64(-1)
+        if i == 0 or keys[i] != keys[i - 1]:
+            starts[nout] = i
+            out_keys[nout] = keys[i]
+            if op == _OP_MIN or op == _OP_MAX:
+                out_vals[nout] = vals[i]
+            elif op == _OP_OR:
+                out_vals[nout] = 1.0 if vals[i] != 0.0 else 0.0
+            nout += 1
+        else:
+            v = vals[i]
+            if op == _OP_MIN:
+                out_vals[nout - 1] = _fold_min(out_vals[nout - 1], v)
+            elif op == _OP_MAX:
+                out_vals[nout - 1] = _fold_max(out_vals[nout - 1], v)
+            elif op == _OP_OR:
+                if v != 0.0:
+                    out_vals[nout - 1] = 1.0
+    return nout
+
+
+class NumbaEngine:
+    """Numpy-array façade matching ``_cc.CCEngine`` method for method."""
+
+    name = "numba"
+
+    def radix_passes(
+        self, keys_in, vals_in, out_k, out_v, ra, rb, npasses, digit_bits, hist
+    ):
+        return int(
+            _radix_passes(
+                keys_in, vals_in, out_k, out_v, ra, rb, npasses, digit_bits,
+                hist,
+            )
+        )
+
+    def counting_argsort(self, binid, counts, order):
+        _counting_argsort(binid, counts, order)
+
+    def place_pairs(self, keys, vals, binid, counts, out_keys, out_vals):
+        _place_pairs(keys, vals, binid, counts, out_keys, out_vals)
+
+    def panel_process(
+        self, rows, cols, vals, m, op, hist,
+        tr, tc, tv, out_rows, out_cols, out_vals, row_counts,
+    ):
+        return int(
+            _panel_process(
+                rows, cols, vals, m, op, hist,
+                tr, tc, tv, out_rows, out_cols, out_vals, row_counts,
+            )
+        )
+
+    def panel_fused(
+        self, a_ptr, a_rows, a_vals, bk, bv, col_ptr, j_lo, m, op, mop,
+        hist, wk, tvc, out_rows, out_cols, out_vals, row_counts,
+    ):
+        return int(
+            _panel_fused(
+                a_ptr, a_rows, a_vals, bk, bv, col_ptr, j_lo, m, op, mop,
+                hist, wk, tvc, out_rows, out_cols, out_vals, row_counts,
+            )
+        )
+
+    def compress_scan(self, keys, vals, op, out_keys, out_vals, starts):
+        return int(_compress_scan(keys, vals, op, out_keys, out_vals, starts))

@@ -32,6 +32,12 @@ Backends of :func:`sort_tuples`:
   permutation, then two more gathers at the end.  Kept verbatim as the
   ablation baseline the hot-path bench compares against.
 * ``"mergesort"`` — one comparison sort (DESIGN.md §6 ablation).
+* ``"radix_jit"`` — the JIT tier's compiled LSD sort
+  (:mod:`repro.kernels.jit`): the histogram, prefix and key+payload
+  scatter of each 16-bit pass fused into one compiled loop, removing
+  the per-pass digit materialization and double ``np.take``.  Falls
+  back to ``"radix"`` (with the tier's one-time structured warning)
+  when no JIT engine is available.
 
 All backends produce the *same stable permutation* (LSD radix with
 stable passes is exactly the stable sort order), so sorted keys and
@@ -247,16 +253,25 @@ def sort_tuples(
     """Sort (key, payload) tuple arrays by key.
 
     ``backend="radix"`` is the counting-scatter path
-    (:func:`radix_sort_pairs`); ``backend="argsort"`` is the
-    pre-optimization byte-argsort path kept as an ablation;
-    ``backend="mergesort"`` is the comparison baseline of DESIGN.md §6.
-    All backends return the identical stable result.  Returns sorted
-    keys, permuted values, and the byte pass count charged by the cost
-    model (0 for the comparison backend).
+    (:func:`radix_sort_pairs`); ``backend="radix_jit"`` is the JIT
+    tier's compiled equivalent (numpy fallback when unavailable);
+    ``backend="argsort"`` is the pre-optimization byte-argsort path
+    kept as an ablation; ``backend="mergesort"`` is the comparison
+    baseline of DESIGN.md §6.  All backends return the identical
+    stable result.  Returns sorted keys, permuted values, and the byte
+    pass count charged by the cost model (0 for the comparison
+    backend).
     """
     if len(keys) != len(values):
         raise ValueError(f"keys/values length mismatch: {len(keys)} vs {len(values)}")
     if backend == "radix":
+        return radix_sort_pairs(keys, values, key_bits=key_bits)
+    if backend == "radix_jit":
+        from .jit import sort_pairs_jit
+
+        out = sort_pairs_jit(keys, values, key_bits=key_bits)
+        if out is not None:
+            return out
         return radix_sort_pairs(keys, values, key_bits=key_bits)
     if backend == "argsort":
         order, passes = _argsort_byte_passes(keys, key_bits)

@@ -20,6 +20,13 @@ four effective rates with short numpy micro-benchmarks:
   constants describe a compiled hash loop, not this numpy panel path,
   so without this measurement the planner systematically misprices
   column algorithms against PB,
+* **JIT scatter rate** — tuples/s of the compiled tier's radix sort
+  (:func:`repro.kernels.jit.sort_pairs_jit`) on the identical workload
+  as the numpy radix measurement, so
+  :meth:`MachineProfile.jit_sort_scale` is a clean cycle multiplier
+  for ``radix_jit`` / ``panel_jit`` candidates; recorded as 0.0 when
+  no JIT engine is available, which prices the tier out of every
+  ranking,
 * **process-pool startup and warm dispatch** — the fixed price of
   spawning a worker pool (paid once per pool: per multiply for a
   standalone ``PBConfig(executor="process")`` call, once per
@@ -54,9 +61,13 @@ from ..machine.spec import MachineSpec, StreamTable
 PROFILE_FILENAME = "profile.json"
 #: v2 added ``column_mtuples_s`` (measured panel column-kernel rate);
 #: v3 added ``warm_dispatch_s`` (round-trip latency of a task on an
-#: already-spawned pool, for session-aware warm pricing).  Older
-#: profiles are rejected on load and silently re-calibrated.
-PROFILE_SCHEMA_VERSION = 3
+#: already-spawned pool, for session-aware warm pricing); v4 added
+#: ``jit_scatter_mtuples_s`` (compiled-tier sort rate, 0.0 when no JIT
+#: engine is available).  v3 profiles migrate in place on load
+#: (the new rate fills as 0.0 — "unmeasured", pricing the tier out
+#: until the next ``repro calibrate``); anything older is rejected and
+#: silently re-calibrated.
+PROFILE_SCHEMA_VERSION = 4
 
 #: Sanity clamps: a wildly off micro-benchmark (noisy CI container,
 #: throttled laptop) must not poison every subsequent ranking.
@@ -77,6 +88,7 @@ class MachineProfile:
     scatter_gbs: float
     radix_mtuples_s: float
     column_mtuples_s: float
+    jit_scatter_mtuples_s: float  # compiled-tier sort rate; 0.0 = no engine
     effective_clock_ghz: float
     dram_latency_ns: float
     pool_startup_s: float
@@ -100,6 +112,23 @@ class MachineProfile:
             self.effective_clock_ghz * 1e3 / max(self.column_mtuples_s, 1e-9)
         )
         return measured_cycles / C.HASH_CYCLES_PER_FLOP
+
+    def jit_sort_scale(self) -> float | None:
+        """Cycle multiplier pricing the compiled scatter tier, or None.
+
+        The model's sort/scatter cycle constants describe the numpy
+        radix path, which calibration measured at ``radix_mtuples_s``;
+        the compiled tier ran the *same* workload at
+        ``jit_scatter_mtuples_s``.  Their ratio rescales those cycle
+        charges for a ``radix_jit`` / ``panel_jit`` candidate (< 1 when
+        the compiled tier is faster — the usual case — but nothing
+        forces that: a slow compiler or tiny numba win prices the tier
+        honestly and the planner simply keeps numpy).  None when the
+        rate is unmeasured (0.0): the tier is not priced at all.
+        """
+        if self.jit_scatter_mtuples_s <= 0.0:
+            return None
+        return self.radix_mtuples_s / self.jit_scatter_mtuples_s
 
     def fingerprint(self) -> str:
         """Stable short hash identifying this profile in plan-cache keys.
@@ -152,6 +181,13 @@ class MachineProfile:
     def from_dict(cls, data: dict) -> "MachineProfile":
         if not isinstance(data, dict):
             raise ValueError("profile payload must be a JSON object")
+        if data.get("schema_version") == 3 and "jit_scatter_mtuples_s" not in data:
+            # One-shot v3 → v4 migration: pre-JIT-tier profiles stay
+            # valid; the unmeasured rate (0.0) prices the tier out of
+            # every ranking until the next `repro calibrate`.
+            data = dict(data)
+            data["jit_scatter_mtuples_s"] = 0.0
+            data["schema_version"] = PROFILE_SCHEMA_VERSION
         if data.get("schema_version") != PROFILE_SCHEMA_VERSION:
             raise ValueError(
                 f"profile schema_version must be {PROFILE_SCHEMA_VERSION}, "
@@ -166,6 +202,7 @@ class MachineProfile:
             "scatter_gbs": (int, float),
             "radix_mtuples_s": (int, float),
             "column_mtuples_s": (int, float),
+            "jit_scatter_mtuples_s": (int, float),
             "effective_clock_ghz": (int, float),
             "dram_latency_ns": (int, float),
             "pool_startup_s": (int, float),
@@ -280,6 +317,24 @@ def calibrate(
         model_cycles * ns / t_radix / 1e9, _CLOCK_BOUNDS_GHZ
     )
 
+    # Compiled-tier sort rate on the *same* workload, so the ratio to
+    # radix_mtuples_s is a clean cycle multiplier (jit_sort_scale()).
+    # warmup() runs first so compile/dlopen time never pollutes the
+    # measurement; 0.0 records "no engine" and prices the tier out.
+    from ..kernels import jit as jit_tier
+
+    jit_scatter_mtuples_s = 0.0
+    if jit_tier.jit_available():
+        try:
+            jit_tier.warmup()
+            t_jit = _best_of(
+                lambda: jit_tier.sort_pairs_jit(keys, vals, key_bits=32), reps
+            )
+            if jit_tier.sort_pairs_jit(keys, vals, key_bits=32) is not None:
+                jit_scatter_mtuples_s = ns / t_jit / 1e6
+        except Exception:  # pragma: no cover - engine came up then broke
+            jit_scatter_mtuples_s = 0.0
+
     # Column-kernel throughput on the real panel hash kernel: a small
     # ER product, priced in tuples (flop) per second.
     from ..generators import erdos_renyi
@@ -309,6 +364,7 @@ def calibrate(
         scatter_gbs=scatter_gbs,
         radix_mtuples_s=radix_mtuples_s,
         column_mtuples_s=column_mtuples_s,
+        jit_scatter_mtuples_s=jit_scatter_mtuples_s,
         effective_clock_ghz=effective_clock_ghz,
         dram_latency_ns=dram_latency_ns,
         pool_startup_s=pool_startup_s,
@@ -339,6 +395,9 @@ def default_profile(base_preset: str = "laptop") -> MachineProfile:
         scatter_gbs=base.line_bytes * base.mlp / base.dram_latency_ns,
         radix_mtuples_s=radix_mtuples_s,
         column_mtuples_s=column_mtuples_s,
+        # Presets predate the compiled tier; only a real calibration can
+        # justify pricing it, so the preset profile leaves it unmeasured.
+        jit_scatter_mtuples_s=0.0,
         effective_clock_ghz=base.clock_ghz,
         dram_latency_ns=base.dram_latency_ns,
         pool_startup_s=_POOL_STARTUP_ESTIMATE_S,

@@ -108,12 +108,19 @@ def _tune_pb(
     config: PBConfig,
     nthreads: int,
     sockets: int = 1,
+    jit_sort_scale: float | None = None,
 ) -> tuple[float, float, dict, dict]:
-    """Sweep (nbins, local_bin_bytes) through the cache model; best pair.
+    """Sweep (nbins, local_bin_bytes, sort backend); best combination.
 
     Knobs the caller already pinned in ``config`` are honored (their
     sweep collapses to the pinned value), so the returned overrides
-    only ever fill blanks.
+    only ever fill blanks.  The sort-backend sweep joins only when
+    ``jit_sort_scale`` is set (a calibrated compiled-tier rate on an
+    available engine) and the config leaves ``sort_backend`` at its
+    ``"radix"`` default: the ``radix_jit`` candidate is priced with the
+    measured cycle multiplier, and winning it also selects the fused
+    compiled placement (``distribute_backend="counting_jit"``) — the
+    same scatter machinery the calibration measured.
     """
     nbins_cands = (
         [min(config.nbins, max(stats.n_rows, 1))]
@@ -125,23 +132,44 @@ def _tune_pb(
         if config.local_bin_bytes != DEFAULT_LOCAL_BIN_BYTES
         else list(LOCAL_BIN_SWEEP)
     )
+    sort_unpinned = config.sort_backend == "radix"
+    sort_cands = [(config.sort_backend, 1.0)]
+    if jit_sort_scale is not None:
+        if sort_unpinned:
+            sort_cands.append(("radix_jit", jit_sort_scale))
+        elif config.sort_backend == "radix_jit":
+            sort_cands = [("radix_jit", jit_sort_scale)]
     best = None
     for nbins in nbins_cands:
         for lbb in lbb_cands:
-            cfg = config.with_(nbins=nbins, local_bin_bytes=lbb)
-            phases = pb_phase_costs(stats, machine, cfg, nbins=nbins)
-            reports = simulate_phases(phases, machine, nthreads, sockets)
-            total = sum(p.seconds for p in reports)
-            if best is None or total < best[0]:
-                dram = sum(p.dram_bytes for p in reports)
-                per_phase = {p.name: p.seconds for p in reports}
-                best = (total, dram, per_phase, {"nbins": nbins, "local_bin_bytes": lbb})
+            for sb, sscale in sort_cands:
+                cfg = config.with_(
+                    nbins=nbins, local_bin_bytes=lbb, sort_backend=sb
+                )
+                phases = pb_phase_costs(
+                    stats, machine, cfg, nbins=nbins, sort_compute_scale=sscale
+                )
+                reports = simulate_phases(phases, machine, nthreads, sockets)
+                total = sum(p.seconds for p in reports)
+                if best is None or total < best[0]:
+                    dram = sum(p.dram_bytes for p in reports)
+                    per_phase = {p.name: p.seconds for p in reports}
+                    best = (
+                        total,
+                        dram,
+                        per_phase,
+                        {"nbins": nbins, "local_bin_bytes": lbb, "sort_backend": sb},
+                    )
     total, dram, per_phase, knobs = best
     overrides = {}
     if config.nbins is None:
         overrides["nbins"] = knobs["nbins"]
     if config.local_bin_bytes == DEFAULT_LOCAL_BIN_BYTES:
         overrides["local_bin_bytes"] = knobs["local_bin_bytes"]
+    if sort_unpinned and knobs["sort_backend"] == "radix_jit":
+        overrides["sort_backend"] = "radix_jit"
+        if config.distribute_backend == "counting":
+            overrides["distribute_backend"] = "counting_jit"
     return total, dram, per_phase, overrides
 
 
@@ -167,6 +195,12 @@ def rank(
     stats = workload_stats(a_csc, b_csr, nnz_c=sk.nnz_c, seed=sk.seed)
     machine = profile.machine_spec()
     column_scale = profile.column_compute_scale()
+    # The compiled tier is priced only when this process can actually
+    # run it (an engine answers the probe) *and* calibration measured
+    # its rate (jit_sort_scale is None on preset / pre-v4 profiles).
+    from ..kernels.jit import jit_available
+
+    jit_scale = profile.jit_sort_scale() if jit_available() else None
     # Price the backend dispatch will actually run (panel unless the
     # config pins the loop ablation) — the loop's Table II model
     # (latency-bound A bursts, accumulator spill) mis-prices the
@@ -180,22 +214,45 @@ def rank(
         executor = "process" if use_process else "serial"
         if name == "pb" and info.supports_config:
             total, dram, per_phase, overrides = _tune_pb(
-                stats, machine, cfg, nthreads
+                stats, machine, cfg, nthreads, jit_sort_scale=jit_scale
             )
         else:
-            phases = algorithm_phase_costs(
-                name,
-                stats,
-                machine,
-                cfg,
-                column_compute_scale=column_scale,
-                column_backend=column_backend,
+            # Column candidates: sweep the compiled panel alongside the
+            # numpy panel when the config leaves the backend unpinned
+            # and the tier is both available and calibrated.  The
+            # compiled panel's speed enters purely through the compute
+            # scale (same traffic shape — see column_phase_costs).
+            backend_cands = [(column_backend, 1.0)]
+            if jit_scale is not None and "panel_jit" in info.column_backends:
+                if column_backend == "panel":
+                    backend_cands.append(("panel_jit", jit_scale))
+                elif column_backend == "panel_jit":
+                    backend_cands = [("panel_jit", jit_scale)]
+            best = None
+            for cb, cscale in backend_cands:
+                phases = algorithm_phase_costs(
+                    name,
+                    stats,
+                    machine,
+                    cfg,
+                    column_compute_scale=column_scale * cscale,
+                    column_backend=cb,
+                )
+                reports = simulate_phases(phases, machine, nthreads)
+                cand_total = sum(p.seconds for p in reports)
+                if best is None or cand_total < best[0]:
+                    best = (
+                        cand_total,
+                        sum(p.dram_bytes for p in reports),
+                        {p.name: p.seconds for p in reports},
+                        cb,
+                    )
+            total, dram, per_phase, chosen_cb = best
+            overrides = (
+                {"column_backend": "panel_jit"}
+                if chosen_cb == "panel_jit" and column_backend == "panel"
+                else {}
             )
-            reports = simulate_phases(phases, machine, nthreads)
-            total = sum(p.seconds for p in reports)
-            dram = sum(p.dram_bytes for p in reports)
-            per_phase = {p.name: p.seconds for p in reports}
-            overrides = {}
         if use_process:
             total += profile.warm_dispatch_s if warm_pool else profile.pool_startup_s
         scored.append(

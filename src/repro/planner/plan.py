@@ -42,7 +42,7 @@ class Plan:
     semiring: str
     executor: str
     nthreads: int
-    config: PBConfig | None  # resolved config (pb only), overrides applied
+    config: PBConfig | None  # resolved config, overrides applied (None if untuned)
     overrides: dict
     predicted_seconds: float
     predicted_dram_bytes: float
@@ -119,9 +119,22 @@ def resolve_profile(
     return default_profile()
 
 
+#: Override keys the ranker may emit that translate to PBConfig fields.
+#: Anything else in an overrides dict (e.g. from a hand-edited cache
+#: record) is ignored rather than crashing ``with_``.
+_OVERRIDE_KEYS = (
+    "nbins",
+    "local_bin_bytes",
+    "sort_backend",
+    "distribute_backend",
+    "compress_backend",
+    "column_backend",
+)
+
+
 def _resolved_config(base: PBConfig | None, overrides: dict) -> PBConfig:
     cfg = base or PBConfig()
-    valid = {k: v for k, v in overrides.items() if k in ("nbins", "local_bin_bytes")}
+    valid = {k: v for k, v in overrides.items() if k in _OVERRIDE_KEYS}
     return cfg.with_(**valid) if valid else cfg
 
 
@@ -180,7 +193,11 @@ def plan(
             semiring=sr.name,
             executor=rec.get("executor", executor_req),
             nthreads=int(rec.get("nthreads", cfg.nthreads)),
-            config=_resolved_config(config, overrides) if algorithm == "pb" else None,
+            config=(
+                _resolved_config(config, overrides)
+                if (algorithm == "pb" or overrides)
+                else None
+            ),
             overrides=overrides,
             predicted_seconds=float(rec.get("predicted_seconds", 0.0)),
             predicted_dram_bytes=float(rec.get("predicted_dram_bytes", 0.0)),
@@ -219,9 +236,12 @@ def plan(
         semiring=sr.name,
         executor=winner.executor,
         nthreads=winner.nthreads,
+        # Column winners carry a config only when the ranker tuned a
+        # backend for them (e.g. column_backend="panel_jit"); PB always
+        # carries its tuned knobs.
         config=(
             _resolved_config(config, winner.overrides)
-            if winner.algorithm == "pb"
+            if (winner.algorithm == "pb" or winner.overrides)
             else None
         ),
         overrides=dict(winner.overrides),

@@ -66,6 +66,7 @@ class SessionStats:
     multiplies: int = 0
     engine_multiplies: int = 0  # multiplies that ran on the warm engine
     engine_spawns: int = 0  # pool (re)spawns, incl. lazy resizes
+    jit_warmup_s: float = 0.0  # one-time JIT compile/load paid at construction
     arena_stats: dict = field(default_factory=dict)  # ArenaPool counters
 
     def to_dict(self) -> dict:
@@ -73,6 +74,7 @@ class SessionStats:
             "multiplies": self.multiplies,
             "engine_multiplies": self.engine_multiplies,
             "engine_spawns": self.engine_spawns,
+            "jit_warmup_s": self.jit_warmup_s,
             "arena_stats": dict(self.arena_stats),
         }
 
@@ -148,6 +150,16 @@ class Session:
         # a plain dict both the session and the finalizer can see.
         self._resources: dict = {"engine": None, "pool": pool}
         self._finalizer = weakref.finalize(self, _close_resources, self._resources)
+        # Warm-up hygiene (DESIGN.md §14): when the session's config
+        # selects any *_jit backend, compile/load the JIT tier now — at
+        # construction, off the request path — so the first multiply's
+        # phase timings never absorb compiler time.  The cost is
+        # recorded on stats; pb_spgemm's own idempotent warmup then
+        # reads ~0 and reports it under phase_seconds["jit_warmup_s"].
+        if self.config.uses_jit:
+            from .kernels import jit as _jit
+
+            self.stats.jit_warmup_s = _jit.warmup()
         if warm:
             self.warm_up()
 

@@ -33,9 +33,15 @@ class TestParser:
             build_parser().parse_args(["fly"])
 
     def test_groups_require_subcommand(self):
-        for group in ("matrix", "bench", "machine"):
+        for group in ("matrix", "bench"):
             with pytest.raises(SystemExit):
                 build_parser().parse_args([group])
+
+    def test_bare_machine_is_capability_report(self):
+        # `repro machine` with no subcommand is the runtime capability
+        # probe (incl. the JIT tier), not a usage error.
+        args = build_parser().parse_args(["machine"])
+        assert args.func.__name__ == "_cmd_machine_info"
 
 
 class TestCanonicalTree:

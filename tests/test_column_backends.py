@@ -191,7 +191,7 @@ class TestConfigPlumbing:
 
         meta = algorithm_metadata()
         for name in KERNELS:
-            assert meta[name]["column_backends"] == ["panel", "loop"]
+            assert meta[name]["column_backends"] == ["panel", "loop", "panel_jit"]
             assert meta[name]["supports_config"]
         assert meta["pb"]["column_backends"] == []
 

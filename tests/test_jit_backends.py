@@ -1,0 +1,512 @@
+"""Compiled hot-kernel tier (repro.kernels.jit, DESIGN.md §14).
+
+Covers the engine probe (caching, version gating, env pinning), the
+four ``*_jit`` backends' bit-identity against their numpy counterparts
+across every built-in semiring, the absent-degradation contract (one
+structured warning, numpy results, including on process-pool workers),
+warm-up hygiene (Session construction + ``jit_warmup_s`` stopwatch),
+the planner's calibrated pricing (profile schema v4 + migration), and
+the CLI surfaces (``repro machine --json``, backend flags).
+
+Every test runs whether or not an engine is available: engine-requiring
+assertions are guarded by :func:`repro.kernels.jit.jit_available`, and
+the fallback tests *force* unavailability by pinning
+``REPRO_JIT_ENGINE=numba`` behind an import blocker, so the degradation
+path is exercised even on machines with a working C compiler.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.binning import distribute_packed, plan_bins
+from repro.core.config import PBConfig
+from repro.core.pb_spgemm import pb_spgemm_detailed
+from repro.core.symbolic import symbolic_phase
+from repro.errors import ConfigError
+from repro.generators import erdos_renyi
+from repro.kernels import jit as jit_tier
+from repro.kernels.compress import compress_keyed
+from repro.kernels.hash_spgemm import hash_spgemm
+from repro.kernels.jit import JITFallbackWarning
+from repro.kernels.jit._avail import NUMBA_MIN_VERSION, probe
+from repro.kernels.outer_expand import expand_arena
+from repro.kernels.radix import radix_sort_pairs, sort_tuples
+from repro.semiring import available_semirings
+
+pytestmark = pytest.mark.jit
+
+JIT_PB = dict(
+    sort_backend="radix_jit",
+    distribute_backend="counting_jit",
+    compress_backend="jit",
+)
+
+
+@pytest.fixture
+def clean_jit_state():
+    """Reset the probe/engine caches around tests that perturb them."""
+    jit_tier.reset_jit_state()
+    yield
+    jit_tier.reset_jit_state()
+
+
+@pytest.fixture
+def no_engine(clean_jit_state, monkeypatch):
+    """Force the tier unavailable: pin the engine to numba and block its
+    import, so even a machine with numba installed degrades."""
+
+    class _Blocker:
+        def find_spec(self, name, path=None, target=None):
+            if name == "numba" or name.startswith("numba."):
+                raise ImportError("numba hidden by test")
+            return None
+
+    monkeypatch.setenv("REPRO_JIT_ENGINE", "numba")
+    monkeypatch.syspath_prepend("")  # ensure meta_path consulted first
+    monkeypatch.setattr(sys, "meta_path", [_Blocker()] + sys.meta_path)
+    for mod in [m for m in sys.modules if m == "numba" or m.startswith("numba.")]:
+        monkeypatch.delitem(sys.modules, mod)
+    jit_tier.reset_jit_state()
+    yield
+    jit_tier.reset_jit_state()
+
+
+def _mats(scale=9, ef=6, seed=7):
+    a = erdos_renyi(1 << scale, ef, seed=seed, fmt="csr")
+    b = erdos_renyi(1 << scale, ef, seed=seed + 1, fmt="csr")
+    return a, b
+
+
+def _bitwise_equal(c0, c1) -> bool:
+    return bool(
+        np.array_equal(c0.indptr, c1.indptr)
+        and np.array_equal(c0.indices, c1.indices)
+        and np.array_equal(
+            np.asarray(c0.data).view(np.uint64),
+            np.asarray(c1.data).view(np.uint64),
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# probe
+# ---------------------------------------------------------------------------
+
+class TestProbe:
+    def test_probe_is_cached(self, clean_jit_state):
+        st1 = probe()
+        st2 = probe()
+        assert st1 is st2
+        assert probe(refresh=True) is not st1 or st1 == probe()
+
+    def test_status_dict_shape(self):
+        st = jit_tier.jit_status()
+        assert {
+            "engine",
+            "available",
+            "numba_version",
+            "numba_reason",
+            "cc_compiler",
+            "cc_reason",
+            "disabled",
+            "warmed",
+        } <= set(st)
+        assert st["available"] == (st["engine"] not in (None, "none"))
+
+    def test_disable_env_wins(self, clean_jit_state, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_DISABLE", "1")
+        jit_tier.reset_jit_state()
+        st = probe()
+        assert st.disabled and not st.available and st.engine == "none"
+        assert not jit_tier.jit_available()
+
+    def test_old_numba_rejected_not_crashed(self, clean_jit_state, monkeypatch):
+        """A too-old numba is reported as a reason, never an exception."""
+        import types
+
+        fake = types.ModuleType("numba")
+        fake.__version__ = "0.48.0"
+        monkeypatch.setitem(sys.modules, "numba", fake)
+        monkeypatch.setenv("REPRO_JIT_ENGINE", "numba")
+        jit_tier.reset_jit_state()
+        st = probe()
+        assert st.engine == "none" and not st.available
+        assert st.numba_version == "0.48.0"
+        assert "0.48.0" in (st.numba_reason or "")
+        min_str = ".".join(str(v) for v in NUMBA_MIN_VERSION)
+        assert min_str in (st.numba_reason or "")
+
+    def test_engine_pin_cc(self, clean_jit_state, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_ENGINE", "cc")
+        jit_tier.reset_jit_state()
+        st = probe()
+        assert st.engine in ("cc", "none")  # "none" only if no compiler
+
+    def test_engine_pin_none(self, clean_jit_state, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_ENGINE", "none")
+        jit_tier.reset_jit_state()
+        assert not jit_tier.jit_available()
+
+
+# ---------------------------------------------------------------------------
+# bit-identity of every jit backend (engine-gated)
+# ---------------------------------------------------------------------------
+
+class TestBitIdentity:
+    @pytest.fixture(autouse=True)
+    def _need_engine(self):
+        if not jit_tier.jit_available():
+            pytest.skip("no JIT engine on this machine")
+
+    @pytest.mark.parametrize("semiring", sorted(available_semirings()))
+    def test_pb_pipeline_all_jit(self, semiring):
+        a, b = _mats()
+        c0 = repro.multiply(a, b, semiring=semiring, config=PBConfig())
+        c1 = repro.multiply(a, b, semiring=semiring, config=PBConfig(**JIT_PB))
+        assert _bitwise_equal(c0, c1)
+
+    @pytest.mark.parametrize("semiring", sorted(available_semirings()))
+    def test_panel_jit_column_kernel(self, semiring):
+        a, b = _mats()
+        c0 = hash_spgemm(a.to_csc(), b, semiring=semiring, column_backend="panel")
+        c1 = hash_spgemm(
+            a.to_csc(), b, semiring=semiring, column_backend="panel_jit"
+        )
+        assert _bitwise_equal(c0, c1)
+
+    def test_sort_backend_exact_permutation(self):
+        rng = np.random.default_rng(3)
+        for nbits in (11, 17, 22):
+            keys = rng.integers(0, 1 << nbits, size=4001, dtype=np.uint64)
+            vals = rng.random(4001)
+            k0, v0, p0 = sort_tuples(keys, vals, key_bits=nbits, backend="radix")
+            k1, v1, p1 = sort_tuples(
+                keys, vals, key_bits=nbits, backend="radix_jit"
+            )
+            assert p0 == p1
+            assert np.array_equal(k0, k1)
+            assert np.array_equal(v0.view(np.uint64), v1.view(np.uint64))
+
+    def test_sort_backend_edge_sizes(self):
+        for n in (0, 1):
+            keys = np.arange(n, dtype=np.uint64)
+            vals = np.arange(n, dtype=np.float64)
+            k1, v1, _ = sort_tuples(keys, vals, key_bits=17, backend="radix_jit")
+            assert len(k1) == n and len(v1) == n
+
+    def test_distribute_backend_identical(self):
+        a, b = _mats(scale=8)
+        a_csc = a.to_csc()
+        cfg = PBConfig()
+        sym = symbolic_phase(a_csc, b, cfg)
+        layout = plan_bins(
+            a_csc.shape[0], b.shape[1], sym.nbins, sym.rows_per_bin, cfg
+        )
+        rows, cols, vals = expand_arena(a_csc, b, per_k=sym.flops_per_k)
+        k0, v0, s0 = distribute_packed(layout, rows, cols, vals, method="counting")
+        k1, v1, s1 = distribute_packed(
+            layout, rows, cols, vals, method="counting_jit"
+        )
+        assert np.array_equal(k0, k1)
+        assert np.array_equal(v0.view(np.uint64), v1.view(np.uint64))
+        assert np.array_equal(s0, s1)
+
+    @pytest.mark.parametrize("semiring", sorted(available_semirings()))
+    def test_compress_backend_identical(self, semiring):
+        rng = np.random.default_rng(11)
+        keys = np.sort(rng.integers(0, 300, size=2000, dtype=np.uint32))
+        vals = rng.standard_normal(2000)
+        k0, v0 = compress_keyed(keys, vals, semiring, backend="numpy")
+        k1, v1 = compress_keyed(keys, vals, semiring, backend="jit")
+        assert np.array_equal(k0, k1)
+        assert np.array_equal(v0.view(np.uint64), v1.view(np.uint64))
+
+    def test_compress_jit_rejects_unsorted(self):
+        keys = np.array([5, 3, 9], dtype=np.uint32)
+        vals = np.ones(3)
+        with pytest.raises(ValueError, match="sorted"):
+            compress_keyed(keys, vals, backend="jit")
+
+    @pytest.mark.parallel
+    def test_process_pool_workers_bit_identical(self):
+        a, b = _mats(scale=8)
+        cfg = PBConfig(executor="process", nthreads=2, **JIT_PB)
+        c0 = repro.multiply(a, b, config=PBConfig())
+        c1 = repro.multiply(a, b, config=cfg)
+        assert _bitwise_equal(c0, c1)
+
+
+# ---------------------------------------------------------------------------
+# absent degradation (engine forced away)
+# ---------------------------------------------------------------------------
+
+class TestAbsentDegradation:
+    def test_unavailable_when_pinned_engine_missing(self, no_engine):
+        assert not jit_tier.jit_available()
+
+    def test_single_warning_and_identical_results(self, no_engine):
+        a, b = _mats(scale=8)
+        with pytest.warns(JITFallbackWarning) as rec:
+            c1 = repro.multiply(a, b, config=PBConfig(**JIT_PB))
+            repro.multiply(a, b, config=PBConfig(**JIT_PB))  # no second warning
+        assert len([w for w in rec if w.category is JITFallbackWarning]) == 1
+        c0 = repro.multiply(a, b, config=PBConfig())
+        assert _bitwise_equal(c0, c1)
+
+    def test_panel_jit_falls_back(self, no_engine):
+        a, b = _mats(scale=8)
+        with pytest.warns(JITFallbackWarning):
+            c1 = hash_spgemm(a.to_csc(), b, column_backend="panel_jit")
+        c0 = hash_spgemm(a.to_csc(), b, column_backend="panel")
+        assert _bitwise_equal(c0, c1)
+
+    @pytest.mark.parallel
+    def test_process_pool_falls_back_bit_identical(self, no_engine):
+        a, b = _mats(scale=8)
+        cfg = PBConfig(executor="process", nthreads=2, **JIT_PB)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", JITFallbackWarning)
+            c1 = repro.multiply(a, b, config=cfg)
+        c0 = repro.multiply(a, b, config=PBConfig())
+        assert _bitwise_equal(c0, c1)
+
+    def test_sort_tuples_falls_back_to_radix(self, no_engine):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 1 << 17, size=500, dtype=np.uint64)
+        vals = rng.random(500)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", JITFallbackWarning)
+            k1, v1, p1 = sort_tuples(keys, vals, key_bits=17, backend="radix_jit")
+        k0, v0, p0 = radix_sort_pairs(keys, vals, key_bits=17)
+        assert np.array_equal(k0, k1) and np.array_equal(v0, v1) and p0 == p1
+
+
+# ---------------------------------------------------------------------------
+# warm-up hygiene
+# ---------------------------------------------------------------------------
+
+class TestWarmup:
+    def test_warmup_idempotent(self):
+        s1 = jit_tier.warmup()
+        s2 = jit_tier.warmup()
+        assert s1 >= 0.0 and s2 == 0.0
+        assert jit_tier.jit_status()["warmed"]
+
+    def test_session_records_warmup(self):
+        with repro.Session(PBConfig(**JIT_PB)) as s:
+            assert s.stats.jit_warmup_s >= 0.0
+            assert "jit_warmup_s" in s.stats.to_dict()
+
+    def test_session_without_jit_skips_warmup(self):
+        with repro.Session(PBConfig()) as s:
+            assert s.stats.jit_warmup_s == 0.0
+
+    def test_detailed_run_has_phase_stopwatch(self):
+        a, b = _mats(scale=8)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", JITFallbackWarning)
+            res = pb_spgemm_detailed(a.to_csc(), b, config=PBConfig(**JIT_PB))
+        assert "jit_warmup_s" in res.phase_seconds
+        assert res.phase_seconds["jit_warmup_s"] >= 0.0
+        res0 = pb_spgemm_detailed(a.to_csc(), b, config=PBConfig())
+        assert "jit_warmup_s" not in res0.phase_seconds
+
+
+# ---------------------------------------------------------------------------
+# config surface
+# ---------------------------------------------------------------------------
+
+class TestConfig:
+    def test_backend_validation(self):
+        with pytest.raises(ConfigError):
+            PBConfig(sort_backend="radixjit")
+        with pytest.raises(ConfigError):
+            PBConfig(distribute_backend="jit")
+        with pytest.raises(ConfigError):
+            PBConfig(compress_backend="compiled")
+        with pytest.raises(ConfigError):
+            PBConfig(column_backend="jit_panel")
+
+    def test_uses_jit_property(self):
+        assert not PBConfig().uses_jit
+        assert PBConfig(sort_backend="radix_jit").uses_jit
+        assert PBConfig(distribute_backend="counting_jit").uses_jit
+        assert PBConfig(compress_backend="jit").uses_jit
+        assert PBConfig(column_backend="panel_jit").uses_jit
+
+    def test_dispatch_metadata_flags(self):
+        from repro.kernels.dispatch import algorithm_metadata
+
+        meta = algorithm_metadata()
+        for name in ("pb", "heap", "hash", "hashvec", "spa"):
+            assert meta[name]["supports_jit"]
+        assert not meta["esc_column"]["supports_jit"]
+        for name in ("heap", "hash", "hashvec", "spa"):
+            assert "panel_jit" in meta[name]["column_backends"]
+
+
+# ---------------------------------------------------------------------------
+# planner pricing
+# ---------------------------------------------------------------------------
+
+class TestPlannerPricing:
+    def test_profile_schema_v4_roundtrip(self):
+        from repro.planner.calibrate import (
+            PROFILE_SCHEMA_VERSION,
+            MachineProfile,
+            default_profile,
+        )
+
+        assert PROFILE_SCHEMA_VERSION == 4
+        prof = default_profile()
+        assert prof.jit_scatter_mtuples_s == 0.0
+        assert prof.jit_sort_scale() is None
+        again = MachineProfile.from_dict(json.loads(json.dumps(prof.to_dict())))
+        assert again == prof
+
+    def test_v3_profile_migrates_one_shot(self):
+        from repro.planner.calibrate import (
+            PROFILE_SCHEMA_VERSION,
+            MachineProfile,
+            default_profile,
+        )
+
+        d = default_profile().to_dict()
+        d.pop("jit_scatter_mtuples_s")
+        d["schema_version"] = 3
+        prof = MachineProfile.from_dict(d)
+        assert prof.schema_version == PROFILE_SCHEMA_VERSION
+        assert prof.jit_scatter_mtuples_s == 0.0
+        d["schema_version"] = 2
+        with pytest.raises(ValueError):
+            MachineProfile.from_dict(d)
+
+    def test_jit_sort_scale_ratio(self):
+        from repro.planner.calibrate import default_profile
+
+        prof = default_profile()
+        fast = prof.to_dict()
+        fast["jit_scatter_mtuples_s"] = prof.radix_mtuples_s * 2.0
+        from repro.planner.calibrate import MachineProfile
+
+        assert MachineProfile.from_dict(fast).jit_sort_scale() == pytest.approx(0.5)
+
+    def test_rank_prices_jit_only_when_measured(self):
+        """A calibrated jit rate + live engine ⇒ jit overrides; an
+        unmeasured rate ⇒ the tier is never selected."""
+        from repro.planner.calibrate import MachineProfile, default_profile
+        from repro.planner.cost import rank
+        from repro.planner.sketch import deepen, sketch
+
+        a, _ = _mats(scale=10, ef=8)
+        a_csc, b_csr = a.to_csc(), a
+        sk = deepen(sketch(a_csc, b_csr), a_csc, b_csr)
+
+        base = default_profile()
+        scored = rank(a_csc, b_csr, sk, base)
+        for c in scored:
+            assert "sort_backend" not in c.overrides
+            assert c.overrides.get("column_backend") != "panel_jit"
+
+        if not jit_tier.jit_available():
+            pytest.skip("no JIT engine on this machine")
+        d = base.to_dict()
+        d["jit_scatter_mtuples_s"] = base.radix_mtuples_s * 2.0  # 2x faster
+        fast = MachineProfile.from_dict(d)
+        scored = rank(a_csc, b_csr, sk, fast)
+        pb = next(c for c in scored if c.algorithm == "pb")
+        assert pb.overrides.get("sort_backend") == "radix_jit"
+        assert pb.overrides.get("distribute_backend") == "counting_jit"
+        col = next(c for c in scored if c.algorithm == "hash")
+        assert col.overrides.get("column_backend") == "panel_jit"
+
+    def test_resolved_config_applies_backend_overrides(self):
+        from repro.planner.plan import _resolved_config
+
+        cfg = _resolved_config(
+            None,
+            {
+                "nbins": 64,
+                "sort_backend": "radix_jit",
+                "distribute_backend": "counting_jit",
+                "column_backend": "panel_jit",
+                "not_a_knob": 1,
+            },
+        )
+        assert cfg.nbins == 64
+        assert cfg.sort_backend == "radix_jit"
+        assert cfg.distribute_backend == "counting_jit"
+        assert cfg.column_backend == "panel_jit"
+
+    def test_calibrate_measures_jit_rate(self):
+        from repro.planner.calibrate import calibrate
+
+        prof = calibrate(quick=True, measure_pool=False)
+        if jit_tier.jit_available():
+            assert prof.jit_scatter_mtuples_s > 0.0
+            assert prof.jit_sort_scale() is not None
+        else:
+            assert prof.jit_scatter_mtuples_s == 0.0
+
+
+# ---------------------------------------------------------------------------
+# CLI surfaces
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    def test_machine_json_reports_probe(self, capsys):
+        from repro.cli import main
+
+        assert main(["machine", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert "jit" in out
+        assert set(out["jit"]) >= {"engine", "available", "warmed"}
+        assert out["jit"]["available"] == (out["jit"]["engine"] not in (None, "none"))
+
+    def test_machine_plain_still_has_subcommands(self, capsys):
+        from repro.cli import main
+
+        assert main(["machine"]) == 0
+        assert "jit" in capsys.readouterr().out
+        assert main(["machine", "stream"]) == 0
+
+    def test_multiply_jit_flags(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.matrix.io import write_matrix_market
+
+        a, _ = _mats(scale=7, ef=4)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(a, path)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", JITFallbackWarning)
+            rc = main(
+                [
+                    "matrix",
+                    "multiply",
+                    str(path),
+                    "--algorithm",
+                    "pb",
+                    "--sort-backend",
+                    "radix_jit",
+                    "--distribute-backend",
+                    "counting_jit",
+                    "--compress-backend",
+                    "jit",
+                ]
+            )
+        assert rc == 0
+        assert "C = A*B" in capsys.readouterr().out
