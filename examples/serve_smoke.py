@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Multiply-service smoke driver — the CI ``serve`` job and a worked
+client example (DESIGN.md §15, README "Serving").
+
+Launches a real ``repro serve`` subprocess on an ephemeral port, fires
+32+ concurrent mixed-shape multiply requests at it through one
+multiplexed :class:`repro.serve.ServeClient` connection, and holds the
+service to its contract:
+
+* every request either succeeds or is *cleanly* rejected by admission
+  control (a reject carries a positive ``retry_after_s`` hint — any
+  other failure mode is a bug),
+* every product is bit-identical to a direct ``repro.multiply`` of the
+  same operands,
+* the server's own counters saw the burst and batched part of it,
+* client-observed p50/p99 latency is recorded,
+* the ``shutdown`` op tears the server down cleanly (exit code 0), and
+* no ``/dev/shm`` segment survives the server.
+
+Run:  PYTHONPATH=src python examples/serve_smoke.py [n_requests]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import os
+import re
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro import PBConfig
+from repro.serve import RequestRejected, ServeClient
+
+
+def shm_names() -> set:
+    return set(glob.glob("/dev/shm/psm_*")) | set(glob.glob("/dev/shm/wnsm_*"))
+
+
+def start_server() -> tuple[subprocess.Popen, int]:
+    """``repro serve --port 0`` as a subprocess; returns (proc, port)."""
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--executor", "process", "--nthreads", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    m = re.search(r"listening on [\w.]+:(\d+)", line)
+    if not m:
+        proc.kill()
+        raise SystemExit(f"server did not announce a port: {line!r}")
+    return proc, int(m.group(1))
+
+
+async def drive(port: int, n: int) -> dict:
+    # Mixed shapes and semirings: batching must only fuse compatible
+    # requests, and every reply must still be bit-identical.
+    mix = []
+    for scale, ef, seed, semiring in (
+        (5, 3, 1, "plus_times"),
+        (6, 4, 2, "plus_times"),
+        (7, 4, 3, "min_plus"),
+        (6, 8, 4, "plus_times"),
+    ):
+        b = repro.erdos_renyi(1 << scale, ef, seed=seed, fmt="csr")
+        ref = repro.multiply(b.to_csc(), b, semiring=semiring, config=PBConfig())
+        mix.append((b.to_csc(), b, semiring, ref))
+
+    client = await ServeClient.connect("127.0.0.1", port)
+    try:
+        latencies: list[float] = []
+        ok = rejected = mismatched = 0
+
+        async def one(i: int) -> None:
+            nonlocal ok, rejected, mismatched
+            a, b, semiring, ref = mix[i % len(mix)]
+            t0 = time.perf_counter()
+            try:
+                reply = await client.multiply(a, b, semiring=semiring)
+            except RequestRejected as exc:
+                assert exc.retry_after_s > 0, "reject without retry hint"
+                rejected += 1
+                return
+            latencies.append(time.perf_counter() - t0)
+            identical = (
+                np.array_equal(ref.indptr, reply.c.indptr)
+                and np.array_equal(ref.indices, reply.c.indices)
+                and ref.data.tobytes() == reply.c.data.tobytes()
+            )
+            if identical:
+                ok += 1
+            else:
+                mismatched += 1
+
+        await asyncio.gather(*(one(i) for i in range(n)))
+        stats = await client.stats()
+        await client.shutdown()
+    finally:
+        await client.close()
+
+    lat = np.asarray(latencies or [0.0])
+    return {
+        "ok": ok,
+        "rejected": rejected,
+        "mismatched": mismatched,
+        "p50_ms": float(np.quantile(lat, 0.5)) * 1e3,
+        "p99_ms": float(np.quantile(lat, 0.99)) * 1e3,
+        "counters": stats["server"]["counters"],
+    }
+
+
+def main(n: int = 32) -> int:
+    before = shm_names()
+    proc, port = start_server()
+    try:
+        out = asyncio.run(drive(port, n))
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    counters = out["counters"]
+    print(
+        f"{out['ok']} ok / {out['rejected']} rejected / "
+        f"{out['mismatched']} mismatched of {n}; "
+        f"p50 {out['p50_ms']:.1f} ms, p99 {out['p99_ms']:.1f} ms; "
+        f"server saw {counters['batches']} waves "
+        f"({counters['fused_batches']} fused, "
+        f"{counters['batched_requests']} requests batched)"
+    )
+    failures = []
+    if out["ok"] + out["rejected"] != n or out["mismatched"]:
+        failures.append("not every request succeeded or was cleanly rejected")
+    if out["ok"] == 0:
+        failures.append("no request succeeded")
+    if counters["fused_batches"] < 1:
+        failures.append("no fused wave formed under the concurrent burst")
+    if proc.returncode != 0:
+        failures.append(f"server exited {proc.returncode} after shutdown op")
+    leaked = shm_names() - before
+    if leaked:
+        failures.append(f"leaked shm segments: {sorted(leaked)}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    if not failures:
+        print("SERVE-SMOKE-OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 32))

@@ -21,7 +21,7 @@ from ..errors import BenchError
 from .schema import BenchResult
 
 #: Perf suites with a committed repo-root baseline artifact.
-PERF_SUITES = ("hotpath", "planner", "column", "session", "jit")
+PERF_SUITES = ("hotpath", "planner", "column", "session", "jit", "serve")
 
 _BUILTIN_MODULES = {
     "hotpath": "repro.bench.suites.hotpath",
@@ -29,6 +29,7 @@ _BUILTIN_MODULES = {
     "column": "repro.bench.suites.column",
     "session": "repro.bench.suites.session",
     "jit": "repro.bench.suites.jit",
+    "serve": "repro.bench.suites.serve",
 }
 
 #: Paper-figure/table driver suites (repro.analysis.experiments), all

@@ -1,0 +1,298 @@
+"""``serve`` suite: multiply-service throughput, batching, backpressure.
+
+Measures what :mod:`repro.serve` adds on top of a warm session (see
+DESIGN.md §15):
+
+* **throughput** — requests/s and client-observed p50/p99 latency on a
+  small-multiply mix at two concurrency levels: sequential (one request
+  in flight, every wave is a wave of one) and concurrent (the scheduler
+  coalesces queued requests into fused block-diagonal waves);
+* **batching** — mean wave size and fused-wave counts from the server's
+  own counters, plus ``batched_speedup = conc_rps / seq_rps``, the
+  fusion payoff the ISSUE pins at >= 1.3x on full runs;
+* **identity** — every served product bit-identical to a direct
+  ``repro.multiply`` of the same operands (serial executor reference);
+* **backpressure** — a burst against a tiny admission queue: every
+  request either succeeds or is rejected with a positive
+  ``retry_after_s`` hint, and a retrying client drains to completion.
+
+Committed baseline: repo-root ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+import repro
+
+from ...core import PBConfig
+from ...generators import erdos_renyi
+from ...serve import MultiplyServer, RequestRejected, ServeClient, ServeConfig
+from ..registry import AcceptanceCheck, Suite, register_suite
+from ..schema import BenchResult, new_result
+
+#: Full-run fusion payoff bar from the ISSUE acceptance criteria.
+FULL_BATCHED_SPEEDUP = 1.3
+
+#: Small-multiply mix — shapes differ on purpose (block-diagonal
+#: stacking fuses mixed shapes; only algorithm/semiring/config must
+#: match), sized so per-request pipeline overhead dominates compute,
+#: which is exactly what wave fusion amortizes.
+QUICK_WORKLOADS = ("er_s6_ef4", "er_s7_ef4", "er_s7_ef8")
+FULL_WORKLOADS = ("er_s6_ef4", "er_s7_ef4", "er_s7_ef8", "er_s8_ef4")
+
+
+def _mix(quick: bool):
+    """(name, a_csc, b_csr) per workload, cycled across requests."""
+    specs = {
+        "er_s6_ef4": (6, 4, 3),
+        "er_s7_ef4": (7, 4, 5),
+        "er_s7_ef8": (7, 8, 7),
+        "er_s8_ef4": (8, 4, 11),
+    }
+    names = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    out = []
+    for name in names:
+        scale, ef, seed = specs[name]
+        b = erdos_renyi(1 << scale, ef, seed=seed, fmt="csr")
+        out.append((name, b.to_csc(), b))
+    return out
+
+
+def _references(pairs) -> dict:
+    """Serial-executor ground truth per workload, for bit-identity."""
+    cfg = PBConfig()
+    return {name: repro.multiply(a, b, config=cfg) for name, a, b in pairs}
+
+
+def _identical(ref, c) -> bool:
+    return bool(
+        np.array_equal(ref.indptr, c.indptr)
+        and np.array_equal(ref.indices, c.indices)
+        and ref.data.tobytes() == c.data.tobytes()
+    )
+
+
+async def _drive_level(client, pairs, n: int, concurrency: int, refs) -> dict:
+    """Push ``n`` requests with ``concurrency`` in flight; report
+    client-observed rps/latency and server-side wave counters."""
+    sem = asyncio.Semaphore(concurrency)
+    latencies = [0.0] * n
+    identical = [False] * n
+    batch_sizes = [0] * n
+
+    async def one(i: int) -> None:
+        name, a, b = pairs[i % len(pairs)]
+        async with sem:
+            t = time.perf_counter()
+            reply = await client.multiply(a, b)
+            latencies[i] = time.perf_counter() - t
+        identical[i] = _identical(refs[name], reply.c)
+        batch_sizes[i] = int(reply.batch.get("size", 1))
+
+    before = (await client.stats())["server"]["counters"]
+    t0 = time.perf_counter()
+    await asyncio.gather(*(one(i) for i in range(n)))
+    wall = time.perf_counter() - t0
+    after = (await client.stats())["server"]["counters"]
+
+    waves = after["batches"] - before["batches"]
+    lat = np.asarray(latencies, dtype=np.float64)
+    return {
+        "requests": n,
+        "concurrency": concurrency,
+        "wall_s": wall,
+        "rps": n / wall,
+        "p50_s": float(np.quantile(lat, 0.5)),
+        "p99_s": float(np.quantile(lat, 0.99)),
+        "mean_s": float(lat.mean()),
+        "waves": int(waves),
+        "fused_waves": int(after["fused_batches"] - before["fused_batches"]),
+        "mean_wave_size": float(n / waves) if waves else 0.0,
+        "max_wave_size": int(max(batch_sizes)),
+        "identity_all": all(identical),
+    }
+
+
+async def _bench_throughput(pairs, n: int, concurrencies, refs, reps: int) -> dict:
+    """One server, all concurrency levels; best-of-``reps`` per level."""
+    cfg = PBConfig(executor="process", nthreads=2)
+    server = await MultiplyServer(cfg, ServeConfig(port=0)).start()
+    levels: dict = {}
+    try:
+        client = await ServeClient.connect(*server.address)
+        try:
+            # Warm the session (engine spawn, arenas, page caches) off
+            # the clock — the service steady state is what's measured.
+            for name, a, b in pairs:
+                await client.multiply(a, b)
+            for concurrency in concurrencies:
+                runs = [
+                    await _drive_level(client, pairs, n, concurrency, refs)
+                    for _ in range(max(1, reps))
+                ]
+                best = max(runs, key=lambda r: r["rps"])
+                best["runs_rps"] = [r["rps"] for r in runs]
+                levels[f"c{concurrency}"] = best
+        finally:
+            await client.close()
+    finally:
+        await server.close()
+    return levels
+
+
+async def _bench_backpressure(pairs, burst: int) -> dict:
+    """Burst against a tiny queue: rejects must carry retry hints, and a
+    retrying client must drain to completion."""
+    cfg = PBConfig(executor="process", nthreads=2)
+    serve_cfg = ServeConfig(port=0, max_pending=2)
+    server = await MultiplyServer(cfg, serve_cfg).start()
+    try:
+        client = await ServeClient.connect(*server.address)
+        try:
+            name, a, b = pairs[0]
+            await client.multiply(a, b)  # warm the engine off the clock
+
+            async def one():
+                return await client.multiply(a, b)
+
+            outcomes = await asyncio.gather(
+                *(one() for _ in range(burst)), return_exceptions=True
+            )
+            ok = sum(1 for o in outcomes if not isinstance(o, BaseException))
+            rejected = sum(
+                1
+                for o in outcomes
+                if isinstance(o, RequestRejected) and o.retry_after_s > 0
+            )
+            other = burst - ok - rejected
+
+            drained = await asyncio.gather(
+                *(client.multiply_retrying(a, b, attempts=64) for _ in range(8)),
+                return_exceptions=True,
+            )
+            drained_ok = sum(
+                1 for o in drained if not isinstance(o, BaseException)
+            )
+        finally:
+            await client.close()
+    finally:
+        await server.close()
+    return {
+        "burst": burst,
+        "ok": ok,
+        "rejected": rejected,
+        "other_errors": other,
+        "retry_drained": drained_ok,
+        "clean": other == 0 and ok >= 1 and rejected >= 1 and drained_ok == 8,
+    }
+
+
+def _extract(levels: dict, backpressure: dict) -> tuple[dict, dict]:
+    keys = sorted(levels, key=lambda k: int(k[1:]))
+    seq, conc = levels[keys[0]], levels[keys[-1]]
+    metrics = {
+        "seq_rps": seq["rps"],
+        "seq_p50_s": seq["p50_s"],
+        "seq_p99_s": seq["p99_s"],
+        "conc_rps": conc["rps"],
+        "conc_p50_s": conc["p50_s"],
+        "conc_p99_s": conc["p99_s"],
+        "batched_speedup": conc["rps"] / seq["rps"],
+        "mean_wave_size": conc["mean_wave_size"],
+    }
+    acceptance = {
+        "identity_all": all(lvl["identity_all"] for lvl in levels.values()),
+        "batching_observed": conc["fused_waves"] >= 1
+        and conc["mean_wave_size"] > 1.0,
+        "backpressure_clean": bool(backpressure["clean"]),
+    }
+    return metrics, acceptance
+
+
+def run(quick: bool = False, reps: int = 3) -> BenchResult:
+    pairs = _mix(quick)
+    refs = _references(pairs)
+    n, concurrencies, burst = (12, (1, 8), 16) if quick else (64, (1, 16), 24)
+
+    async def _main():
+        print(
+            f"== throughput {n} requests x {len(concurrencies)} levels "
+            f"{concurrencies} on {'/'.join(name for name, _, _ in pairs)}",
+            flush=True,
+        )
+        levels = await _bench_throughput(pairs, n, concurrencies, refs, reps)
+        for key, lvl in levels.items():
+            print(
+                f"   {key}: {lvl['rps']:.1f} req/s, p50 "
+                f"{lvl['p50_s'] * 1e3:.1f} ms, p99 {lvl['p99_s'] * 1e3:.1f} ms, "
+                f"mean wave {lvl['mean_wave_size']:.2f} "
+                f"({lvl['fused_waves']} fused), identity "
+                f"{'ok' if lvl['identity_all'] else 'FAIL'}",
+                flush=True,
+            )
+        print(f"== backpressure burst {burst} vs max_pending=2", flush=True)
+        backpressure = await _bench_backpressure(pairs, burst)
+        print(
+            f"   {backpressure['ok']} ok / {backpressure['rejected']} rejected "
+            f"/ {backpressure['other_errors']} errors, retrying client drained "
+            f"{backpressure['retry_drained']}/8 -> "
+            f"{'clean' if backpressure['clean'] else 'DIRTY'}",
+            flush=True,
+        )
+        return levels, backpressure
+
+    levels, backpressure = asyncio.run(_main())
+    metrics, acceptance = _extract(levels, backpressure)
+    print(f"   batched_speedup {metrics['batched_speedup']:.2f}x", flush=True)
+    return new_result(
+        "serve",
+        quick=quick,
+        reps=reps,
+        workloads=[name for name, _, _ in pairs],
+        metrics=metrics,
+        acceptance=acceptance,
+        payload={
+            "throughput": levels,
+            "backpressure": backpressure,
+            "config": {
+                "requests_per_level": n,
+                "concurrencies": list(concurrencies),
+                "executor": "process",
+                "nthreads": 2,
+            },
+        },
+    )
+
+
+register_suite(
+    Suite(
+        name="serve",
+        description=(
+            "multiply-service throughput: sequential vs. concurrent request "
+            "driving, wave batching payoff, bit-identity, and admission-"
+            "control backpressure"
+        ),
+        runner=run,
+        figures=("DESIGN.md §15 (SpGEMM as a service)",),
+        workloads={"quick": QUICK_WORKLOADS, "full": FULL_WORKLOADS},
+        artifact="BENCH_serve.json",
+        default_reps=3,
+        checks=(
+            AcceptanceCheck(
+                "batched_floor",
+                "batched_speedup",
+                "ge",
+                FULL_BATCHED_SPEEDUP,
+                full_only=True,
+            ),
+            AcceptanceCheck("bit_identity", "identity_all", "true"),
+            AcceptanceCheck("batching", "batching_observed", "true"),
+            AcceptanceCheck("backpressure", "backpressure_clean", "true"),
+        ),
+        payload_sections=("throughput", "backpressure", "config"),
+    )
+)

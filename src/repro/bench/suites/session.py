@@ -87,7 +87,7 @@ def _bench_amortization(b_csr, cold_calls: int, warm_calls: int) -> dict:
             t = time.perf_counter()
             s.multiply(a_csc, b_csr)
             warm_times.append(time.perf_counter() - t)
-        pool_stats = dict(s.arena_pool.stats)
+        pool_stats = s.arena_pool.stats()
         spawns = s._engine.spawn_count
     steady = warm_times[1:] or warm_times
 

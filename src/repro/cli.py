@@ -11,7 +11,10 @@ Commands form a subcommand tree grouped by what they operate on:
   gate (:mod:`repro.bench`);
 * ``experiment`` — regenerate any paper figure/table by id;
 * ``machine``    — ``simulate`` / ``roofline`` / ``stream``: the
-  analytic machine model.
+  analytic machine model;
+* ``serve``      — run the long-lived async multiply service
+  (:mod:`repro.serve`): batching, admission control, per-request
+  phase timings over one shared warm session.
 
 The pre-tree spellings (``repro generate``, ``repro stats``,
 ``repro multiply``, ``repro simulate``, ``repro roofline``,
@@ -198,6 +201,68 @@ def _cmd_multiply(args) -> int:
     if args.output:
         write_matrix_market(c, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .core.config import PBConfig
+    from .errors import ConfigError
+    from .serve import MultiplyServer, ServeConfig
+
+    try:
+        config = PBConfig(
+            nthreads=args.nthreads,
+            executor=args.executor,
+            nbins=args.nbins,
+            sort_backend=args.sort_backend,
+            distribute_backend=args.distribute_backend,
+            compress_backend=args.compress_backend,
+            column_backend=args.column_backend,
+        )
+    except ConfigError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        max_pending=args.max_pending,
+        max_pending_tuples=args.max_pending_tuples,
+        max_batch=args.max_batch,
+        max_batch_tuples=args.max_batch_tuples,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        fuse=not args.no_fuse,
+    )
+
+    async def _run() -> None:
+        server = MultiplyServer(config, serve_config, warm=args.warm)
+        await server.start()
+        where = (
+            server.address
+            if isinstance(server.address, str)
+            else "{}:{}".format(*server.address)
+        )
+        print(
+            f"repro serve: listening on {where} "
+            f"(executor={args.executor}x{args.nthreads}, "
+            f"max_batch={args.max_batch}, fuse={not args.no_fuse})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(
+                    sig, lambda: loop.create_task(server.close())
+                )
+        except (NotImplementedError, ValueError):  # pragma: no cover
+            pass  # non-POSIX loop or non-main thread
+        await server.serve_forever()
+
+    asyncio.run(_run())
     return 0
 
 
@@ -723,6 +788,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", help="write migrated copies here instead of stdout"
     )
     bm.set_defaults(func=_cmd_bench_migrate)
+
+    # -- serve --------------------------------------------------------------
+    srv = sub.add_parser(
+        "serve",
+        parents=[exec_parent],
+        help="run the async SpGEMM multiply service (repro.serve)",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=7077, help="TCP port (0 = ephemeral)"
+    )
+    srv.add_argument(
+        "--unix", default=None, metavar="PATH",
+        help="serve on a unix socket instead of TCP",
+    )
+    srv.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admission control: max queued requests before 429s",
+    )
+    srv.add_argument(
+        "--max-pending-tuples", type=int, default=64_000_000,
+        help="admission control: max queued estimated flops",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=32,
+        help="max requests coalesced into one wave",
+    )
+    srv.add_argument(
+        "--max-batch-tuples", type=int, default=8_000_000,
+        help="max estimated flops per fused wave",
+    )
+    srv.add_argument(
+        "--max-wait-ms", type=float, default=0.0,
+        help="hold the queue head this long to let a wave fill "
+        "(default 0: batching emerges from load, lone requests "
+        "dispatch immediately)",
+    )
+    srv.add_argument(
+        "--no-fuse", action="store_true",
+        help="disable block-diagonal wave fusion (waves of one)",
+    )
+    srv.add_argument(
+        "--warm", action="store_true",
+        help="spawn and warm the worker pool before accepting traffic",
+    )
+    srv.set_defaults(func=_cmd_serve)
 
     # -- experiments --------------------------------------------------------
     e = sub.add_parser("experiment", help="regenerate a paper figure/table")

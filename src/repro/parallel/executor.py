@@ -269,6 +269,28 @@ class ProcessEngine:
             self._pool.shutdown(wait=True)
             self._spawn_pool(nworkers)
 
+    @property
+    def is_broken(self) -> bool:
+        """True when the pool has lost a worker and can no longer accept
+        work (``BrokenProcessPool`` territory) — the owner must respawn."""
+        return bool(getattr(self._pool, "_broken", False))
+
+    def stats(self) -> dict:
+        """Cheap snapshot of pool runtime counters.
+
+        ``workers_alive`` counts the pool's worker processes that are
+        currently running — after a worker death it reads below
+        ``nworkers`` until the owner respawns the pool.
+        """
+        procs = getattr(self._pool, "_processes", None) or {}
+        return {
+            "nworkers": self.nworkers,
+            "workers_alive": sum(1 for p in procs.values() if p.is_alive()),
+            "spawns": self.spawn_count,
+            "broken": self.is_broken,
+            "closed": self._closed,
+        }
+
     def warm_up(self) -> None:
         """Block until at least one worker answers a round trip."""
         self._pool.submit(_noop_task).result()

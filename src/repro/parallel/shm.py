@@ -124,7 +124,7 @@ class ArenaPool:
         self._free: dict[int, list] = {}
         self._leased: dict[str, tuple] = {}  # segment name -> (segment, class)
         self._closed = False
-        self.stats = {
+        self._counters = {
             "leases": 0,
             "hits": 0,
             "misses": 0,
@@ -141,6 +141,21 @@ class ArenaPool:
         """Total bytes parked on the free lists."""
         return sum(cls * len(segs) for cls, segs in self._free.items())
 
+    def stats(self) -> dict:
+        """Cheap snapshot of pool counters.
+
+        Extends the lifetime counters (leases/hits/misses/released/
+        unlinked) with the instantaneous gauges a ``/stats`` endpoint or
+        bench suite wants: ``outstanding`` leases not yet released,
+        bytes parked on the free lists, and whether the pool is closed.
+        """
+        return {
+            **self._counters,
+            "outstanding": len(self._leased),
+            "cached_bytes": self.cached_bytes(),
+            "closed": self._closed,
+        }
+
     def lease(self, nbytes: int):
         """Borrow a segment of at least ``nbytes``; returns
         ``(segment, fresh)`` where ``fresh`` says the segment was newly
@@ -148,15 +163,15 @@ class ArenaPool:
         if self._closed:
             raise RuntimeError("arena pool is closed")
         cls = self.size_class(nbytes)
-        self.stats["leases"] += 1
+        self._counters["leases"] += 1
         free = self._free.get(cls)
         if free:
             seg = free.pop()
-            self.stats["hits"] += 1
+            self._counters["hits"] += 1
             fresh = False
         else:
             seg = _shm.SharedMemory(create=True, size=cls)
-            self.stats["misses"] += 1
+            self._counters["misses"] += 1
             fresh = True
         self._leased[seg.name] = (seg, cls)
         return seg, fresh
@@ -173,7 +188,7 @@ class ArenaPool:
         if self._closed or over_budget:
             self._unlink(seg)
             return
-        self.stats["released"] += 1
+        self._counters["released"] += 1
         self._free.setdefault(cls, []).append(seg)
 
     def _unlink(self, seg) -> None:
@@ -189,7 +204,7 @@ class ArenaPool:
             seg.close()
         except BufferError:  # live views: mapping freed when they die
             pass
-        self.stats["unlinked"] += 1
+        self._counters["unlinked"] += 1
 
     def trim(self) -> None:
         """Unlink every parked segment (free lists only)."""

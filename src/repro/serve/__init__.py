@@ -1,0 +1,36 @@
+"""repro.serve — SpGEMM as a service.
+
+A long-running asyncio multiply server around one shared
+:class:`repro.session.Session`: concurrent clients, wave batching of
+compatible small multiplies (block-diagonal fusion — one PB run per
+wave), admission control with retry-after backpressure, and
+per-request observability (phase timings, queue wait, batch id, plan
+provenance).  See DESIGN.md §15 and the README "Serving" section.
+
+Start one from the CLI::
+
+    repro serve --port 7077 --nthreads 4 --executor process
+
+or in-process::
+
+    server = await MultiplyServer(config, ServeConfig(port=0)).start()
+    client = await ServeClient.connect(*server.address)
+"""
+
+from .client import RemoteError, RequestRejected, ServeClient, ServeReply
+from .protocol import decode_matrix, encode_matrix
+from .scheduler import BatchScheduler, ServeRequest
+from .server import MultiplyServer, ServeConfig
+
+__all__ = [
+    "MultiplyServer",
+    "ServeConfig",
+    "ServeClient",
+    "ServeReply",
+    "RequestRejected",
+    "RemoteError",
+    "BatchScheduler",
+    "ServeRequest",
+    "encode_matrix",
+    "decode_matrix",
+]

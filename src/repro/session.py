@@ -66,6 +66,9 @@ class SessionStats:
     multiplies: int = 0
     engine_multiplies: int = 0  # multiplies that ran on the warm engine
     engine_spawns: int = 0  # pool (re)spawns, incl. lazy resizes
+    engine_restarts: int = 0  # engines replaced after a worker death
+    fused_waves: int = 0  # batches executed as one stacked PB multiply
+    fused_requests: int = 0  # individual multiplies served by fused waves
     jit_warmup_s: float = 0.0  # one-time JIT compile/load paid at construction
     arena_stats: dict = field(default_factory=dict)  # ArenaPool counters
 
@@ -74,6 +77,9 @@ class SessionStats:
             "multiplies": self.multiplies,
             "engine_multiplies": self.engine_multiplies,
             "engine_spawns": self.engine_spawns,
+            "engine_restarts": self.engine_restarts,
+            "fused_waves": self.fused_waves,
+            "fused_requests": self.fused_requests,
             "jit_warmup_s": self.jit_warmup_s,
             "arena_stats": dict(self.arena_stats),
         }
@@ -139,6 +145,9 @@ class Session:
         self._start_method = start_method
         self._closed = False
         self.stats = SessionStats()
+        # Spawns of engines that were since replaced after a worker
+        # death; engine_for adds the live engine's own count on top.
+        self._engine_spawns_base = 0
         pool = None
         from .parallel import process_backend_available
 
@@ -203,8 +212,28 @@ class Session:
             self._resources["engine"] = engine
         else:
             engine.ensure_workers(cfg.nthreads)
-        self.stats.engine_spawns = engine.spawn_count
+        self.stats.engine_spawns = self._engine_spawns_base + engine.spawn_count
         return engine
+
+    def _recover_engine(self) -> None:
+        """Discard a broken engine so the next multiply respawns fresh.
+
+        Called when a worker died mid-multiply (``BrokenProcessPool``).
+        Closing the engine releases its arenas back to the session's
+        pool — the parent owns every segment, so nothing leaks in
+        ``/dev/shm`` even though workers vanished — and the next
+        :meth:`engine_for` builds a replacement pool.
+        """
+        engine = self._resources["engine"]
+        if engine is None:
+            return
+        self._engine_spawns_base += engine.spawn_count
+        try:
+            engine.close()
+        except Exception:  # pragma: no cover - teardown of a broken pool
+            pass
+        self._resources["engine"] = None
+        self.stats.engine_restarts += 1
 
     def is_warm(self) -> bool:
         """True when the pool has been spawned and is still running."""
@@ -235,31 +264,148 @@ class Session:
         session supplies the warm engine (for session-capable
         algorithms under ``executor="process"``) and warm-vs-cold
         pricing to ``algorithm="auto"``.
+
+        Worker-death robustness: if a pool worker dies mid-multiply
+        (``BrokenProcessPool``), the session discards the broken engine
+        and retries once on a fresh pool; a second death propagates the
+        exception (and the replacement pool still serves later calls).
         """
+        from concurrent.futures.process import BrokenProcessPool
+
         from .api import multiply as _multiply
 
         self.stats.multiplies += 1
-        return _multiply(
-            a,
-            b,
-            algorithm=algorithm,
-            semiring=semiring,
-            config=config or self.config,
-            session=self,
-            **kwargs,
-        )
+        for attempt in (0, 1):
+            try:
+                return _multiply(
+                    a,
+                    b,
+                    algorithm=algorithm,
+                    semiring=semiring,
+                    config=config or self.config,
+                    session=self,
+                    **kwargs,
+                )
+            except BrokenProcessPool:
+                self._recover_engine()
+                if attempt:
+                    raise
 
-    def multiply_many(self, pairs, **kwargs) -> list:
-        """Multiply a batch of ``(a, b)`` operand pairs back to back.
+    def multiply_detailed(
+        self,
+        a,
+        b,
+        semiring: Semiring | str = PLUS_TIMES,
+        config: PBConfig | None = None,
+    ):
+        """One PB multiply with full instrumentation, on this session.
 
-        All calls share the warm pool and recycled arenas; keyword
-        arguments are forwarded to every :meth:`multiply`.  Returns the
-        products in order.
+        Returns the :class:`~repro.core.pb_spgemm.PBResult` (product at
+        ``.c`` plus ``phase_seconds`` etc.) — the per-request
+        observability a multiply server reports.  Same worker-death
+        retry contract as :meth:`multiply`.
         """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from .api import _coerce
+        from .core.pb_spgemm import pb_spgemm_detailed
+
+        cfg = config or self.config
+        a_csc = _coerce(a, "A", "csc")
+        b_csr = _coerce(b, "B", "csr")
+        self.stats.multiplies += 1
+        for attempt in (0, 1):
+            try:
+                engine = self.engine_for(cfg)
+                if engine is not None and attempt == 0:
+                    self._note_engine_multiply()
+                return pb_spgemm_detailed(
+                    a_csc, b_csr, semiring=semiring, config=cfg, engine=engine
+                )
+            except BrokenProcessPool:
+                self._recover_engine()
+                if attempt:
+                    raise
+
+    def multiply_many(self, pairs, fused: bool | str = "auto", **kwargs) -> list:
+        """Multiply a batch of ``(a, b)`` operand pairs on this session.
+
+        With ``fused="auto"`` (default), a batch of two or more plain
+        PB multiplies sharing one semiring/config is executed as a
+        *single* block-diagonally stacked PB run
+        (:mod:`repro.core.batched`) — one symbolic/expand/distribute/
+        sort pipeline amortized over the whole wave, bit-identical per
+        pair to the standalone products.  ``fused=False`` forces the
+        loop of individual multiplies; ``fused=True`` requires the
+        fused path (raises if the kwargs are not fusable).  Any other
+        keyword arguments are forwarded to every :meth:`multiply`.
+        Returns the products in order.
+        """
+        pairs = list(pairs)
+        fusable = len(pairs) >= 2 and set(kwargs) <= {"semiring", "config"}
+        if fused is True and not fusable:
+            raise ValueError(
+                "fused=True needs >= 2 pairs and only semiring=/config= kwargs"
+            )
+        if fused and fusable:
+            results, _detail = self.multiply_many_detailed(pairs, **kwargs)
+            return results
         return [self.multiply(a, b, **kwargs) for a, b in pairs]
+
+    def multiply_many_detailed(
+        self,
+        pairs,
+        semiring: Semiring | str = PLUS_TIMES,
+        config: PBConfig | None = None,
+    ):
+        """Fused wave with instrumentation: ``(products, wave_detail)``.
+
+        Executes the batch as one stacked PB multiply and returns the
+        per-pair products plus the wave's
+        :class:`~repro.core.pb_spgemm.PBResult` (phase timings are
+        wave-level — shared by every pair).  Same worker-death retry
+        contract as :meth:`multiply`: the wave is re-run once on a
+        fresh pool before the failure propagates.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        from .api import _coerce
+        from .core.batched import fused_multiply_detailed
+
+        cfg = config or self.config
+        coerced = [
+            (_coerce(a, "A", "csc"), _coerce(b, "B", "csr")) for a, b in pairs
+        ]
+        self.stats.multiplies += len(coerced)
+        self.stats.fused_waves += 1
+        self.stats.fused_requests += len(coerced)
+        for attempt in (0, 1):
+            try:
+                engine = self.engine_for(cfg)
+                if engine is not None and attempt == 0:
+                    self._note_engine_multiply()
+                return fused_multiply_detailed(
+                    coerced, semiring=semiring, config=cfg, engine=engine
+                )
+            except BrokenProcessPool:
+                self._recover_engine()
+                if attempt:
+                    raise
 
     def _note_engine_multiply(self) -> None:
         self.stats.engine_multiplies += 1
+
+    def runtime_stats(self) -> dict:
+        """Live observability snapshot: session counters plus the
+        engine's and arena pool's own ``stats()`` (``None`` when the
+        respective resource does not exist yet).  Cheap — counters and
+        gauges only, no syscalls beyond ``Process.is_alive`` checks."""
+        snap = self.stats.to_dict()
+        engine = self._resources["engine"]
+        pool = self._resources["pool"]
+        snap["engine"] = engine.stats() if engine is not None else None
+        snap["arena_pool"] = pool.stats() if pool is not None else None
+        return snap
 
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
@@ -272,7 +418,7 @@ class Session:
         _close_resources(self._resources)
         pool = self._resources["pool"]
         if pool is not None:
-            self.stats.arena_stats = dict(pool.stats)
+            self.stats.arena_stats = pool.stats()
         self._resources["engine"] = None
 
     def __enter__(self) -> "Session":

@@ -48,6 +48,7 @@ SUITE_PARAMS = [
     pytest.param("column", marks=pytest.mark.column),
     pytest.param("session", marks=[pytest.mark.session, pytest.mark.parallel]),
     pytest.param("jit", marks=pytest.mark.jit),
+    pytest.param("serve", marks=[pytest.mark.serve, pytest.mark.parallel]),
 ]
 
 #: Suites whose committed artifact predates the shared schema (they
@@ -176,6 +177,9 @@ class TestLegacyMigration:
         pl = load_result(REPO_ROOT / "BENCH_planner.json")
         assert pl.metrics["mean_feedback_regret"] <= 1.25
         assert pl.metrics["max_overhead_fraction"] <= 0.05
+        srv = load_result(REPO_ROOT / "BENCH_serve.json")
+        assert srv.metrics["batched_speedup"] >= 1.3
+        assert srv.metrics["mean_wave_size"] > 1.0
         ses = load_result(REPO_ROOT / "BENCH_session.json")
         assert ses.metrics["warm_speedup"] >= 1.5
         assert set(w for w in ses.workloads if w != "er_s9_ef4") == {

@@ -1,0 +1,141 @@
+"""Concurrent and corrupt on-disk plan caches (``@pytest.mark.planner``).
+
+Two processes sharing one ``plans.json`` must never corrupt it or crash
+each other: every flush is an atomic ``os.replace`` from a pid-unique
+temp file, so a reader sees either the old or the new cache, never a
+torn hybrid.  And when the file *is* damaged (partial disk, manual
+edit), the contract is degrade-to-miss: a ``RuntimeWarning`` and an
+empty cache, never a failed multiply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import PBConfig
+from repro.planner.cache import CACHE_SCHEMA_VERSION, PLANS_FILENAME, PlanCache
+
+pytestmark = pytest.mark.planner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WRITER = '''
+import sys
+
+from repro.planner.cache import PlanCache
+
+
+def main(cache_dir, wid, n):
+    cache = PlanCache(cache_dir)
+    for i in range(n):
+        key = f"k{(i + wid) % 6}"
+        cache.put(
+            key,
+            {
+                "algorithm": "pb" if i % 2 else "hash",
+                "overrides": {},
+                "candidates": [],
+            },
+        )
+        cache.record_feedback(key, "pb", 0.001 * (i + 1))
+        rec = cache.get(key)
+        assert rec is not None and "algorithm" in rec, rec
+    print("WRITER-OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], int(sys.argv[2]), int(sys.argv[3]))
+'''
+
+
+def _spawn_writer(script: Path, cache_dir: Path, wid: int, n: int):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    return subprocess.Popen(
+        [sys.executable, str(script), str(cache_dir), str(wid), str(n)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def test_two_processes_share_one_plans_json(tmp_path):
+    script = tmp_path / "cache_writer.py"
+    script.write_text(WRITER)
+    cache_dir = tmp_path / "plans"
+    writers = [_spawn_writer(script, cache_dir, wid, 60) for wid in (0, 1)]
+
+    # While both writers hammer put/record_feedback, every fresh load in
+    # this process must see a structurally valid cache — atomic replace
+    # means old-or-new, never torn.
+    loads = 0
+    while any(w.poll() is None for w in writers):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            PlanCache(cache_dir)
+        loads += 1
+    assert loads >= 1
+
+    for w in writers:
+        out, err = w.communicate(timeout=60)
+        assert w.returncode == 0, f"writer failed:\n{out}\n{err}"
+        assert "WRITER-OK" in out
+
+    data = json.loads((cache_dir / PLANS_FILENAME).read_text())
+    assert data["schema_version"] == CACHE_SCHEMA_VERSION
+    assert data["entries"]  # last atomic write won, entries intact
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        final = PlanCache(cache_dir)
+    assert len(final) > 0
+    assert all(final.get(k) is not None for k in data["entries"])
+
+
+@pytest.mark.parametrize(
+    "junk",
+    [
+        "{truncated",  # torn mid-object
+        '{"schema_version": 99, "entries": {}}',  # wrong version
+        '{"entries": "not a dict", "schema_version": 1}',  # wrong shape
+        "",  # zero bytes
+    ],
+)
+def test_torn_write_degrades_to_miss(tmp_path, junk):
+    cache_dir = tmp_path / "plans"
+    cache_dir.mkdir()
+    (cache_dir / PLANS_FILENAME).write_text(junk)
+    with pytest.warns(RuntimeWarning, match="plan cache"):
+        cache = PlanCache(cache_dir)
+    assert len(cache) == 0
+    assert cache.get("anything") is None
+    # The damaged file regenerates on the next write.
+    cache.put("k0", {"algorithm": "pb", "overrides": {}})
+    data = json.loads((cache_dir / PLANS_FILENAME).read_text())
+    assert data["schema_version"] == CACHE_SCHEMA_VERSION
+    assert "k0" in data["entries"]
+
+
+def test_auto_multiply_survives_corrupt_cache(tmp_path):
+    corrupt = tmp_path / "corrupt"
+    corrupt.mkdir()
+    (corrupt / PLANS_FILENAME).write_text("{definitely not json")
+    pristine = tmp_path / "pristine"
+    a = repro.erdos_renyi(1 << 7, 4, seed=13, fmt="csr")
+    ref = repro.multiply(a, a, algorithm="auto", config=PBConfig(plan_cache_dir=str(pristine)))
+    with pytest.warns(RuntimeWarning, match="plan cache"):
+        c = repro.multiply(
+            a, a, algorithm="auto", config=PBConfig(plan_cache_dir=str(corrupt))
+        )
+    assert c.data.tobytes() == ref.data.tobytes()
+    assert (c.indptr == ref.indptr).all() and (c.indices == ref.indices).all()

@@ -145,10 +145,10 @@ def test_arena_recycling_hits(mats):
     a = mats["er"]
     with Session(_proc_config()) as s:
         s.multiply(a, a)
-        first = dict(s.arena_pool.stats)
+        first = s.arena_pool.stats()
         s.multiply(a, a)
         s.multiply(a, a)
-        after = dict(s.arena_pool.stats)
+        after = s.arena_pool.stats()
     # Steady-state multiplies lease from the free lists, not the OS.
     assert after["hits"] > first["hits"]
     assert after["misses"] == first["misses"]
@@ -240,7 +240,7 @@ def test_arena_pool_size_classes_and_budget():
     pool.release(seg2)
     big, _ = pool.lease(100_000)
     pool.release(big)  # over budget with the parked 8k: unlinked
-    assert pool.stats["unlinked"] >= 1
+    assert pool.stats()["unlinked"] >= 1
     pool.close()
     pool.close()  # idempotent
 
