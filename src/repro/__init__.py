@@ -65,7 +65,14 @@ from .kernels import (
     spa_spgemm,
 )
 from .api import multiply, spgemm
-from .core import PBConfig, pb_spgemm, pb_spgemm_detailed, partitioned_pb_spgemm
+from .core import (
+    PBConfig,
+    pb_spgemm,
+    pb_spgemm_detailed,
+    partitioned_pb_spgemm,
+    tiled_spgemm,
+    tiled_spgemm_detailed,
+)
 from .parallel import process_backend_available
 from .session import Session, SessionStats
 from . import apps
@@ -125,6 +132,8 @@ __all__ = [
     "pb_spgemm",
     "pb_spgemm_detailed",
     "partitioned_pb_spgemm",
+    "tiled_spgemm",
+    "tiled_spgemm_detailed",
     "MachineSpec",
     "skylake_sp",
     "power9",

@@ -21,7 +21,7 @@ from ..errors import BenchError
 from .schema import BenchResult
 
 #: Perf suites with a committed repo-root baseline artifact.
-PERF_SUITES = ("hotpath", "planner", "column", "session", "jit", "serve")
+PERF_SUITES = ("hotpath", "planner", "column", "session", "jit", "serve", "tiled")
 
 _BUILTIN_MODULES = {
     "hotpath": "repro.bench.suites.hotpath",
@@ -30,6 +30,7 @@ _BUILTIN_MODULES = {
     "session": "repro.bench.suites.session",
     "jit": "repro.bench.suites.jit",
     "serve": "repro.bench.suites.serve",
+    "tiled": "repro.bench.suites.tiled",
 }
 
 #: Paper-figure/table driver suites (repro.analysis.experiments), all

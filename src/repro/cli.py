@@ -140,6 +140,15 @@ def _cmd_multiply(args) -> int:
     from .matrix.io import write_matrix_market
 
     config = None
+    if args.tiled:
+        if args.algorithm not in ("pb", "tiled"):
+            print(
+                f"--tiled conflicts with --algorithm {args.algorithm!r}; "
+                "drop one of the two",
+                file=sys.stderr,
+            )
+            return 2
+        args.algorithm = "tiled"
     pb_flags = (
         args.executor != "serial"
         or args.nthreads != 1
@@ -151,7 +160,13 @@ def _cmd_multiply(args) -> int:
     column_flags = (
         args.column_backend != "panel" or args.panel_tuples is not None
     )
-    if pb_flags and args.algorithm not in ("pb", "auto"):
+    tiled_flags = (
+        args.memory_budget is not None
+        or args.tile_rows is not None
+        or args.tile_cols is not None
+        or args.spill_dir is not None
+    )
+    if pb_flags and args.algorithm not in ("pb", "auto", "tiled"):
         print(
             "--executor/--nthreads/--nbins/--sort-backend/"
             "--distribute-backend/--compress-backend configure the "
@@ -168,7 +183,15 @@ def _cmd_multiply(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if pb_flags or column_flags:
+    if tiled_flags and args.algorithm not in ("tiled", "auto"):
+        print(
+            "--memory-budget/--tile-rows/--tile-cols/--spill-dir configure "
+            "the tiled engine; use --tiled (or --algorithm auto for "
+            f"budget-gated selection; got {args.algorithm!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if pb_flags or column_flags or tiled_flags:
         from .core.config import PBConfig
         from .errors import ConfigError
 
@@ -182,6 +205,10 @@ def _cmd_multiply(args) -> int:
                 compress_backend=args.compress_backend,
                 column_backend=args.column_backend,
                 panel_tuples=args.panel_tuples,
+                tile_rows=args.tile_rows,
+                tile_cols=args.tile_cols,
+                memory_budget=args.memory_budget,
+                spill_dir=args.spill_dir,
             )
         except ConfigError as exc:
             print(f"invalid configuration: {exc}", file=sys.stderr)
@@ -620,6 +647,39 @@ def _build_multiply(sub, name: str, exec_parent, deprecated: str | None = None):
         type=int,
         default=None,
         help="panel working-set budget in tuples for --column-backend panel",
+    )
+    m.add_argument(
+        "--tiled",
+        action="store_true",
+        help="run the 2D tiled out-of-core engine (algorithm=tiled)",
+    )
+    m.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="peak-memory target: sizes the tile grid / enables spill "
+        "(with --tiled) and gates planner candidates (with "
+        "--algorithm auto)",
+    )
+    m.add_argument(
+        "--tile-rows",
+        type=int,
+        default=None,
+        help="rows of A per tile row panel (default: derived from "
+        "--memory-budget, else monolithic)",
+    )
+    m.add_argument(
+        "--tile-cols",
+        type=int,
+        default=None,
+        help="columns of B per tile column panel",
+    )
+    m.add_argument(
+        "--spill-dir",
+        default=None,
+        help="staging directory for spilled tile products (default: a "
+        "private temp dir, removed afterwards)",
     )
     m.set_defaults(func=_cmd_multiply, _deprecated=deprecated)
 

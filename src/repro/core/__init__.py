@@ -8,6 +8,8 @@
 * :func:`pb_spgemm` — Alg. 2: expand → bin → sort → compress → CSR.
 * :func:`partitioned_pb_spgemm` — the NUMA-partitioned variant
   discussed in Sec. V-D.
+* :func:`tiled_spgemm` — the 2D tiled out-of-core engine
+  (DESIGN.md §16): bounded peak memory, spill-to-disk staging.
 """
 
 from .config import PBConfig
@@ -15,6 +17,14 @@ from .symbolic import SymbolicResult, symbolic_phase
 from .binning import BinLayout, pack_keys, unpack_keys, plan_bins
 from .pb_spgemm import PBResult, pb_spgemm, pb_spgemm_detailed
 from .partitioned import partitioned_pb_spgemm
+from .tiled import (
+    SpillStore,
+    TileGrid,
+    TiledResult,
+    plan_tile_grid,
+    tiled_spgemm,
+    tiled_spgemm_detailed,
+)
 
 __all__ = [
     "PBConfig",
@@ -28,4 +38,10 @@ __all__ = [
     "pb_spgemm",
     "pb_spgemm_detailed",
     "partitioned_pb_spgemm",
+    "SpillStore",
+    "TileGrid",
+    "TiledResult",
+    "plan_tile_grid",
+    "tiled_spgemm",
+    "tiled_spgemm_detailed",
 ]

@@ -119,6 +119,25 @@ class PBConfig:
         back to serial when ``nthreads == 1``, when the platform lacks
         POSIX shared memory, or when the semiring is an unregistered
         object that cannot be pickled.
+    tile_rows / tile_cols:
+        Tile dimensions of the tiled out-of-core engine
+        (:mod:`repro.core.tiled`): rows of A per row panel and columns
+        of B per column panel.  ``None`` (default) lets the driver
+        derive a grid from ``memory_budget`` (or run monolithically,
+        1×1, when no budget is set either).  Ignored by every other
+        algorithm.
+    memory_budget:
+        Soft peak-memory target in bytes for ``algorithm="tiled"`` and
+        for the planner's ``algorithm="auto"`` feasibility gate: the
+        tiled driver sizes its grid so per-tile working memory fits the
+        budget and spills staged tile products beyond it; the planner
+        rejects candidates whose predicted peak exceeds it.  ``None``
+        (default) disables both.
+    spill_dir:
+        Staging directory for spilled tile products (``.npz`` files).
+        ``None`` (default) creates a private temporary directory on
+        first spill and removes it when the multiply finishes.
+        Spilling only activates when ``memory_budget`` is set.
     pipeline:
         Bin-processing schedule under the process executor:
         ``"auto"`` (default) — pipelined when a process engine runs
@@ -148,6 +167,10 @@ class PBConfig:
     nthreads: int = 1
     executor: str = "serial"
     pipeline: str = "auto"
+    tile_rows: int | None = None
+    tile_cols: int | None = None
+    memory_budget: int | None = None
+    spill_dir: str | None = None
     plan_cache_dir: str | None = None
     calibration: str = "auto"
 
@@ -218,6 +241,24 @@ class PBConfig:
             raise ConfigError(
                 "key packing requires contiguous bin ranges; use "
                 "bin_mapping='range' or pack_keys=False"
+            )
+        if self.tile_rows is not None and self.tile_rows < 1:
+            raise ConfigError(
+                f"tile_rows must be >= 1 or None, got {self.tile_rows}"
+            )
+        if self.tile_cols is not None and self.tile_cols < 1:
+            raise ConfigError(
+                f"tile_cols must be >= 1 or None, got {self.tile_cols}"
+            )
+        if self.memory_budget is not None and self.memory_budget < 1:
+            raise ConfigError(
+                f"memory_budget must be >= 1 byte or None, "
+                f"got {self.memory_budget}"
+            )
+        if self.spill_dir is not None and not isinstance(self.spill_dir, str):
+            raise ConfigError(
+                f"spill_dir must be a str path or None, "
+                f"got {type(self.spill_dir).__name__}"
             )
         if self.plan_cache_dir is not None and not isinstance(
             self.plan_cache_dir, str

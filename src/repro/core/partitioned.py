@@ -31,11 +31,19 @@ def partitioned_pb_spgemm(
     npartitions: int = 2,
     semiring: Semiring | str = PLUS_TIMES,
     config: PBConfig | None = None,
+    *,
+    session=None,
 ) -> CSRMatrix:
     """C = A · B with A split into ``npartitions`` row blocks.
 
     Each block multiplies independently (one virtual socket each in the
     NUMA model); outputs stack vertically into the final CSR.
+
+    ``session`` — an open :class:`repro.session.Session` whose warm
+    engine (and recycling arena pool) every block multiply runs on,
+    instead of each ``pb_spgemm`` call spawning and tearing down a
+    private pool.  ``None`` keeps the historical standalone behavior;
+    a session whose config resolves to serial is also a no-op.
     """
     if a_csc.shape[1] != b_csr.shape[0]:
         raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
@@ -43,6 +51,12 @@ def partitioned_pb_spgemm(
         raise ValueError(f"npartitions must be >= 1, got {npartitions}")
     m = a_csc.shape[0]
     npartitions = min(npartitions, max(m, 1))
+
+    engine = None
+    if session is not None:
+        engine = session.engine_for(config)
+        if engine is not None:
+            session._note_engine_multiply()
 
     a_csr = a_csc.to_csr()
     bounds = np.linspace(0, m, npartitions + 1).astype(int)
@@ -56,7 +70,7 @@ def partitioned_pb_spgemm(
         if lo == hi:
             continue
         block = row_slice(a_csr, lo, hi).to_csc()
-        c_block = pb_spgemm(block, b_csr, semiring, config)
+        c_block = pb_spgemm(block, b_csr, semiring, config, engine=engine)
         if indptr_parts:
             indptr_parts.append(c_block.indptr[1:] + offset)
         else:

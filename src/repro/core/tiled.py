@@ -1,0 +1,543 @@
+"""Tiled out-of-core PB-SpGEMM: a 2D tile grid over one warm engine.
+
+The monolithic pipeline's peak memory scales with *flop* — the expand
+arena plus the binned key/value copies hold every generated tuple at
+once — which caps problem size far below what the streaming substrate
+(Session / ArenaPool) could serve.  This module bounds the peak by
+*tile size* instead (DESIGN.md §16): A is split into row panels, B
+into column panels, and each ``(row panel i, col panel j)`` tile of C
+is one small PB-SpGEMM whose working set is its own tile flop.
+
+Decomposition and bit-identity
+------------------------------
+The grid is strictly 2D — the inner (k) dimension is never split.  A
+tile product ``C[i,j] = A[i,:] · B[:,j]`` therefore folds, for every
+output position, *exactly* the value sequence the monolithic multiply
+folds (all k contributions, in k order): tiles are bit-identical
+sub-blocks of the monolithic product for **all** semirings, including
+the float ``plus_times`` whose ⊕ is not associative.  A k-split would
+forfeit that for plus-like semirings; the semiring-aware accumulate
+stage (:func:`repro.kernels.tile_merge.accumulate_partials`) exists
+for that future 3D extension and for callers with overlapping
+partials, but the driver never needs it for correctness.
+
+Streaming and spill
+-------------------
+Every tile multiply runs through one shared process engine (a warm
+:class:`repro.session.Session`'s, or one private engine spawned for
+the whole grid) so shared-memory arenas recycle across tiles instead
+of being created and unlinked per tile.  Staged tile products and
+merged row panels pass through a :class:`SpillStore`: a bounded
+in-memory cache that evicts oldest-first to ``.npz`` files in a
+staging directory once ``memory_budget`` is exceeded, giving true
+out-of-core operation for products larger than memory (minus the
+final in-memory CSR, which the caller receives).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..kernels.tile_merge import hstack_tiles
+from ..matrix.base import INDEX_DTYPE, VALUE_DTYPE
+from ..matrix.csc import CSCMatrix
+from ..matrix.csr import CSRMatrix
+from ..matrix.ops import col_slice, row_slice
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+from .config import PBConfig
+from .pb_spgemm import pb_spgemm
+
+#: Modeled peak working bytes per expanded tuple in one PB tile: the
+#: expand arena (8B row + 8B col + 8B value) plus the distribute-phase
+#: binned key/value copies and the radix scatter's double buffer
+#: (~24B amortized).  Shared with the planner's feasibility gate so the
+#: driver's grid sizing and the cost model can never disagree.
+TILE_WORKING_BYTES_PER_FLOP = 48
+
+#: Bytes per stored entry of a canonical CSR/CSC (int64 index +
+#: float64 value); indptr is negligible at the sizes that matter here.
+CSR_ENTRY_BYTES = 16
+
+#: How ``memory_budget`` is apportioned: one tile's modeled working
+#: set gets ``budget // WORKING_BUDGET_DENOM`` and the in-memory
+#: staging cache (:class:`SpillStore`) gets
+#: ``budget // STAGING_BUDGET_DENOM``; everything else — both input
+#: orientations, the final assembled CSR, merge transients — lives in
+#: the remaining headroom.  Deliberately conservative: the assembled
+#: product alone is an irreducible ``CSR_ENTRY_BYTES * nnz_c`` floor,
+#: so the tunable shares must stay small for the whole multiply to
+#: land under the budget.
+WORKING_BUDGET_DENOM = 6
+STAGING_BUDGET_DENOM = 8
+
+#: Budget-derived grids are clamped to this many panels per dimension:
+#: past it, per-tile fixed costs dominate and the planner would never
+#: pick the grid anyway, but a pathological budget (1 byte) must not
+#: explode into an m×n grid of empty multiplies.
+MAX_GRID_DIM = 64
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """The 2D panel decomposition: row edges over A, column edges over B."""
+
+    row_edges: tuple[int, ...]
+    col_edges: tuple[int, ...]
+
+    @property
+    def grid_rows(self) -> int:
+        return len(self.row_edges) - 1
+
+    @property
+    def grid_cols(self) -> int:
+        return len(self.col_edges) - 1
+
+    @property
+    def ntiles(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    def row_panels(self):
+        """Yield ``(i, lo, hi)`` for each row panel."""
+        for i in range(self.grid_rows):
+            yield i, self.row_edges[i], self.row_edges[i + 1]
+
+    def col_panels(self):
+        """Yield ``(j, lo, hi)`` for each column panel."""
+        for j in range(self.grid_cols):
+            yield j, self.col_edges[j], self.col_edges[j + 1]
+
+    def describe(self) -> str:
+        tr = max(hi - lo for _, lo, hi in self.row_panels())
+        tc = max(hi - lo for _, lo, hi in self.col_panels())
+        return f"{self.grid_rows}x{self.grid_cols} grid (tiles up to {tr}x{tc})"
+
+
+def _uniform_edges(extent: int, tile: int) -> tuple[int, ...]:
+    if extent <= 0:
+        return (0, 0) if extent == 0 else (0,)
+    tile = max(1, min(int(tile), extent))
+    edges = list(range(0, extent, tile))
+    edges.append(extent)
+    return tuple(edges)
+
+
+def grid_for_budget(
+    m: int, n: int, flop: int, memory_budget: int
+) -> tuple[int, int]:
+    """Near-square ``(grid_rows, grid_cols)`` fitting a byte budget.
+
+    Sizes the grid so one tile's modeled working set
+    (``TILE_WORKING_BYTES_PER_FLOP`` per tuple, tuples assumed spread
+    evenly) uses at most ``budget // WORKING_BUDGET_DENOM`` — the rest
+    is headroom for the staging cache, the inputs, and the assembled
+    product — clamped to :data:`MAX_GRID_DIM` per dimension and to the
+    matrix extents.
+    """
+    usable = max(int(memory_budget) // WORKING_BUDGET_DENOM, 1)
+    ntiles = max(1, math.ceil(int(flop) * TILE_WORKING_BYTES_PER_FLOP / usable))
+    side = max(1, math.ceil(math.sqrt(ntiles)))
+    gr = min(side, MAX_GRID_DIM, max(m, 1))
+    gc = min(max(1, math.ceil(ntiles / gr)), MAX_GRID_DIM, max(n, 1))
+    return gr, gc
+
+
+def plan_tile_grid(
+    m: int, n: int, flop: int, config: PBConfig | None = None
+) -> TileGrid:
+    """Resolve THE tile grid for one multiply (the single policy point).
+
+    Explicit ``config.tile_rows`` / ``tile_cols`` pin their dimension
+    (clamped to the matrix, so a tile larger than the matrix degrades
+    to one panel).  Unpinned dimensions fall back to the
+    ``memory_budget`` heuristic (:func:`grid_for_budget`) when a budget
+    is set, else to a single monolithic panel.
+    """
+    cfg = config or PBConfig()
+    tr, tc = cfg.tile_rows, cfg.tile_cols
+    if (tr is None or tc is None) and cfg.memory_budget is not None:
+        gr, gc = grid_for_budget(m, n, flop, cfg.memory_budget)
+        if tr is None:
+            tr = max(1, math.ceil(m / gr)) if m else 1
+        if tc is None:
+            tc = max(1, math.ceil(n / gc)) if n else 1
+    if tr is None:
+        tr = max(m, 1)
+    if tc is None:
+        tc = max(n, 1)
+    return TileGrid(_uniform_edges(m, tr), _uniform_edges(n, tc))
+
+
+def monolithic_peak_bytes(
+    flop: int, nnz_a: int, nnz_b: int, nnz_c: int
+) -> float:
+    """Modeled peak bytes of one monolithic PB multiply."""
+    inputs = CSR_ENTRY_BYTES * 2.0 * (nnz_a + nnz_b)  # both orientations
+    return inputs + TILE_WORKING_BYTES_PER_FLOP * float(flop) + (
+        CSR_ENTRY_BYTES * float(nnz_c)
+    )
+
+
+def tiled_peak_bytes(
+    flop: int,
+    nnz_a: int,
+    nnz_b: int,
+    nnz_c: int,
+    grid_rows: int,
+    grid_cols: int,
+    max_tile_flop: float | None = None,
+) -> float:
+    """Modeled peak bytes of a tiled multiply on a given grid.
+
+    The working set shrinks to the busiest tile's flop; the final CSR
+    (all of ``nnz_c``) still materializes in memory at assembly, which
+    is the irreducible floor of returning an in-memory product.
+    """
+    inputs = CSR_ENTRY_BYTES * 2.0 * (nnz_a + nnz_b)
+    if max_tile_flop is None:
+        max_tile_flop = float(flop) / max(grid_rows * grid_cols, 1)
+    working = TILE_WORKING_BYTES_PER_FLOP * float(max_tile_flop)
+    return inputs + working + CSR_ENTRY_BYTES * float(nnz_c)
+
+
+class SpillStore:
+    """Bounded staging area for tile products, spilling oldest to disk.
+
+    Entries are CSR blocks keyed by string.  While total staged bytes
+    stay within ``mem_budget`` everything lives in an in-memory dict;
+    beyond it, the oldest entries are written as ``.npz`` files
+    (arrays ``indptr``/``indices``/``data`` plus the 2-vector
+    ``shape`` — the spill format of DESIGN.md §16) under ``spill_dir``
+    and dropped from memory.  ``pop`` restores from either place and
+    deletes the entry.  With ``mem_budget=None`` nothing ever spills.
+
+    The staging directory is created lazily on first spill —
+    ``tempfile.mkdtemp`` when the caller gave none — and removed by
+    :meth:`close` only if this store created it.
+    """
+
+    def __init__(
+        self,
+        spill_dir: str | None = None,
+        mem_budget: int | None = None,
+    ) -> None:
+        self._requested_dir = spill_dir
+        self._dir: str | None = None
+        self._own_dir = False
+        self._budget = None if mem_budget is None else max(int(mem_budget), 0)
+        self._mem: dict[str, CSRMatrix] = {}
+        self._bytes = 0
+        self._on_disk: dict[str, str] = {}
+        self.spilled_entries = 0
+        self.spilled_bytes = 0
+
+    @staticmethod
+    def _size(mat: CSRMatrix) -> int:
+        return mat.indptr.nbytes + mat.indices.nbytes + mat.data.nbytes
+
+    @property
+    def staging_dir(self) -> str | None:
+        """The directory holding spilled files (``None`` until a spill)."""
+        return self._dir
+
+    @property
+    def staged_bytes(self) -> int:
+        """Bytes currently held in memory (spilled entries excluded)."""
+        return self._bytes
+
+    def _ensure_dir(self) -> str:
+        if self._dir is None:
+            if self._requested_dir is not None:
+                os.makedirs(self._requested_dir, exist_ok=True)
+                self._dir = self._requested_dir
+            else:
+                self._dir = tempfile.mkdtemp(prefix="repro-tiled-")
+                self._own_dir = True
+        return self._dir
+
+    def put(self, key: str, mat: CSRMatrix) -> None:
+        self.pop(key)  # replace semantics
+        self._mem[key] = mat
+        self._bytes += self._size(mat)
+        self._evict()
+
+    def _evict(self) -> None:
+        if self._budget is None:
+            return
+        while self._bytes > self._budget and self._mem:
+            key, mat = next(iter(self._mem.items()))
+            del self._mem[key]
+            size = self._size(mat)
+            self._bytes -= size
+            path = os.path.join(self._ensure_dir(), f"{key}.npz")
+            np.savez(
+                path,
+                shape=np.asarray(mat.shape, dtype=np.int64),
+                indptr=mat.indptr,
+                indices=mat.indices,
+                data=mat.data,
+            )
+            self._on_disk[key] = path
+            self.spilled_entries += 1
+            self.spilled_bytes += size
+
+    def pop(self, key: str) -> CSRMatrix | None:
+        mat = self._mem.pop(key, None)
+        if mat is not None:
+            self._bytes -= self._size(mat)
+            return mat
+        path = self._on_disk.pop(key, None)
+        if path is None:
+            return None
+        with np.load(path) as payload:
+            mat = CSRMatrix(
+                tuple(int(x) for x in payload["shape"]),
+                payload["indptr"],
+                payload["indices"],
+                payload["data"],
+                validate=False,
+            )
+        os.unlink(path)
+        return mat
+
+    def close(self) -> None:
+        """Drop staged state; remove the staging dir if this store made it."""
+        self._mem.clear()
+        self._bytes = 0
+        for path in self._on_disk.values():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._on_disk.clear()
+        if self._own_dir and self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+        self._dir = None
+        self._own_dir = False
+
+    def __enter__(self) -> "SpillStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class TileStat:
+    """Per-tile instrumentation (``collect_tile_stats=True``)."""
+
+    i: int
+    j: int
+    rows: int
+    cols: int
+    flop: int
+    nnz: int
+    seconds: float
+
+
+@dataclass
+class TiledResult:
+    """The product plus everything observable about the tiled run."""
+
+    c: CSRMatrix
+    grid: TileGrid
+    tiles_computed: int = 0
+    tiles_empty: int = 0
+    spilled_tiles: int = 0
+    spilled_bytes: int = 0
+    peak_tile_flop: int = 0
+    total_flop: int = 0
+    peak_staged_bytes: int = 0
+    predicted_peak_bytes: float = 0.0
+    seconds: float = 0.0
+    merge_seconds: float = 0.0
+    executor_used: str = "serial"
+    tile_stats: list = field(default_factory=list)
+
+
+def tiled_spgemm_detailed(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    semiring: Semiring | str = PLUS_TIMES,
+    config: PBConfig | None = None,
+    engine=None,
+    session=None,
+    collect_tile_stats: bool = False,
+) -> TiledResult:
+    """C = A · B over a 2D tile grid of small PB-SpGEMMs.
+
+    ``engine`` — an already-warm process engine every tile multiply
+    runs on (what the session front door passes); ``session`` — a
+    :class:`repro.session.Session` to borrow the engine from instead.
+    With neither, ``config.executor == "process"`` spawns **one**
+    private engine for the whole grid (never per tile) and closes it
+    at the end; serial configs run serially.  Output is bit-identical
+    to the monolithic :func:`repro.core.pb_spgemm` for every semiring
+    and every grid — see the module docstring for why.
+    """
+    if a_csc.shape[1] != b_csr.shape[0]:
+        raise ShapeError(f"cannot multiply {a_csc.shape} by {b_csr.shape}")
+    cfg = config or PBConfig()
+    sr = get_semiring(semiring)
+    m, n = a_csc.shape[0], b_csr.shape[1]
+
+    t_start = time.perf_counter()
+    a_colnnz = a_csc.col_nnz()
+    b_rownnz = b_csr.row_nnz()
+    total_flop = int(a_colnnz @ b_rownnz)
+    grid = plan_tile_grid(m, n, total_flop, cfg)
+
+    own_engine = False
+    own_session_note = session is not None and engine is None
+    if engine is None and session is not None:
+        engine = session.engine_for(cfg)
+    if engine is None and cfg.executor == "process" and cfg.nthreads > 1:
+        from ..parallel import process_backend_available
+
+        if process_backend_available():
+            from ..parallel.executor import ProcessEngine
+
+            engine = ProcessEngine(cfg.nthreads)
+            own_engine = True
+    if own_session_note and engine is not None:
+        session._note_engine_multiply()
+
+    result = TiledResult(
+        c=CSRMatrix.empty((m, n)),
+        grid=grid,
+        total_flop=total_flop,
+        executor_used="process" if engine is not None else "serial",
+    )
+    staging_budget = (
+        None
+        if cfg.memory_budget is None
+        else max(cfg.memory_budget // STAGING_BUDGET_DENOM, 1)
+    )
+    store = SpillStore(cfg.spill_dir, staging_budget)
+    merge_seconds = 0.0
+    try:
+        a_csr = a_csc.to_csr() if grid.grid_rows > 1 else None
+        b_csc = b_csr.to_csc() if grid.grid_cols > 1 else None
+        # Column panels of B, each converted to the CSR the PB kernel
+        # wants exactly once (total conversion work = nnz(B), paid once
+        # regardless of how many row panels stream over the panels).
+        b_panels: list[CSRMatrix] = []
+        b_panel_flops: list[np.ndarray] = []
+        for j, clo, chi in grid.col_panels():
+            if b_csc is None:
+                b_panels.append(b_csr)
+                b_panel_flops.append(b_rownnz)
+            else:
+                panel = col_slice(b_csc, clo, chi).to_csr()
+                b_panels.append(panel)
+                b_panel_flops.append(panel.row_nnz())
+
+        col_starts = [lo for _, lo, _ in grid.col_panels()]
+        panels: list[tuple[str, int, int, int]] = []  # key, rlo, rhi, nnz
+        for i, rlo, rhi in grid.row_panels():
+            if a_csr is None:  # single row panel: A already panel-shaped
+                a_i, panel_nnz = a_csc, a_csc.nnz
+            else:
+                a_panel = row_slice(a_csr, rlo, rhi)
+                a_i, panel_nnz = None, a_panel.nnz
+            if panel_nnz == 0:
+                result.tiles_empty += grid.grid_cols
+            else:
+                if a_i is None:
+                    a_i = a_panel.to_csc()
+                ai_colnnz = a_i.col_nnz()
+                for j in range(grid.grid_cols):
+                    b_j = b_panels[j]
+                    tile_flop = (
+                        int(ai_colnnz @ b_panel_flops[j]) if b_j.nnz else 0
+                    )
+                    if tile_flop == 0:
+                        result.tiles_empty += 1
+                        continue
+                    t0 = time.perf_counter()
+                    c_ij = pb_spgemm(a_i, b_j, sr, cfg, engine=engine)
+                    dt = time.perf_counter() - t0
+                    result.tiles_computed += 1
+                    result.peak_tile_flop = max(result.peak_tile_flop, tile_flop)
+                    if collect_tile_stats:
+                        result.tile_stats.append(
+                            TileStat(
+                                i, j, rhi - rlo, c_ij.shape[1],
+                                tile_flop, c_ij.nnz, dt,
+                            )
+                        )
+                    store.put(f"tile-{i}-{j}", c_ij)
+                    result.peak_staged_bytes = max(
+                        result.peak_staged_bytes, store.staged_bytes
+                    )
+            t0 = time.perf_counter()
+            staged = [
+                store.pop(f"tile-{i}-{j}") for j in range(grid.grid_cols)
+            ]
+            merged = hstack_tiles(staged, col_starts, rhi - rlo, n, sr)
+            merge_seconds += time.perf_counter() - t0
+            key = f"panel-{i}"
+            panels.append((key, rlo, rhi, merged.nnz))
+            store.put(key, merged)
+            del merged, staged
+            result.peak_staged_bytes = max(
+                result.peak_staged_bytes, store.staged_bytes
+            )
+
+        # Final assembly: row panels stack vertically (disjoint row
+        # ranges).  The output arrays are preallocated and each panel is
+        # copied into its slice then freed, so assembly peaks at the
+        # product plus ONE panel — not the 2x of concatenating a list of
+        # all panels (which would dominate the budget for large C).
+        total_nnz = sum(nnz for _, _, _, nnz in panels)
+        indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
+        indices = np.empty(total_nnz, dtype=INDEX_DTYPE)
+        data = np.empty(total_nnz, dtype=VALUE_DTYPE)
+        nnz_off = 0
+        for key, rlo, rhi, nnz in panels:
+            block = store.pop(key)
+            indptr[rlo + 1 : rhi + 1] = block.indptr[1:] + nnz_off
+            indices[nnz_off : nnz_off + nnz] = block.indices
+            data[nnz_off : nnz_off + nnz] = block.data
+            nnz_off += nnz
+            del block
+        result.c = CSRMatrix((m, n), indptr, indices, data, validate=False)
+        result.spilled_tiles = store.spilled_entries
+        result.spilled_bytes = store.spilled_bytes
+    finally:
+        store.close()
+        if own_engine:
+            engine.close()
+    result.predicted_peak_bytes = tiled_peak_bytes(
+        total_flop,
+        a_csc.nnz,
+        b_csr.nnz,
+        result.c.nnz,
+        grid.grid_rows,
+        grid.grid_cols,
+        max_tile_flop=result.peak_tile_flop or None,
+    )
+    result.merge_seconds = merge_seconds
+    result.seconds = time.perf_counter() - t_start
+    return result
+
+
+def tiled_spgemm(
+    a_csc: CSCMatrix,
+    b_csr: CSRMatrix,
+    semiring: Semiring | str = PLUS_TIMES,
+    config: PBConfig | None = None,
+    engine=None,
+    session=None,
+) -> CSRMatrix:
+    """C = A · B through the tile grid; see :func:`tiled_spgemm_detailed`."""
+    return tiled_spgemm_detailed(
+        a_csc, b_csr, semiring, config, engine=engine, session=session
+    ).c

@@ -42,6 +42,7 @@ from .hash_spgemm import hash_spgemm
 from .hashvec_spgemm import hashvec_spgemm
 from .esc_column import esc_column_spgemm
 from .masked import masked_spgemm
+from .tile_merge import hstack_tiles, accumulate_partials
 from .pb_spmv import pb_spmv, spmv_reference
 from .reference import dense_spgemm_reference, scipy_spgemm_oracle
 from .dispatch import spgemm, available_algorithms, get_algorithm, ALGORITHMS
@@ -71,6 +72,8 @@ __all__ = [
     "hashvec_spgemm",
     "esc_column_spgemm",
     "masked_spgemm",
+    "hstack_tiles",
+    "accumulate_partials",
     "pb_spmv",
     "spmv_reference",
     "dense_spgemm_reference",

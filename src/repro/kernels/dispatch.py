@@ -71,6 +71,12 @@ def _pb(a_csc, b_csr, semiring=PLUS_TIMES, **kwargs):
     return pb_spgemm(a_csc, b_csr, semiring=semiring, **kwargs)
 
 
+def _tiled(a_csc, b_csr, semiring=PLUS_TIMES, **kwargs):
+    from ..core.tiled import tiled_spgemm
+
+    return tiled_spgemm(a_csc, b_csr, semiring=semiring, **kwargs)
+
+
 def _registry() -> dict[str, AlgorithmInfo]:
     from .esc_column import esc_column_spgemm
     from .gustavson_spa import spa_spgemm
@@ -118,6 +124,18 @@ def _registry() -> dict[str, AlgorithmInfo]:
             supports_config=True,
             supports_process=True,
             supports_masked=True,
+            supports_session=True,
+            supports_jit=True,
+        ),
+        AlgorithmInfo(
+            # Same Table I cell as PB — each tile IS a PB multiply; the
+            # grid only changes how many times the operands restream
+            # (grid_cols passes over A, grid_rows over B).
+            "tiled", _tiled, "outer", "esc", "sort", "1", 2,
+            "Tiled out-of-core PB-SpGEMM: 2D panel grid, bounded peak "
+            "memory, spill-to-disk staging (repro.core.tiled)",
+            supports_config=True,
+            supports_process=True,
             supports_session=True,
             supports_jit=True,
         ),

@@ -1,0 +1,145 @@
+"""Segmented tile-merge kernels for the tiled engine (DESIGN.md §16).
+
+The 2D tiled driver (:mod:`repro.core.tiled`) produces one CSR partial
+product per ``(row panel, col panel)`` tile.  Assembling a row panel of
+the final product needs the column-disjoint tiles interleaved row by
+row — a segmented horizontal concatenation, vectorized here as one
+scatter per tile (:func:`hstack_tiles`).
+
+When tiles are *not* column-disjoint — overlapping partial products
+from a k-split (3D) decomposition, or repeated tiles fed by a caller —
+structural positions collide and the values must be ⊕-combined.
+:func:`accumulate_partials` is that semiring-aware accumulate stage:
+it folds duplicates with :meth:`repro.semiring.Semiring.segment_reduce`
+in *partial-list order*, the same sequential left fold every other
+reduction in the codebase uses.  :func:`hstack_tiles` accepts multiple
+partials per column panel and routes them through it, so the merge
+stage handles both regimes with one entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..matrix import base
+from ..matrix.csr import CSRMatrix
+from ..semiring import PLUS_TIMES, Semiring, get_semiring
+
+
+def accumulate_partials(
+    partials: list[CSRMatrix],
+    semiring: Semiring | str = PLUS_TIMES,
+    shape: tuple[int, int] | None = None,
+) -> CSRMatrix:
+    """⊕-combine CSR partial products covering the same output region.
+
+    Duplicate ``(row, col)`` positions across (or within) the partials
+    are reduced with the semiring's ⊕ as a sequential left fold in
+    *list order, then per-partial stream order* — so stacking the
+    k-split halves ``A[:, :k0] · B[:k0, :]`` and ``A[:, k0:] · B[k0:, :]``
+    in k order reproduces the monolithic fold order exactly (bit-equal
+    for ⊕ ∈ {min, max, or}; same left fold, float-reassociated only by
+    the split point, for ⊕ = +).
+    """
+    sr = get_semiring(semiring)
+    mats = [p for p in partials if p is not None]
+    if shape is None:
+        if not mats:
+            raise ShapeError("accumulate_partials needs a shape or a partial")
+        shape = mats[0].shape
+    for p in mats:
+        if p.shape != shape:
+            raise ShapeError(
+                f"partial of shape {p.shape} does not cover output {shape}"
+            )
+    mats = [p for p in mats if p.nnz]
+    nrows, ncols = shape
+    if not mats:
+        return CSRMatrix.empty(shape)
+    if len(mats) == 1:
+        return mats[0]  # already canonical CSR; nothing to fold
+    rows = np.concatenate(
+        [np.repeat(np.arange(nrows, dtype=np.int64), p.row_nnz()) for p in mats]
+    )
+    cols = np.concatenate([p.indices for p in mats])
+    vals = np.concatenate([p.data for p in mats])
+    keys = rows * np.int64(ncols) + cols
+    ukeys, reduced = sr.segment_reduce(keys, vals)
+    out_rows = ukeys // ncols
+    indptr = np.zeros(nrows + 1, dtype=base.INDEX_DTYPE)
+    np.cumsum(np.bincount(out_rows, minlength=nrows), out=indptr[1:])
+    return CSRMatrix(
+        shape, indptr, ukeys % ncols, reduced, validate=False
+    )
+
+
+def hstack_tiles(
+    tiles: list,
+    col_starts: list[int],
+    nrows: int,
+    ncols: int,
+    semiring: Semiring | str = PLUS_TIMES,
+) -> CSRMatrix:
+    """Merge one row panel's tiles into a single CSR block.
+
+    ``tiles[j]`` is the CSR partial product of column panel ``j`` —
+    ``None`` (empty tile), one :class:`CSRMatrix`, or a *list* of
+    overlapping partials (⊕-combined via :func:`accumulate_partials`
+    first).  ``col_starts[j]`` is the panel's first global column; the
+    panels must be ascending and disjoint, each tile ``nrows`` tall.
+
+    The interleave is one vectorized scatter per tile: with ``base[r]``
+    the merged row start plus the row's nnz in earlier panels, tile
+    entries land at ``repeat(base, row_nnz) + intra-row rank`` — no
+    per-row Python loop, O(total nnz) work.
+    """
+    sr = get_semiring(semiring)
+    if len(tiles) != len(col_starts):
+        raise ShapeError(
+            f"{len(tiles)} tiles but {len(col_starts)} column offsets"
+        )
+    resolved: list[CSRMatrix] = []
+    offsets: list[int] = []
+    for tile, start in zip(tiles, col_starts):
+        if isinstance(tile, (list, tuple)):
+            tile = accumulate_partials(list(tile), sr) if tile else None
+        if tile is None or tile.nnz == 0:
+            continue
+        if tile.shape[0] != nrows:
+            raise ShapeError(
+                f"tile is {tile.shape[0]} rows tall, panel expects {nrows}"
+            )
+        if start < 0 or start + tile.shape[1] > ncols:
+            raise ShapeError(
+                f"tile columns [{start}, {start + tile.shape[1]}) exceed "
+                f"output width {ncols}"
+            )
+        resolved.append(tile)
+        offsets.append(int(start))
+    if not resolved:
+        return CSRMatrix.empty((nrows, ncols))
+    if len(resolved) == 1 and offsets[0] == 0 and resolved[0].shape[1] == ncols:
+        return resolved[0]
+
+    counts = np.zeros((len(resolved), nrows), dtype=np.int64)
+    for t, tile in enumerate(resolved):
+        counts[t] = tile.row_nnz()
+    total_per_row = counts.sum(axis=0)
+    indptr = np.zeros(nrows + 1, dtype=base.INDEX_DTYPE)
+    np.cumsum(total_per_row, out=indptr[1:])
+    nnz = int(indptr[-1])
+    indices = np.empty(nnz, dtype=base.INDEX_DTYPE)
+    data = np.empty(nnz, dtype=base.VALUE_DTYPE)
+    prefix = np.zeros(nrows, dtype=np.int64)  # nnz of earlier tiles per row
+    for t, tile in enumerate(resolved):
+        rn = counts[t]
+        tile_base = np.repeat(indptr[:-1] + prefix, rn)
+        intra = np.arange(tile.nnz, dtype=np.int64) - np.repeat(
+            tile.indptr[:-1], rn
+        )
+        dest = tile_base + intra
+        indices[dest] = tile.indices + offsets[t]
+        data[dest] = tile.data
+        prefix += rn
+    return CSRMatrix((nrows, ncols), indptr, indices, data, validate=False)

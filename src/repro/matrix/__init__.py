@@ -27,7 +27,7 @@ from .stats import (
     total_flops,
     degree_histogram,
 )
-from .ops import transpose, allclose, add, scale, extract_diagonal, prune, triu, tril, row_slice
+from .ops import transpose, allclose, add, scale, extract_diagonal, prune, triu, tril, row_slice, col_slice
 from .io import write_matrix_market, read_matrix_market
 from .dense import to_dense, from_dense
 
@@ -57,6 +57,7 @@ __all__ = [
     "triu",
     "tril",
     "row_slice",
+    "col_slice",
     "write_matrix_market",
     "read_matrix_market",
     "to_dense",

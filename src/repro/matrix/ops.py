@@ -119,7 +119,11 @@ def row_slice(csr: CSRMatrix, start: int, stop: int) -> CSRMatrix:
     """Rows ``start:stop`` as a new CSR matrix of reduced height.
 
     This is the A-partitioning primitive of the partitioned (NUMA)
-    PB-SpGEMM variant in paper Sec. V-D.
+    PB-SpGEMM variant in paper Sec. V-D and of the tiled engine's row
+    panels (:mod:`repro.core.tiled`).  Cheap: CSR stores a row's
+    entries contiguously, so ``indices`` / ``data`` of the slice are
+    *views* into the parent arrays — only the small rebased ``indptr``
+    is allocated.  Callers must not mutate the result in place.
     """
     if not (0 <= start <= stop <= csr.shape[0]):
         raise ShapeError(
@@ -131,5 +135,28 @@ def row_slice(csr: CSRMatrix, start: int, stop: int) -> CSRMatrix:
         csr.indptr[start : stop + 1] - lo,
         csr.indices[lo:hi],
         csr.data[lo:hi],
+        validate=False,
+    )
+
+
+def col_slice(csc: CSCMatrix, start: int, stop: int) -> CSCMatrix:
+    """Columns ``start:stop`` as a new CSC matrix of reduced width.
+
+    The B-partitioning primitive of the tiled engine's column panels
+    (:mod:`repro.core.tiled`): the exact mirror of :func:`row_slice`.
+    CSC stores a column's entries contiguously, so ``indices`` /
+    ``data`` come back as views and only the rebased ``indptr`` is
+    allocated.  Callers must not mutate the result in place.
+    """
+    if not (0 <= start <= stop <= csc.shape[1]):
+        raise ShapeError(
+            f"col slice [{start}, {stop}) out of range for shape {csc.shape}"
+        )
+    lo, hi = csc.indptr[start], csc.indptr[stop]
+    return CSCMatrix(
+        (csc.shape[0], stop - start),
+        csc.indptr[start : stop + 1] - lo,
+        csc.indices[lo:hi],
+        csc.data[lo:hi],
         validate=False,
     )

@@ -39,15 +39,22 @@ def plan_key(
     executor: str,
     nthreads: int,
     warm: bool = False,
+    budget: int | None = None,
 ) -> str:
     """Render the cache key for one planning request.
 
     ``warm`` keys warm-session requests separately from cold ones —
     the same workload can legitimately resolve to different winners
-    when the pool-spawn cost is (or is not) already sunk.
+    when the pool-spawn cost is (or is not) already sunk.  ``budget``
+    (``PBConfig.memory_budget``) likewise keys budgeted requests apart:
+    the feasibility gate can flip the winner, so a plan ranked under a
+    memory budget must never answer an unbudgeted request (or one with
+    a different budget) from cache.
     """
     bucket = ",".join(str(b) for b in sk.bucket())
     mode = f"{executor}:{nthreads}" + (":warm" if warm else "")
+    if budget is not None:
+        mode += f":mb{int(budget)}"
     return f"b[{bucket}]|p[{profile.fingerprint()}]|s[{semiring_name}]|x[{mode}]"
 
 

@@ -31,9 +31,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.config import DEFAULT_LOCAL_BIN_BYTES, PBConfig, resolve_nbins
-from ..costmodel.bytes_model import algorithm_phase_costs, pb_phase_costs
-from ..costmodel.phases import WorkloadStats, workload_stats
+from ..core.tiled import monolithic_peak_bytes, tiled_peak_bytes
+from ..costmodel.bytes_model import ENTRY_BYTES, algorithm_phase_costs, pb_phase_costs
+from ..costmodel.phases import PhaseCost, WorkloadStats, workload_stats
 from ..kernels.dispatch import ALGORITHMS
 from ..matrix.csc import CSCMatrix
 from ..matrix.csr import CSRMatrix
@@ -44,6 +47,16 @@ from .sketch import Sketch
 #: Local-bin widths swept for PB (Fig. 6a's x-axis, bracketing the
 #: paper's 512-byte default).
 LOCAL_BIN_SWEEP = (256, 512, 1024)
+
+#: Grid dimensions swept when pricing ``algorithm="tiled"`` (powers of
+#: two, the same shape of sweep ``nbins`` gets).
+TILE_GRID_SWEEP = (1, 2, 4, 8, 16, 32)
+
+#: Modeled fixed cycles per tile: panel slicing, the per-tile symbolic
+#: phase, and Python dispatch overhead around each small PB multiply.
+#: This is what stops the sweep from over-tiling — past the budget's
+#: needs, more tiles only add this term.
+PER_TILE_CYCLES = 150_000.0
 
 
 @dataclass(frozen=True)
@@ -62,6 +75,9 @@ class CandidateScore:
     phase_seconds: dict = field(default_factory=dict)
     overrides: dict = field(default_factory=dict)
     reason: str | None = None
+    #: Modeled peak resident bytes (0.0 on pre-tiling cache records,
+    #: which also never carried a memory budget to gate against).
+    predicted_peak_bytes: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -70,6 +86,7 @@ class CandidateScore:
             "nthreads": self.nthreads,
             "predicted_seconds": self.predicted_seconds,
             "predicted_dram_bytes": self.predicted_dram_bytes,
+            "predicted_peak_bytes": self.predicted_peak_bytes,
             "phase_seconds": dict(self.phase_seconds),
             "overrides": dict(self.overrides),
             "reason": self.reason,
@@ -86,6 +103,7 @@ class CandidateScore:
             phase_seconds=dict(data.get("phase_seconds", {})),
             overrides=dict(data.get("overrides", {})),
             reason=data.get("reason"),
+            predicted_peak_bytes=float(data.get("predicted_peak_bytes", 0.0)),
         )
 
 
@@ -173,6 +191,138 @@ def _tune_pb(
     return total, dram, per_phase, overrides
 
 
+def _panel_peak_bytes(stats: WorkloadStats) -> float:
+    """Modeled peak bytes of the panel-vectorized column algorithms.
+
+    The panel path materializes at most ``DEFAULT_PANEL_TUPLES`` (or
+    the whole flop, if smaller) expanded tuples at a time on top of the
+    operands and the product — the column kernels were already
+    memory-bounded before tiling existed.
+    """
+    from ..kernels.column_panel import DEFAULT_PANEL_TUPLES
+
+    from ..core.tiled import CSR_ENTRY_BYTES, TILE_WORKING_BYTES_PER_FLOP
+
+    inputs = CSR_ENTRY_BYTES * 2.0 * (stats.nnz_a + stats.nnz_b)
+    panel = TILE_WORKING_BYTES_PER_FLOP * float(
+        min(stats.flop, DEFAULT_PANEL_TUPLES)
+    )
+    return inputs + panel + CSR_ENTRY_BYTES * float(stats.nnz_c)
+
+
+def _grid_dims(extent: int, pinned_tile: int | None) -> list[int]:
+    """Candidate panel counts for one grid dimension."""
+    extent = max(int(extent), 1)
+    if pinned_tile is not None:
+        return [max(1, -(-extent // max(1, min(pinned_tile, extent))))]
+    return [d for d in TILE_GRID_SWEEP if d <= extent] or [1]
+
+
+def _max_tile_flop(stats: WorkloadStats, gr: int, gc: int) -> float:
+    """Busiest tile's flop under the grid, from the row/col marginals.
+
+    ``flops_per_row[i] * flops_per_col[j] / flop`` is the expected
+    tile load when row and column structure are independent; taking
+    the max panel marginals upper-bounds the skewed case well enough
+    for a feasibility gate.
+    """
+    total = float(max(stats.flop, 1))
+    if gr <= 1 and gc <= 1:
+        return float(stats.flop)
+    row_starts = np.linspace(0, len(stats.flops_per_row), gr + 1).astype(int)[:-1]
+    col_starts = np.linspace(0, len(stats.flops_per_col), gc + 1).astype(int)[:-1]
+    max_row = (
+        float(np.add.reduceat(stats.flops_per_row, row_starts).max())
+        if len(stats.flops_per_row)
+        else 0.0
+    )
+    max_col = (
+        float(np.add.reduceat(stats.flops_per_col, col_starts).max())
+        if len(stats.flops_per_col)
+        else 0.0
+    )
+    return max_row * max_col / total
+
+
+def _tune_tiled(
+    stats: WorkloadStats,
+    machine,
+    config: PBConfig,
+    nthreads: int,
+    jit_sort_scale: float | None = None,
+) -> tuple[float, float, dict, dict, float]:
+    """Sweep the tile grid; returns the PB tuple plus the peak bytes.
+
+    The per-tile pipeline is the monolithic PB pipeline over the same
+    total tuple stream, so the base cost reuses :func:`_tune_pb`'s
+    swept optimum; each candidate grid then adds a ``tiling`` phase —
+    the restreamed operand passes ((gc−1)·A, (gr−1)·B), the merge
+    stage's read+write of C, and :data:`PER_TILE_CYCLES` per tile —
+    and the cheapest *budget-feasible* grid wins.  With no
+    ``memory_budget`` every grid is feasible and the 1×1 grid's zero
+    overhead wins, which is exactly right: tiling is pure cost until
+    memory is the constraint.
+
+    Pinned ``config.tile_rows`` / ``tile_cols`` collapse their
+    dimension of the sweep (the `_tune_pb` convention); the returned
+    overrides only ever fill blanks.
+    """
+    pb_total, pb_dram, pb_phases, pb_overrides = _tune_pb(
+        stats, machine, config, nthreads, jit_sort_scale=jit_sort_scale
+    )
+    budget = config.memory_budget
+    m, n = stats.n_rows, stats.n_cols
+    gr_cands = _grid_dims(m, config.tile_rows)
+    gc_cands = _grid_dims(n, config.tile_cols)
+    best = None  # (infeasible, total, peak, gr, gc, phase_s, dram)
+    for gr in gr_cands:
+        for gc in gc_cands:
+            ntiles = gr * gc
+            read = (
+                (gc - 1) * ENTRY_BYTES * stats.nnz_a
+                + (gr - 1) * ENTRY_BYTES * stats.nnz_b
+                + (ENTRY_BYTES * stats.nnz_c if ntiles > 1 else 0)
+            )
+            write = ENTRY_BYTES * stats.nnz_c if ntiles > 1 else 0
+            overhead = PhaseCost(
+                name="tiling",
+                dram_read_bytes=float(read),
+                dram_write_bytes=float(write),
+                compute_cycles=ntiles * PER_TILE_CYCLES,
+                schedule="static_block",
+                overlap="max",
+            )
+            # Per-tile fixed work is serial driver overhead, not
+            # worker-parallel: price it single-threaded.
+            reports = simulate_phases([overhead], machine, 1)
+            extra = sum(p.seconds for p in reports)
+            extra_dram = sum(p.dram_bytes for p in reports)
+            peak = tiled_peak_bytes(
+                stats.flop,
+                stats.nnz_a,
+                stats.nnz_b,
+                stats.nnz_c,
+                gr,
+                gc,
+                max_tile_flop=_max_tile_flop(stats, gr, gc),
+            )
+            infeasible = budget is not None and peak > budget
+            key = (infeasible, pb_total + extra, peak)
+            if best is None or key < best[0]:
+                best = (key, gr, gc, extra, extra_dram, peak)
+    key, gr, gc, extra, extra_dram, peak = best
+    total = pb_total + extra
+    phase_seconds = dict(pb_phases)
+    if extra > 0.0:
+        phase_seconds["tiling"] = extra
+    overrides = dict(pb_overrides)
+    if config.tile_rows is None:
+        overrides["tile_rows"] = max(1, -(-max(m, 1) // gr))
+    if config.tile_cols is None:
+        overrides["tile_cols"] = max(1, -(-max(n, 1) // gc))
+    return total, pb_dram + extra_dram, phase_seconds, overrides, peak
+
+
 def rank(
     a_csc: CSCMatrix,
     b_csr: CSRMatrix,
@@ -208,12 +358,20 @@ def rank(
     column_backend = cfg.column_backend or "panel"
     want_threads = max(1, cfg.nthreads)
     scored: list[CandidateScore] = []
+    budget = cfg.memory_budget
     for name, info in sorted(ALGORITHMS.items()):
         use_process = process_ok and info.supports_process and want_threads > 1
         nthreads = min(want_threads, machine.total_cores) if use_process else 1
         executor = "process" if use_process else "serial"
         if name == "pb" and info.supports_config:
             total, dram, per_phase, overrides = _tune_pb(
+                stats, machine, cfg, nthreads, jit_sort_scale=jit_scale
+            )
+            peak = monolithic_peak_bytes(
+                stats.flop, stats.nnz_a, stats.nnz_b, stats.nnz_c
+            )
+        elif name == "tiled" and info.supports_config:
+            total, dram, per_phase, overrides, peak = _tune_tiled(
                 stats, machine, cfg, nthreads, jit_sort_scale=jit_scale
             )
         else:
@@ -253,6 +411,13 @@ def rank(
                 if chosen_cb == "panel_jit" and column_backend == "panel"
                 else {}
             )
+            peak = (
+                monolithic_peak_bytes(
+                    stats.flop, stats.nnz_a, stats.nnz_b, stats.nnz_c
+                )
+                if name == "esc_column"  # expands the whole tuple stream
+                else _panel_peak_bytes(stats)
+            )
         if use_process:
             total += profile.warm_dispatch_s if warm_pool else profile.pool_startup_s
         scored.append(
@@ -264,19 +429,33 @@ def rank(
                 predicted_dram_bytes=dram,
                 phase_seconds=per_phase,
                 overrides=overrides,
+                predicted_peak_bytes=peak,
             )
         )
-    scored.sort(key=lambda c: (c.predicted_seconds, c.algorithm))
+    # Budget feasibility orders before speed: with a memory budget set,
+    # a candidate whose modeled peak exceeds it loses to every feasible
+    # one no matter how fast it looks — this is the auto-selection
+    # lever that flips pb → tiled when the monolithic working set
+    # cannot fit.
+    def _infeasible(c: CandidateScore) -> bool:
+        return budget is not None and c.predicted_peak_bytes > budget
+
+    scored.sort(key=lambda c: (_infeasible(c), c.predicted_seconds, c.algorithm))
     winner = scored[0]
     out = [winner]
     for c in scored[1:]:
         ratio = c.predicted_seconds / max(winner.predicted_seconds, 1e-12)
         notes = []
+        if _infeasible(c):
+            notes.append(
+                f"predicted peak {c.predicted_peak_bytes / 1e6:.0f} MB "
+                f"exceeds memory budget {budget / 1e6:.0f} MB"
+            )
         if ratio >= 1.005:
             notes.append(
                 f"predicted {ratio:.2f}x slower than {winner.algorithm}"
             )
-        else:
+        elif not notes:
             notes.append(f"tied with {winner.algorithm}; loses the name tiebreak")
         if (
             cfg.executor == "process"
@@ -294,6 +473,7 @@ def rank(
                 phase_seconds=c.phase_seconds,
                 overrides=c.overrides,
                 reason="; ".join(notes),
+                predicted_peak_bytes=c.predicted_peak_bytes,
             )
         )
     return out

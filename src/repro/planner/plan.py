@@ -129,6 +129,8 @@ _OVERRIDE_KEYS = (
     "distribute_backend",
     "compress_backend",
     "column_backend",
+    "tile_rows",
+    "tile_cols",
 )
 
 
@@ -182,7 +184,15 @@ def plan(
 
     warm = bool(warm_pool) and process_ok
     sk = sketch(a_csc, b_csr, seed=seed)
-    key = plan_key(sk, profile, sr.name, executor_req, cfg.nthreads, warm=warm)
+    key = plan_key(
+        sk,
+        profile,
+        sr.name,
+        executor_req,
+        cfg.nthreads,
+        warm=warm,
+        budget=cfg.memory_budget,
+    )
 
     rec = cache.get(key)
     if rec is not None:

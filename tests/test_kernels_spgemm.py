@@ -192,7 +192,9 @@ class TestSemiringSpGEMM:
 
 class TestDispatch:
     def test_available(self):
-        assert set(ALGS) == {"esc_column", "hash", "hashvec", "heap", "pb", "spa"}
+        assert set(ALGS) == {
+            "esc_column", "hash", "hashvec", "heap", "pb", "spa", "tiled",
+        }
 
     def test_get_algorithm_metadata(self):
         info = get_algorithm("pb")

@@ -8,6 +8,7 @@ from repro.matrix import COOMatrix, CSRMatrix
 from repro.matrix.ops import (
     add,
     allclose,
+    col_slice,
     extract_diagonal,
     prune,
     row_slice,
@@ -115,4 +116,29 @@ class TestStructural:
         m = random_coo(rng, 10, 6, 30).to_csr()
         s = row_slice(m, 4, 4)
         assert s.shape == (0, 6)
+        assert s.nnz == 0
+
+    def test_col_slice(self, rng):
+        m = random_coo(rng, 10, 6, 30).to_csc()
+        s = col_slice(m, 2, 5)
+        np.testing.assert_allclose(s.to_dense(), m.to_dense()[:, 2:5])
+
+    def test_col_slice_views(self, rng):
+        # indices/data must be views into the parent, not copies.
+        m = random_coo(rng, 10, 6, 30).to_csc()
+        s = col_slice(m, 1, 4)
+        assert s.indices.base is not None
+        assert s.data.base is not None
+
+    def test_col_slice_bounds(self, rng):
+        m = random_coo(rng, 10, 6, 30).to_csc()
+        with pytest.raises(ShapeError):
+            col_slice(m, 4, 7)
+        with pytest.raises(ShapeError):
+            col_slice(m, -1, 3)
+
+    def test_col_slice_empty(self, rng):
+        m = random_coo(rng, 10, 6, 30).to_csc()
+        s = col_slice(m, 3, 3)
+        assert s.shape == (10, 0)
         assert s.nnz == 0
