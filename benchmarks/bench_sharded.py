@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Multi-process sharded benchmark script (``BENCH_sharded.json``).
+
+Thin wrapper over the registered ``sharded`` suite — the measurement
+code and acceptance bars live in :mod:`repro.bench.suites.sharded`.
+Equivalent to::
+
+    PYTHONPATH=src python -m repro bench run sharded
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py            # full
+    PYTHONPATH=src python benchmarks/bench_sharded.py --quick    # CI
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # allow running without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path fallback
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.harness import harness_main
+
+SUITE = "sharded"
+
+
+def main(argv: list[str] | None = None) -> int:
+    return harness_main(SUITE, argv, default_output=REPO_ROOT / f"BENCH_{SUITE}.json")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,14 +45,22 @@ def _coerce(operand, side: str, fmt: str):
 
 
 def _attach_session_engine(info, session, cfg, kwargs) -> None:
-    """Route a session's warm engine into a session-capable kernel.
+    """Route a session's resources into a session-capable kernel.
 
-    No-op unless a :class:`repro.session.Session` was passed and the
-    resolved algorithm advertises ``supports_session``; the session may
-    still return no engine (serial config, platform without shm), in
-    which case the kernel runs exactly as it would without a session.
+    No-op unless a :class:`repro.session.Session` was passed.  Kernels
+    advertising ``wants_session`` (the sharded executor) receive the
+    whole session — they borrow its :class:`ArenaPool` for broadcast
+    and return segments; kernels advertising ``supports_session``
+    receive its warm engine.  The session may still return no engine
+    (serial config, platform without shm), in which case the kernel
+    runs exactly as it would without a session.
     """
-    if session is None or not getattr(info, "supports_session", False):
+    if session is None:
+        return
+    if getattr(info, "wants_session", False):
+        kwargs["session"] = session
+        return
+    if not getattr(info, "supports_session", False):
         return
     engine = session.engine_for(cfg)
     if engine is not None:
@@ -68,6 +76,7 @@ def multiply(
     config=None,
     feedback: bool = False,
     session=None,
+    shards=None,
     **kwargs,
 ):
     """C = A · B over any registered algorithm and semiring.
@@ -120,6 +129,15 @@ def multiply(
         running.  When ``config`` is omitted the session's default
         config applies.  Results are unchanged — bit-identical to the
         session-less call.
+    shards:
+        Route through the multi-process sharded tiled executor
+        (:mod:`repro.core.sharded`): an int worker count, ``"auto"``
+        (derive from ``os.cpu_count()`` and the memory budget), or
+        ``None`` (off).  Applies to ``algorithm`` ``"pb"`` (upgraded
+        to ``"sharded"``), ``"tiled"`` (likewise), ``"sharded"``, and
+        ``"auto"`` (the planner weighs the sharded candidate); any
+        other algorithm raises :class:`ConfigError`.  Equivalent to
+        setting ``PBConfig.shards``.  Results stay bit-identical.
     kwargs:
         Forwarded to the kernel.
     """
@@ -131,6 +149,24 @@ def multiply(
 
     if session is not None and config is None:
         config = session.config
+
+    if shards is not None:
+        if algorithm not in ("pb", "tiled", "sharded", "auto"):
+            raise ConfigError(
+                f"shards= applies to algorithm 'pb', 'tiled', 'sharded' or "
+                f"'auto', not {algorithm!r}"
+            )
+        from .core.sharded import sharded_config
+
+        config = sharded_config(config, shards)
+        if algorithm in ("pb", "tiled"):
+            algorithm = "sharded"
+    elif (
+        algorithm in ("pb", "tiled")
+        and config is not None
+        and getattr(config, "shards", None) is not None
+    ):
+        algorithm = "sharded"
 
     chosen_plan = None
     if algorithm == "auto":

@@ -21,7 +21,16 @@ from ..errors import BenchError
 from .schema import BenchResult
 
 #: Perf suites with a committed repo-root baseline artifact.
-PERF_SUITES = ("hotpath", "planner", "column", "session", "jit", "serve", "tiled")
+PERF_SUITES = (
+    "hotpath",
+    "planner",
+    "column",
+    "session",
+    "jit",
+    "serve",
+    "tiled",
+    "sharded",
+)
 
 _BUILTIN_MODULES = {
     "hotpath": "repro.bench.suites.hotpath",
@@ -31,6 +40,7 @@ _BUILTIN_MODULES = {
     "jit": "repro.bench.suites.jit",
     "serve": "repro.bench.suites.serve",
     "tiled": "repro.bench.suites.tiled",
+    "sharded": "repro.bench.suites.sharded",
 }
 
 #: Paper-figure/table driver suites (repro.analysis.experiments), all

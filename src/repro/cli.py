@@ -149,6 +149,41 @@ def _cmd_multiply(args) -> int:
             )
             return 2
         args.algorithm = "tiled"
+    shards = None
+    if args.shards is not None:
+        if args.shards != "auto":
+            try:
+                shards = int(args.shards)
+            except ValueError:
+                print(
+                    f"--shards takes an integer or 'auto', got "
+                    f"{args.shards!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            if shards < 1:
+                print(
+                    f"--shards must be >= 1, got {shards}", file=sys.stderr
+                )
+                return 2
+        else:
+            shards = "auto"
+        if args.algorithm not in ("pb", "tiled", "sharded", "auto"):
+            print(
+                "--shards routes through the sharded tiled engine; use "
+                "--algorithm pb/tiled/sharded/auto "
+                f"(got {args.algorithm!r})",
+                file=sys.stderr,
+            )
+            return 2
+        if args.executor == "process":
+            print(
+                "--shards and --executor process are mutually exclusive: "
+                "sharding forks its own worker set (one process per tile "
+                "row shard); drop one of the two",
+                file=sys.stderr,
+            )
+            return 2
     pb_flags = (
         args.executor != "serial"
         or args.nthreads != 1
@@ -166,6 +201,18 @@ def _cmd_multiply(args) -> int:
         or args.tile_cols is not None
         or args.spill_dir is not None
     )
+    if shards is not None and tiled_flags:
+        # --shards reinterprets the tiled knobs (see --shards help):
+        # budget becomes per-shard, --tile-cols pins the shared panel
+        # split, --tile-rows has no meaning (rows split by shard count).
+        if args.tile_rows is not None:
+            print(
+                "--tile-rows conflicts with --shards: the row split is "
+                "the shard assignment (one flop-balanced contiguous row "
+                "range per shard); pin --shards instead",
+                file=sys.stderr,
+            )
+            return 2
     if pb_flags and args.algorithm not in ("pb", "auto", "tiled"):
         print(
             "--executor/--nthreads/--nbins/--sort-backend/"
@@ -183,7 +230,11 @@ def _cmd_multiply(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if tiled_flags and args.algorithm not in ("tiled", "auto"):
+    if (
+        tiled_flags
+        and shards is None
+        and args.algorithm not in ("tiled", "sharded", "auto")
+    ):
         print(
             "--memory-budget/--tile-rows/--tile-cols/--spill-dir configure "
             "the tiled engine; use --tiled (or --algorithm auto for "
@@ -191,7 +242,7 @@ def _cmd_multiply(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if pb_flags or column_flags or tiled_flags:
+    if pb_flags or column_flags or tiled_flags or shards is not None:
         from .core.config import PBConfig
         from .errors import ConfigError
 
@@ -209,6 +260,7 @@ def _cmd_multiply(args) -> int:
                 tile_cols=args.tile_cols,
                 memory_budget=args.memory_budget,
                 spill_dir=args.spill_dir,
+                shards=shards,
             )
         except ConfigError as exc:
             print(f"invalid configuration: {exc}", file=sys.stderr)
@@ -217,7 +269,9 @@ def _cmd_multiply(args) -> int:
     b = _load(args.b) if args.b else a
     c = multiply(a, b, algorithm=args.algorithm, semiring=args.semiring, config=config)
     backend = ""
-    if config and pb_flags:
+    if shards is not None:
+        backend = f", shards={shards}"
+    elif config and pb_flags:
         backend = f", executor={args.executor}x{args.nthreads}"
     elif config:
         backend = f", column_backend={args.column_backend}"
@@ -251,6 +305,26 @@ def _cmd_serve(args) -> int:
     except ConfigError as exc:
         print(f"invalid configuration: {exc}", file=sys.stderr)
         return 2
+    shards = args.shards
+    if shards is not None and shards != "auto":
+        try:
+            shards = int(shards)
+        except ValueError:
+            print(
+                f"--shards takes an integer or 'auto', got {shards!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if shards < 1:
+            print(f"--shards must be >= 1, got {shards}", file=sys.stderr)
+            return 2
+    if shards is not None and args.executor == "process":
+        print(
+            "--shards and --executor process are mutually exclusive; "
+            "drop one of the two",
+            file=sys.stderr,
+        )
+        return 2
     serve_config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -261,6 +335,8 @@ def _cmd_serve(args) -> int:
         max_batch_tuples=args.max_batch_tuples,
         max_wait_s=args.max_wait_ms / 1000.0,
         fuse=not args.no_fuse,
+        shards=shards,
+        shard_tuples=args.shard_tuples,
     )
 
     async def _run() -> None:
@@ -681,6 +757,22 @@ def _build_multiply(sub, name: str, exec_parent, deprecated: str | None = None):
         help="staging directory for spilled tile products (default: a "
         "private temp dir, removed afterwards)",
     )
+    m.add_argument(
+        "--shards",
+        default=None,
+        metavar="N|auto",
+        help="run the multiply across N worker processes, each owning a "
+        "flop-balanced contiguous range of tile rows ('auto' derives N "
+        "from os.cpu_count() and --memory-budget; 1 degrades to the "
+        "in-process tiled engine).  Interactions: --memory-budget "
+        "becomes a PER-SHARD bound (each worker's tile working set is "
+        "sized to fit it — the aggregate grant is N x budget, which is "
+        "the point of sharding); --tile-cols pins the column-panel "
+        "split every shard shares; --tile-rows conflicts (the row "
+        "split IS the shard assignment) as does --executor process "
+        "(sharding forks its own workers).  Output is bit-identical "
+        "to the single-process multiply on every semiring.",
+    )
     m.set_defaults(func=_cmd_multiply, _deprecated=deprecated)
 
 
@@ -892,6 +984,17 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--warm", action="store_true",
         help="spawn and warm the worker pool before accepting traffic",
+    )
+    srv.add_argument(
+        "--shards", default=None, metavar="N|auto",
+        help="route large multiplies through the sharded tiled executor "
+        "with this many worker processes ('auto' derives from the "
+        "machine); small requests keep wave batching",
+    )
+    srv.add_argument(
+        "--shard-tuples", type=int, default=32_000_000,
+        help="flop threshold for the sharded route (with --shards): "
+        "requests at or above it run sharded in a wave of one",
     )
     srv.set_defaults(func=_cmd_serve)
 

@@ -10,6 +10,9 @@
   discussed in Sec. V-D.
 * :func:`tiled_spgemm` — the 2D tiled out-of-core engine
   (DESIGN.md §16): bounded peak memory, spill-to-disk staging.
+* :func:`sharded_spgemm` — the multi-process sharded variant of the
+  tiled engine (DESIGN.md §17): tile-row shards, shared-memory panel
+  broadcast, streamed assembly.
 """
 
 from .config import PBConfig
@@ -21,9 +24,18 @@ from .tiled import (
     SpillStore,
     TileGrid,
     TiledResult,
+    cleanup_stage_files,
     plan_tile_grid,
     tiled_spgemm,
     tiled_spgemm_detailed,
+)
+from .sharded import (
+    ShardedResult,
+    ShardPlan,
+    plan_shards,
+    resolve_shards,
+    sharded_spgemm,
+    sharded_spgemm_detailed,
 )
 
 __all__ = [
@@ -41,7 +53,14 @@ __all__ = [
     "SpillStore",
     "TileGrid",
     "TiledResult",
+    "cleanup_stage_files",
     "plan_tile_grid",
     "tiled_spgemm",
     "tiled_spgemm_detailed",
+    "ShardedResult",
+    "ShardPlan",
+    "plan_shards",
+    "resolve_shards",
+    "sharded_spgemm",
+    "sharded_spgemm_detailed",
 ]

@@ -138,6 +138,20 @@ class PBConfig:
         ``None`` (default) creates a private temporary directory on
         first spill and removes it when the multiply finishes.
         Spilling only activates when ``memory_budget`` is set.
+    shards:
+        Worker-process count of the multi-process sharded tiled engine
+        (:mod:`repro.core.sharded`): each shard owns a contiguous,
+        flop-balanced tile-row range of the grid and runs its tiles as
+        serial PB multiplies, so ``memory_budget`` bounds every
+        *shard's* peak rather than one process's.  ``None`` (default)
+        — sharding off; an ``int >= 1`` pins the shard count (1
+        degrades to the in-process tiled path); ``"auto"`` derives the
+        count from ``os.cpu_count()`` and the memory budget
+        (:func:`repro.core.sharded.resolve_shards`).  Mutually
+        exclusive with ``executor="process"``: shards *are* the
+        process-level parallelism, and nesting a process pool inside
+        every shard would oversubscribe the machine.  Ignored by every
+        algorithm except ``"sharded"`` (and ``"auto"`` planning).
     pipeline:
         Bin-processing schedule under the process executor:
         ``"auto"`` (default) — pipelined when a process engine runs
@@ -169,6 +183,7 @@ class PBConfig:
     pipeline: str = "auto"
     tile_rows: int | None = None
     tile_cols: int | None = None
+    shards: int | str | None = None
     memory_budget: int | None = None
     spill_dir: str | None = None
     plan_cache_dir: str | None = None
@@ -250,6 +265,25 @@ class PBConfig:
             raise ConfigError(
                 f"tile_cols must be >= 1 or None, got {self.tile_cols}"
             )
+        if self.shards is not None:
+            if isinstance(self.shards, str):
+                if self.shards != "auto":
+                    raise ConfigError(
+                        f"shards must be an int >= 1, 'auto' or None, "
+                        f"got {self.shards!r}"
+                    )
+            elif not isinstance(self.shards, int) or self.shards < 1:
+                raise ConfigError(
+                    f"shards must be an int >= 1, 'auto' or None, "
+                    f"got {self.shards!r}"
+                )
+            if self.executor == "process":
+                raise ConfigError(
+                    "shards and executor='process' are mutually exclusive: "
+                    "shards are the process-level parallelism (each shard "
+                    "runs its tiles serially), and a nested process pool "
+                    "per shard would oversubscribe the machine"
+                )
         if self.memory_budget is not None and self.memory_budget < 1:
             raise ConfigError(
                 f"memory_budget must be >= 1 byte or None, "

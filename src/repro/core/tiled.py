@@ -221,16 +221,27 @@ class SpillStore:
     The staging directory is created lazily on first spill —
     ``tempfile.mkdtemp`` when the caller gave none — and removed by
     :meth:`close` only if this store created it.
+
+    Multi-process use (:mod:`repro.core.sharded`): several shard
+    processes may stage into one shared directory, so every store
+    carries a ``stage_suffix`` appended to each file name (the sharded
+    driver passes ``-s<shard>-<pid>``, making names unique per shard
+    *and* per incarnation).  A worker killed mid-spill cannot clean up
+    after itself; the parent calls :func:`cleanup_stage_files` with the
+    dead shard's suffix (or ``""`` to scrub every stage file) so no
+    orphaned ``.npz`` survives a crash.
     """
 
     def __init__(
         self,
         spill_dir: str | None = None,
         mem_budget: int | None = None,
+        stage_suffix: str = "",
     ) -> None:
         self._requested_dir = spill_dir
         self._dir: str | None = None
         self._own_dir = False
+        self._suffix = str(stage_suffix)
         self._budget = None if mem_budget is None else max(int(mem_budget), 0)
         self._mem: dict[str, CSRMatrix] = {}
         self._bytes = 0
@@ -276,7 +287,7 @@ class SpillStore:
             del self._mem[key]
             size = self._size(mat)
             self._bytes -= size
-            path = os.path.join(self._ensure_dir(), f"{key}.npz")
+            path = os.path.join(self._ensure_dir(), f"{key}{self._suffix}.npz")
             np.savez(
                 path,
                 shape=np.asarray(mat.shape, dtype=np.int64),
@@ -327,6 +338,35 @@ class SpillStore:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def cleanup_stage_files(spill_dir: str | None, stage_suffix: str = "") -> int:
+    """Remove staged ``.npz`` files another process left behind.
+
+    Unlinks every ``*{stage_suffix}.npz`` under ``spill_dir`` and
+    returns the count.  With ``stage_suffix=""`` every stage file goes.
+    This is the parent side of the :class:`SpillStore` crash contract:
+    a shard killed mid-spill leaves its suffixed files on disk, and the
+    sharded driver scrubs them before recomputing the shard's panels.
+    Missing directories and concurrent unlinks are silently tolerated.
+    """
+    if not spill_dir:
+        return 0
+    tail = f"{stage_suffix}.npz"
+    removed = 0
+    try:
+        names = os.listdir(spill_dir)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.endswith(tail):
+            continue
+        try:
+            os.unlink(os.path.join(spill_dir, name))
+            removed += 1
+        except OSError:  # pragma: no cover - racing cleanup
+            pass
+    return removed
 
 
 @dataclass

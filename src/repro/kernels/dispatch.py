@@ -47,6 +47,13 @@ class AlgorithmInfo:
     ``jit`` compress) and the four panel column kernels
     (``panel_jit``).  The planner only prices JIT-tier candidates for
     algorithms carrying this flag.
+
+    ``wants_session`` marks algorithms whose kernel takes the *whole*
+    session (a ``session=`` keyword) rather than its warm engine — the
+    sharded executor borrows the session's :class:`ArenaPool` for its
+    broadcast/return segments and books its multiplies in the session
+    stats.  Mutually exclusive with ``supports_session`` consumption:
+    the front door passes ``session=`` instead of ``engine=``.
     """
 
     name: str
@@ -62,6 +69,7 @@ class AlgorithmInfo:
     supports_masked: bool = False  # has a masked-output variant
     supports_session: bool = False  # accepts engine= from a warm Session
     supports_jit: bool = False  # has *_jit backends (repro.kernels.jit)
+    wants_session: bool = False  # accepts session= (not engine=)
     column_backends: tuple = ()  # column execution strategies, if any
 
 
@@ -75,6 +83,12 @@ def _tiled(a_csc, b_csr, semiring=PLUS_TIMES, **kwargs):
     from ..core.tiled import tiled_spgemm
 
     return tiled_spgemm(a_csc, b_csr, semiring=semiring, **kwargs)
+
+
+def _sharded(a_csc, b_csr, semiring=PLUS_TIMES, **kwargs):
+    from ..core.sharded import sharded_spgemm
+
+    return sharded_spgemm(a_csc, b_csr, semiring=semiring, **kwargs)
 
 
 def _registry() -> dict[str, AlgorithmInfo]:
@@ -139,6 +153,17 @@ def _registry() -> dict[str, AlgorithmInfo]:
             supports_session=True,
             supports_jit=True,
         ),
+        AlgorithmInfo(
+            # Still the same Table I cell: shards only spread the tile
+            # rows over processes; every tile is a full-k PB multiply.
+            "sharded", _sharded, "outer", "esc", "sort", "1", 2,
+            "Multi-process sharded tiled PB-SpGEMM: tile-row shards, "
+            "shared-memory panel broadcast, streamed assembly "
+            "(repro.core.sharded)",
+            supports_config=True,
+            supports_jit=True,
+            wants_session=True,
+        ),
     ]
     return {i.name: i for i in infos}
 
@@ -188,6 +213,7 @@ def algorithm_metadata() -> dict[str, dict]:
             "supports_masked": info.supports_masked,
             "supports_session": info.supports_session,
             "supports_jit": info.supports_jit,
+            "wants_session": info.wants_session,
             "column_backends": list(info.column_backends),
             "description": info.description,
         }

@@ -323,6 +323,128 @@ def _tune_tiled(
     return total, pb_dram + extra_dram, phase_seconds, overrides, peak
 
 
+#: Shard counts swept when ``PBConfig.shards`` leaves the count open.
+SHARD_SWEEP = (2, 4, 8)
+
+
+def _tune_sharded(
+    stats: WorkloadStats,
+    machine,
+    config: PBConfig,
+    profile: MachineProfile,
+    jit_sort_scale: float | None = None,
+) -> tuple[float, float, dict, dict, float, int]:
+    """Sweep shard counts; returns the PB tuple + peak bytes + shards.
+
+    Extends the tiled pricing with the sharded executor's own terms:
+
+    * **compute** — the swept PB optimum divided by the *effective*
+      parallelism ``min(shards, cores)``; extra shards beyond the core
+      count only shrink per-process working sets, they don't add speed
+      (the driver staggers them for exactly this reason).
+    * **panel broadcast** — one shared-memory write + one read of A and
+      the B panels (``ENTRY_BYTES * (nnz_a + nnz_b)`` each way), plus
+      the streamed return and merge of C (2× its bytes) and the final
+      assembly write.
+    * **spawn** — the calibrated ``pool_startup_s`` every call: the
+      sharded driver forks its own worker set per multiply; there is no
+      warm-pool discount.
+    * **per-tile overhead** — :data:`PER_TILE_CYCLES` for each of the
+      ``shards × grid_cols`` tiles.
+
+    The returned peak is the busiest *shard's* modeled resident bytes
+    (:func:`repro.core.sharded.sharded_peak_bytes`) or the parent's
+    assembly floor, whichever is larger — the feasibility gate then
+    compares it against the per-process ``memory_budget``, which is
+    how ``algorithm="auto"`` picks sharded exactly when fan-out is
+    what makes the budget satisfiable.
+    """
+    from ..core.sharded import (
+        SHARD_WORKING_BUDGET_DENOM,
+        resolve_shards,
+        sharded_peak_bytes,
+    )
+    from ..core.tiled import MAX_GRID_DIM, TILE_WORKING_BYTES_PER_FLOP
+
+    pb_total, pb_dram, pb_phases, pb_overrides = _tune_pb(
+        stats, machine, config, 1, jit_sort_scale=jit_sort_scale
+    )
+    budget = config.memory_budget
+    cores = max(1, machine.total_cores)
+    if isinstance(config.shards, int):
+        shard_cands = [min(config.shards, max(stats.n_rows, 1))]
+    elif config.shards == "auto":
+        shard_cands = [
+            resolve_shards(
+                "auto",
+                m=stats.n_rows,
+                flop=stats.flop,
+                memory_budget=budget,
+            )
+        ]
+    else:
+        shard_cands = [s for s in SHARD_SWEEP if s <= max(stats.n_rows, 1)] or [1]
+    best = None
+    for s in shard_cands:
+        # Mirror plan_shards' column split for this shard count.
+        shard_flop = float(stats.flop) / max(s, 1)
+        if config.tile_cols is not None:
+            gc = max(1, -(-max(stats.n_cols, 1) // max(1, config.tile_cols)))
+        elif budget is not None:
+            usable = max(budget // SHARD_WORKING_BUDGET_DENOM, 1)
+            gc = max(
+                1,
+                -(-int(shard_flop * TILE_WORKING_BYTES_PER_FLOP) // usable),
+            )
+            gc = min(gc, MAX_GRID_DIM, max(stats.n_cols, 1))
+        else:
+            gc = 1
+        transport = PhaseCost(
+            name="shard_transport",
+            dram_read_bytes=float(
+                ENTRY_BYTES * (stats.nnz_a + stats.nnz_b)  # workers read
+                + ENTRY_BYTES * stats.nnz_c  # parent merges returns
+            ),
+            dram_write_bytes=float(
+                ENTRY_BYTES * (stats.nnz_a + stats.nnz_b)  # broadcast copy
+                + 2.0 * ENTRY_BYTES * stats.nnz_c  # return + assembly
+            ),
+            compute_cycles=s * gc * PER_TILE_CYCLES,
+            schedule="static_block",
+            overlap="max",
+        )
+        reports = simulate_phases([transport], machine, 1)
+        extra = sum(p.seconds for p in reports) + profile.pool_startup_s
+        extra_dram = sum(p.dram_bytes for p in reports)
+        compute = pb_total / min(s, cores)
+        shard_peak = sharded_peak_bytes(
+            stats.flop, stats.nnz_a, stats.nnz_b, s, gc
+        )
+        parent_floor = ENTRY_BYTES * float(
+            stats.nnz_a + stats.nnz_b + stats.nnz_c
+        )
+        peak = max(shard_peak, parent_floor)
+        infeasible = budget is not None and peak > budget
+        key = (infeasible, compute + extra, peak)
+        if best is None or key < best[0]:
+            best = (key, s, gc, compute, extra, extra_dram, peak)
+    key, s, gc, compute, extra, extra_dram, peak = best
+    phase_seconds = dict(pb_phases)
+    phase_seconds["shard_transport"] = extra
+    overrides = dict(pb_overrides)
+    overrides["shards"] = s
+    if config.tile_cols is None and gc > 1:
+        overrides["tile_cols"] = max(1, -(-max(stats.n_cols, 1) // gc))
+    return (
+        compute + extra,
+        pb_dram + extra_dram,
+        phase_seconds,
+        overrides,
+        peak,
+        s,
+    )
+
+
 def rank(
     a_csc: CSCMatrix,
     b_csr: CSRMatrix,
@@ -359,10 +481,35 @@ def rank(
     want_threads = max(1, cfg.nthreads)
     scored: list[CandidateScore] = []
     budget = cfg.memory_budget
+    from ..parallel import process_backend_available
+
+    shardable = process_backend_available()
     for name, info in sorted(ALGORITHMS.items()):
         use_process = process_ok and info.supports_process and want_threads > 1
         nthreads = min(want_threads, machine.total_cores) if use_process else 1
         executor = "process" if use_process else "serial"
+        if name == "sharded":
+            # Feasibility gate: the sharded executor needs POSIX shared
+            # memory, and a config that asked for the (mutually
+            # exclusive) process executor keeps it out of the running.
+            if not shardable or cfg.executor == "process":
+                continue
+            total, dram, per_phase, overrides, peak, s = _tune_sharded(
+                stats, machine, cfg, profile, jit_sort_scale=jit_scale
+            )
+            scored.append(
+                CandidateScore(
+                    algorithm=name,
+                    executor="sharded",
+                    nthreads=s,
+                    predicted_seconds=total,
+                    predicted_dram_bytes=dram,
+                    phase_seconds=per_phase,
+                    overrides=overrides,
+                    predicted_peak_bytes=peak,
+                )
+            )
+            continue
         if name == "pb" and info.supports_config:
             total, dram, per_phase, overrides = _tune_pb(
                 stats, machine, cfg, nthreads, jit_sort_scale=jit_scale

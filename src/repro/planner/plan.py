@@ -131,6 +131,7 @@ _OVERRIDE_KEYS = (
     "column_backend",
     "tile_rows",
     "tile_cols",
+    "shards",
 )
 
 

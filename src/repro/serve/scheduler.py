@@ -94,6 +94,7 @@ class BatchScheduler:
         max_batch_tuples: int = 8_000_000,
         max_wait_s: float = 0.0,
         fuse: bool = True,
+        solo_tuples: int | None = None,
     ):
         self._execute = execute  # async callable(Wave)
         self.max_pending = int(max_pending)
@@ -102,6 +103,12 @@ class BatchScheduler:
         self.max_batch_tuples = int(max_batch_tuples)
         self.max_wait_s = float(max_wait_s)
         self.fuse = bool(fuse)
+        #: Requests at or above this many estimated flops always ride a
+        #: wave of one — the server runs them on the sharded executor,
+        #: which wants the whole machine to itself; fusing them into a
+        #: stacked PB multiply would both defeat the shard routing and
+        #: stall the small requests behind the giant.  ``None`` — off.
+        self.solo_tuples = None if solo_tuples is None else int(solo_tuples)
         self._pending: deque = deque()
         self._pending_tuples = 0
         self._wake = asyncio.Event()
@@ -146,11 +153,14 @@ class BatchScheduler:
         return float(min(5.0, max(0.005, waves_ahead * self.wave_ewma_s)))
 
     # -- wave formation ------------------------------------------------------
+    def _solo(self, req: ServeRequest) -> bool:
+        return self.solo_tuples is not None and req.tuples >= self.solo_tuples
+
     def _next_wave(self) -> Wave:
         head = self._pending.popleft()
         self._pending_tuples -= head.tuples
         requests = [head]
-        if self.fuse and head.fusable:
+        if self.fuse and head.fusable and not self._solo(head):
             tuples = head.tuples
             token = head.compat_token
             keep = deque()
@@ -159,6 +169,7 @@ class BatchScheduler:
                 if (
                     req.compat_token == token
                     and tuples + req.tuples <= self.max_batch_tuples
+                    and not self._solo(req)
                 ):
                     requests.append(req)
                     tuples += req.tuples
@@ -216,6 +227,7 @@ class BatchScheduler:
             "max_batch_tuples": self.max_batch_tuples,
             "max_wait_s": self.max_wait_s,
             "fuse": self.fuse,
+            "solo_tuples": self.solo_tuples,
             "waves_dispatched": self.waves_dispatched,
             "wave_ewma_s": self.wave_ewma_s,
         }

@@ -63,6 +63,15 @@ class ServeConfig:
     max_batch_tuples: int = 8_000_000
     max_wait_s: float = 0.0
     fuse: bool = True
+    #: Route large ``"pb"``/``"tiled"`` requests through the sharded
+    #: executor (:mod:`repro.core.sharded`): worker count (int or
+    #: ``"auto"``), or ``None`` — sharded routing off.  Small requests
+    #: keep wave batching either way.
+    shards: int | str | None = None
+    #: Flop threshold for the sharded route: requests at or above this
+    #: many estimated tuples run sharded (and ride a wave of one — see
+    #: ``BatchScheduler.solo_tuples``); below it they batch as usual.
+    shard_tuples: int = 32_000_000
 
 
 class MultiplyServer:
@@ -118,6 +127,7 @@ class MultiplyServer:
             max_batch_tuples=sc.max_batch_tuples,
             max_wait_s=sc.max_wait_s,
             fuse=sc.fuse,
+            solo_tuples=sc.shard_tuples if sc.shards is not None else None,
         )
         self._scheduler_task = asyncio.create_task(self.scheduler.run())
         if sc.unix_path:
@@ -406,7 +416,28 @@ class MultiplyServer:
 
     def _run_single(self, req: ServeRequest):
         session = self.session
+        sc = self.serve_config
         t0 = time.perf_counter()
+        if (
+            sc.shards is not None
+            and req.algorithm in ("pb", "tiled", "sharded")
+            and req.tuples >= sc.shard_tuples
+        ):
+            from ..core.sharded import sharded_config, sharded_spgemm_detailed
+
+            cfg = sharded_config(req.config or self.config, sc.shards)
+            detail = sharded_spgemm_detailed(
+                req.a_csc, req.b_csr, req.semiring, cfg, session=session
+            )
+            compute_s = time.perf_counter() - t0
+            plan = {
+                "algorithm": "sharded",
+                "source": "shard-routed",
+                "shards": detail.plan.shards if detail.plan else 1,
+                "fallback": detail.fallback,
+            }
+            phase = {"merge": detail.merge_seconds}
+            return detail.c, phase, compute_s, plan
         if req.algorithm == "pb":
             detail = session.multiply_detailed(
                 req.a_csc, req.b_csr, semiring=req.semiring, config=req.config

@@ -69,6 +69,7 @@ class SessionStats:
     engine_restarts: int = 0  # engines replaced after a worker death
     fused_waves: int = 0  # batches executed as one stacked PB multiply
     fused_requests: int = 0  # individual multiplies served by fused waves
+    sharded_multiplies: int = 0  # multiplies run on the sharded executor
     jit_warmup_s: float = 0.0  # one-time JIT compile/load paid at construction
     arena_stats: dict = field(default_factory=dict)  # ArenaPool counters
 
@@ -80,6 +81,7 @@ class SessionStats:
             "engine_restarts": self.engine_restarts,
             "fused_waves": self.fused_waves,
             "fused_requests": self.fused_requests,
+            "sharded_multiplies": self.sharded_multiplies,
             "jit_warmup_s": self.jit_warmup_s,
             "arena_stats": dict(self.arena_stats),
         }
@@ -394,6 +396,9 @@ class Session:
 
     def _note_engine_multiply(self) -> None:
         self.stats.engine_multiplies += 1
+
+    def _note_sharded_multiply(self) -> None:
+        self.stats.sharded_multiplies += 1
 
     def runtime_stats(self) -> dict:
         """Live observability snapshot: session counters plus the

@@ -193,7 +193,8 @@ class TestSemiringSpGEMM:
 class TestDispatch:
     def test_available(self):
         assert set(ALGS) == {
-            "esc_column", "hash", "hashvec", "heap", "pb", "spa", "tiled",
+            "esc_column", "hash", "hashvec", "heap", "pb", "sharded",
+            "spa", "tiled",
         }
 
     def test_get_algorithm_metadata(self):
